@@ -1,0 +1,74 @@
+//! Criterion benchmarks: full-iteration throughput of the three paper
+//! problems (serial engine) plus the naive-layout baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use paradmm_core::{naive::NaiveAdmm, Scheduler, UpdateTimings};
+use paradmm_graph::VarStore;
+use paradmm_mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
+use paradmm_packing::{PackingConfig, PackingProblem};
+use paradmm_svm::{gaussian_mixture, SvmConfig, SvmProblem};
+use rand::SeedableRng;
+
+fn bench_problem_iterations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("problem_iteration");
+
+    for n in [50usize, 150] {
+        let (_, problem) = PackingProblem::build(PackingConfig::new(n));
+        let mut store = VarStore::zeros(problem.graph());
+        let mut t = UpdateTimings::new();
+        group.bench_with_input(BenchmarkId::new("packing", n), &n, |b, _| {
+            b.iter(|| {
+                Scheduler::Serial.run_block(&problem, &mut store, 1, &mut t, None);
+            })
+        });
+    }
+
+    for k in [1_000usize, 5_000] {
+        let (_, problem) = MpcProblem::build(MpcConfig::new(k), paper_plant());
+        let mut store = VarStore::zeros(problem.graph());
+        let mut t = UpdateTimings::new();
+        group.bench_with_input(BenchmarkId::new("mpc", k), &k, |b, _| {
+            b.iter(|| {
+                Scheduler::Serial.run_block(&problem, &mut store, 1, &mut t, None);
+            })
+        });
+    }
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    for n in [1_000usize, 5_000] {
+        let data = gaussian_mixture(n, 2, 4.0, &mut rng);
+        let (_, problem) = SvmProblem::build(&data, SvmConfig::default());
+        let mut store = VarStore::zeros(problem.graph());
+        let mut t = UpdateTimings::new();
+        group.bench_with_input(BenchmarkId::new("svm", n), &n, |b, _| {
+            b.iter(|| {
+                Scheduler::Serial.run_block(&problem, &mut store, 1, &mut t, None);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_naive_vs_flat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_ablation");
+    let n = 100usize;
+    let (_, problem) = PackingProblem::build(PackingConfig::new(n));
+
+    let mut store = VarStore::zeros(problem.graph());
+    let mut t = UpdateTimings::new();
+    group.bench_function("flat_soa", |b| {
+        b.iter(|| {
+            Scheduler::Serial.run_block(&problem, &mut store, 1, &mut t, None);
+        })
+    });
+
+    let mut naive = NaiveAdmm::new(&problem);
+    group.bench_function("naive_scattered", |b| {
+        b.iter(|| naive.iterate())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_problem_iterations, bench_naive_vs_flat);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation — multi-GPU extension (paper future-work 3).
+//!
+//! Partitions each problem's factor graph across 1/2/4 simulated K40s and
+//! prices the per-iteration halo exchange. MPC's chain splits almost
+//! freely; packing's all-pairs collision graph puts every variable in the
+//! halo and gains far less — quantifying why the paper calls the
+//! extension "easy" in code but leaves the graph-topology question open.
+
+use paradmm_bench::{print_table, FigArgs};
+use paradmm_gpusim::{MultiDevice, WorkloadProfile};
+use paradmm_graph::Partition;
+use paradmm_mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
+use paradmm_packing::{PackingConfig, PackingProblem};
+
+fn main() {
+    let args = FigArgs::parse();
+    let k = if args.paper_scale { 100_000 } else { 30_000 };
+    let n = if args.paper_scale { 1_000 } else { 400 };
+
+    let mut rows = Vec::new();
+    {
+        let (_, problem) = MpcProblem::build(MpcConfig::new(k), paper_plant());
+        let profile = WorkloadProfile::from_problem(&problem);
+        for count in [1usize, 2, 4] {
+            let part = Partition::grow(problem.graph(), count);
+            let md = MultiDevice::k40s(count);
+            let it = md.iteration_time(problem.graph(), &profile, &part);
+            let s = md.speedup(problem.graph(), &profile, &part);
+            rows.push(vec![
+                format!("mpc K={k}"),
+                count.to_string(),
+                it.halo_vars.to_string(),
+                format!("{:.3e}", it.compute_seconds),
+                format!("{:.3e}", it.exchange_seconds),
+                format!("{s:.2}"),
+            ]);
+        }
+    }
+    {
+        let (_, problem) = PackingProblem::build(PackingConfig::new(n));
+        let profile = WorkloadProfile::from_problem(&problem);
+        for count in [1usize, 2, 4] {
+            let part = Partition::grow(problem.graph(), count);
+            let md = MultiDevice::k40s(count);
+            let it = md.iteration_time(problem.graph(), &profile, &part);
+            let s = md.speedup(problem.graph(), &profile, &part);
+            rows.push(vec![
+                format!("packing N={n}"),
+                count.to_string(),
+                it.halo_vars.to_string(),
+                format!("{:.3e}", it.compute_seconds),
+                format!("{:.3e}", it.exchange_seconds),
+                format!("{s:.2}"),
+            ]);
+        }
+    }
+    print_table(
+        "Future-work 3: multi-GPU scaling (simulated K40s, BFS partition)",
+        &["problem", "gpus", "halo_vars", "compute_s", "exchange_s", "speedup"],
+        &rows,
+    );
+}

@@ -1,0 +1,61 @@
+//! Figure 7 — GPU vs single-core CPU on circle packing.
+//!
+//! Left: time per 10 iterations and combined speedup vs N.
+//! Right: per-update-kind speedups vs N.
+//! Also prints the x+z time-fraction claim (§V-A: 31% + 40% at N = 5000).
+
+use paradmm_bench::{
+fmt_per_update, fmt_s, gpu_row, print_table, FigArgs, KIND_LABELS,
+};
+use paradmm_gpusim::{CpuModel, SimtDevice};
+use paradmm_packing::{PackingConfig, PackingProblem};
+
+fn main() {
+    let args = FigArgs::parse();
+    let mut sizes = vec![50usize, 100, 200, 400, 700, 1000];
+    if args.paper_scale {
+        sizes.extend([1500, 2000, 3000]);
+    }
+    let device = SimtDevice::tesla_k40();
+    let cpu = CpuModel::opteron_6300();
+
+    // Anchor the CPU model to a real measured serial run (N = 150).
+    let (_, cal_problem) = PackingProblem::build(PackingConfig::new(150));
+    let cal_scale = args.cal_scale(&cal_problem, &cpu);
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    let mut last_fraction = [0.0f64; 5];
+    for &n in &sizes {
+        let (_, problem) = PackingProblem::build(PackingConfig::new(n));
+        let row = gpu_row(&problem, n, &device, &cpu, cal_scale, args.tune);
+        left.push(vec![
+            n.to_string(),
+            row.edges.to_string(),
+            fmt_s(row.cpu_s_per_iter * 10.0),
+            fmt_s(row.gpu_s_per_iter * 10.0),
+            format!("{:.2}", row.speedup),
+        ]);
+        let mut r = vec![n.to_string()];
+        r.extend(fmt_per_update(&row.per_update));
+        right.push(r);
+        last_fraction = row.gpu_fraction;
+    }
+
+    print_table(
+        "Figure 7 (left): packing — time per 10 iterations, GPU vs 1 CPU core",
+        &["N", "edges", "cpu_s_per_10it", "gpu_s_per_10it", "speedup"],
+        &left,
+    );
+    let mut hdr = vec!["N"];
+    hdr.extend(KIND_LABELS);
+    print_table("Figure 7 (right): packing — per-update GPU speedups", &hdr, &right);
+
+    println!(
+        "\n# §V-A breakdown at N = {}: x {:.0}% + z {:.0}% = {:.0}% of GPU iteration (paper: 31% + 40% = 71%)",
+        sizes.last().unwrap(),
+        100.0 * last_fraction[0],
+        100.0 * last_fraction[2],
+        100.0 * (last_fraction[0] + last_fraction[2]),
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 8 — multicore CPU vs single core on circle packing.
+//!
+//! Left: combined speedup vs N at 32 cores (paper: peaks ~9× near
+//! N ≈ 2500, drops to ~6× for larger problems).
+//! Right: speedup vs core count at the largest N (paper: saturates).
+
+use paradmm_bench::{cpu_row, fmt_s, print_table, FigArgs};
+use paradmm_gpusim::CpuModel;
+use paradmm_packing::{PackingConfig, PackingProblem};
+
+fn main() {
+    let args = FigArgs::parse();
+    let mut sizes = vec![50usize, 100, 200, 400, 700, 1000];
+    if args.paper_scale {
+        sizes.extend([1500, 2000, 3000]);
+    }
+    let cpu = CpuModel::opteron_6300();
+
+    let (_, cal_problem) = PackingProblem::build(PackingConfig::new(150));
+    let cal_scale = args.cal_scale(&cal_problem, &cpu);
+
+    let mut left = Vec::new();
+    for &n in &sizes {
+        let (_, problem) = PackingProblem::build(PackingConfig::new(n));
+        let row = cpu_row(&problem, n, &cpu, cal_scale, 32);
+        left.push(vec![
+            n.to_string(),
+            fmt_s(row.s_per_iter * 10.0),
+            format!("{:.2}", row.speedup),
+        ]);
+    }
+    print_table(
+        "Figure 8 (left): packing — 32-core speedup vs N (time per 10 iterations)",
+        &["N", "s_per_10it_32cores", "speedup"],
+        &left,
+    );
+
+    let n_big = *sizes.last().unwrap();
+    let (_, problem) = PackingProblem::build(PackingConfig::new(n_big));
+    let mut right = Vec::new();
+    for cores in [1usize, 2, 4, 8, 12, 16, 20, 25, 28, 32] {
+        let row = cpu_row(&problem, n_big, &cpu, cal_scale, cores);
+        right.push(vec![cores.to_string(), format!("{:.2}", row.speedup)]);
+    }
+    print_table(
+        &format!("Figure 8 (right): packing — speedup vs cores at N = {n_big}"),
+        &["cores", "speedup"],
+        &right,
+    );
+}

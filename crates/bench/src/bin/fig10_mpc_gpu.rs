@@ -1,0 +1,60 @@
+//! Figure 10 — GPU vs single-core CPU on MPC.
+//!
+//! Left: time per 100 iterations and combined speedup vs horizon K
+//! (paper: up to ~10×). Right: per-update GPU speedups vs K.
+//! Also prints the §V-B x+z fraction claim (59% + 21% = 80% at K = 10⁵).
+
+use paradmm_bench::{
+fmt_per_update, fmt_s, gpu_row, print_table, FigArgs, KIND_LABELS,
+};
+use paradmm_gpusim::{CpuModel, SimtDevice};
+use paradmm_mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
+
+fn main() {
+    let args = FigArgs::parse();
+    let mut sizes = vec![200usize, 1_000, 5_000, 20_000, 50_000];
+    if args.paper_scale {
+        sizes.push(100_000);
+    }
+    let device = SimtDevice::tesla_k40();
+    let cpu = CpuModel::opteron_6300();
+
+    let (_, cal_problem) = MpcProblem::build(MpcConfig::new(2_000), paper_plant());
+    let cal_scale = args.cal_scale(&cal_problem, &cpu);
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    let mut last_fraction = [0.0f64; 5];
+    for &k in &sizes {
+        let (_, problem) = MpcProblem::build(MpcConfig::new(k), paper_plant());
+        let row = gpu_row(&problem, k, &device, &cpu, cal_scale, args.tune);
+        left.push(vec![
+            k.to_string(),
+            row.edges.to_string(),
+            fmt_s(row.cpu_s_per_iter * 100.0),
+            fmt_s(row.gpu_s_per_iter * 100.0),
+            format!("{:.2}", row.speedup),
+        ]);
+        let mut r = vec![k.to_string()];
+        r.extend(fmt_per_update(&row.per_update));
+        right.push(r);
+        last_fraction = row.gpu_fraction;
+    }
+
+    print_table(
+        "Figure 10 (left): MPC — time per 100 iterations, GPU vs 1 CPU core",
+        &["K", "edges", "cpu_s_per_100it", "gpu_s_per_100it", "speedup"],
+        &left,
+    );
+    let mut hdr = vec!["K"];
+    hdr.extend(KIND_LABELS);
+    print_table("Figure 10 (right): MPC — per-update GPU speedups", &hdr, &right);
+
+    println!(
+        "\n# §V-B breakdown at K = {}: x {:.0}% + z {:.0}% = {:.0}% of GPU iteration (paper: 59% + 21% = 80%)",
+        sizes.last().unwrap(),
+        100.0 * last_fraction[0],
+        100.0 * last_fraction[2],
+        100.0 * (last_fraction[0] + last_fraction[2]),
+    );
+}

@@ -1,0 +1,61 @@
+//! Figure 11 — multicore CPU vs single core on MPC.
+//!
+//! Left: combined speedup vs K at 25 cores (the paper's best count).
+//! Right: speedup vs cores at the largest K — the paper observes the
+//! curve *declining* past ~25 cores, which the NUMA term reproduces.
+//! Also prints the §V-B claim that m+u+n take ~60% of multicore time.
+
+use paradmm_bench::{cpu_row, fmt_s, print_table, FigArgs};
+use paradmm_gpusim::CpuModel;
+use paradmm_mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
+
+fn main() {
+    let args = FigArgs::parse();
+    let mut sizes = vec![200usize, 1_000, 5_000, 20_000, 50_000];
+    if args.paper_scale {
+        sizes.push(100_000);
+    }
+    let cpu = CpuModel::opteron_6300();
+
+    let (_, cal_problem) = MpcProblem::build(MpcConfig::new(2_000), paper_plant());
+    let cal_scale = args.cal_scale(&cal_problem, &cpu);
+
+    let mut left = Vec::new();
+    let mut last = None;
+    for &k in &sizes {
+        let (_, problem) = MpcProblem::build(MpcConfig::new(k), paper_plant());
+        let row = cpu_row(&problem, k, &cpu, cal_scale, 25);
+        left.push(vec![
+            k.to_string(),
+            fmt_s(row.s_per_iter * 100.0),
+            format!("{:.2}", row.speedup),
+        ]);
+        last = Some(row);
+    }
+    print_table(
+        "Figure 11 (left): MPC — 25-core speedup vs K (time per 100 iterations)",
+        &["K", "s_per_100it_25cores", "speedup"],
+        &left,
+    );
+
+    let k_big = *sizes.last().unwrap();
+    let (_, problem) = MpcProblem::build(MpcConfig::new(k_big), paper_plant());
+    let mut right = Vec::new();
+    for cores in [1usize, 2, 4, 8, 12, 16, 20, 25, 28, 32] {
+        let row = cpu_row(&problem, k_big, &cpu, cal_scale, cores);
+        right.push(vec![cores.to_string(), format!("{:.2}", row.speedup)]);
+    }
+    print_table(
+        &format!("Figure 11 (right): MPC — speedup vs cores at K = {k_big}"),
+        &["cores", "speedup"],
+        &right,
+    );
+
+    if let Some(row) = last {
+        let mun = row.fraction[1] + row.fraction[3] + row.fraction[4];
+        println!(
+            "\n# §V-B multicore breakdown at K = {k_big}: m+u+n = {:.0}% of iteration (paper: 25%+19%+16% = 60%)",
+            100.0 * mun
+        );
+    }
+}

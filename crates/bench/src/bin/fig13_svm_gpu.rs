@@ -1,0 +1,64 @@
+//! Figure 13 — GPU vs single-core CPU on SVM training.
+//!
+//! Left: time per 1000 iterations and combined speedup vs N
+//! (paper: >18× for large N at d = 2). Right: per-update GPU speedups.
+//! Also prints the §V-C x+z fraction claim (28% + 23% = 51%).
+
+use paradmm_bench::{
+fmt_per_update, fmt_s, gpu_row, print_table, FigArgs, KIND_LABELS,
+};
+use paradmm_gpusim::{CpuModel, SimtDevice};
+use paradmm_svm::{gaussian_mixture, SvmConfig, SvmProblem};
+use rand::SeedableRng;
+
+fn main() {
+    let args = FigArgs::parse();
+    let mut sizes = vec![1_000usize, 5_000, 10_000, 25_000, 50_000];
+    if args.paper_scale {
+        sizes.push(100_000);
+    }
+    let device = SimtDevice::tesla_k40();
+    let cpu = CpuModel::opteron_6300();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    let cal_data = gaussian_mixture(2_000, 2, 4.0, &mut rng);
+    let (_, cal_problem) = SvmProblem::build(&cal_data, SvmConfig::default());
+    let cal_scale = args.cal_scale(&cal_problem, &cpu);
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    let mut last_fraction = [0.0f64; 5];
+    for &n in &sizes {
+        let data = gaussian_mixture(n, 2, 4.0, &mut rng);
+        let (_, problem) = SvmProblem::build(&data, SvmConfig::default());
+        let row = gpu_row(&problem, n, &device, &cpu, cal_scale, args.tune);
+        left.push(vec![
+            n.to_string(),
+            row.edges.to_string(),
+            fmt_s(row.cpu_s_per_iter * 1000.0),
+            fmt_s(row.gpu_s_per_iter * 1000.0),
+            format!("{:.2}", row.speedup),
+        ]);
+        let mut r = vec![n.to_string()];
+        r.extend(fmt_per_update(&row.per_update));
+        right.push(r);
+        last_fraction = row.gpu_fraction;
+    }
+
+    print_table(
+        "Figure 13 (left): SVM (d = 2) — time per 1000 iterations, GPU vs 1 CPU core",
+        &["N", "edges", "cpu_s_per_1000it", "gpu_s_per_1000it", "speedup"],
+        &left,
+    );
+    let mut hdr = vec!["N"];
+    hdr.extend(KIND_LABELS);
+    print_table("Figure 13 (right): SVM — per-update GPU speedups", &hdr, &right);
+
+    println!(
+        "\n# §V-C breakdown at N = {}: x {:.0}% + z {:.0}% = {:.0}% of GPU iteration (paper: 28% + 23% = 51%)",
+        sizes.last().unwrap(),
+        100.0 * last_fraction[0],
+        100.0 * last_fraction[2],
+        100.0 * (last_fraction[0] + last_fraction[2]),
+    );
+}

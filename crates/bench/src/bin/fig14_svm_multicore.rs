@@ -1,0 +1,66 @@
+//! Figure 14 — multicore CPU vs single core on SVM training.
+//!
+//! Left: combined 32-core speedup vs N (paper: up to 5.8×).
+//! Right: speedup vs cores at N = 75 000, plus the per-update observation
+//! that the z-update parallelizes best and the m-update worst.
+
+use paradmm_bench::{cpu_row, fmt_per_update, fmt_s, print_table, FigArgs, KIND_LABELS};
+use paradmm_gpusim::CpuModel;
+use paradmm_svm::{gaussian_mixture, SvmConfig, SvmProblem};
+use rand::SeedableRng;
+
+fn main() {
+    let args = FigArgs::parse();
+    let mut sizes = vec![1_000usize, 5_000, 10_000, 25_000, 50_000];
+    if args.paper_scale {
+        sizes.push(75_000);
+    }
+    let cpu = CpuModel::opteron_6300();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    let cal_data = gaussian_mixture(2_000, 2, 4.0, &mut rng);
+    let (_, cal_problem) = SvmProblem::build(&cal_data, SvmConfig::default());
+    let cal_scale = args.cal_scale(&cal_problem, &cpu);
+
+    let mut left = Vec::new();
+    for &n in &sizes {
+        let data = gaussian_mixture(n, 2, 4.0, &mut rng);
+        let (_, problem) = SvmProblem::build(&data, SvmConfig::default());
+        let row = cpu_row(&problem, n, &cpu, cal_scale, 32);
+        left.push(vec![
+            n.to_string(),
+            fmt_s(row.s_per_iter * 1000.0),
+            format!("{:.2}", row.speedup),
+        ]);
+    }
+    print_table(
+        "Figure 14 (left): SVM (d = 2) — 32-core speedup vs N (time per 1000 iterations)",
+        &["N", "s_per_1000it_32cores", "speedup"],
+        &left,
+    );
+
+    let n_big = *sizes.last().unwrap();
+    let data = gaussian_mixture(n_big, 2, 4.0, &mut rng);
+    let (_, problem) = SvmProblem::build(&data, SvmConfig::default());
+    let mut right = Vec::new();
+    for cores in [1usize, 2, 4, 8, 12, 16, 20, 25, 28, 32] {
+        let row = cpu_row(&problem, n_big, &cpu, cal_scale, cores);
+        right.push(vec![cores.to_string(), format!("{:.2}", row.speedup)]);
+    }
+    print_table(
+        &format!("Figure 14 (right): SVM — speedup vs cores at N = {n_big}"),
+        &["cores", "speedup"],
+        &right,
+    );
+
+    let row = cpu_row(&problem, n_big, &cpu, cal_scale, 32);
+    let mut hdr = vec!["N"];
+    hdr.extend(KIND_LABELS);
+    let mut r = vec![n_big.to_string()];
+    r.extend(fmt_per_update(&row.per_update));
+    print_table(
+        "Figure 14 (text): per-update 32-core speedups (paper: m hardest 2.6×, z easiest 6.2×)",
+        &hdr,
+        &[r],
+    );
+}

@@ -1,0 +1,104 @@
+//! In-text experiments — transfer accounting and the naive-layout baseline.
+//!
+//! §V-A/B/C report: copying the result `z` back is negligible (0.3 ms for
+//! packing N = 5000, 3 ms for MPC K = 10⁵, 60 ms for SVM), the one-time
+//! graph build+upload can reach 450 s / 13 s / 358 s, and parADMM's flat
+//! layout is "more than 4× faster per iteration" than the tool of
+//! refs \[9\], \[24\]. This binary reproduces all three accountings.
+
+use std::time::Instant;
+
+use paradmm_bench::{measure_serial_s_per_iter, print_table, FigArgs};
+use paradmm_core::naive::NaiveAdmm;
+use paradmm_graph::VarStore;
+use paradmm_gpusim::PcieLink;
+use paradmm_mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
+use paradmm_packing::{PackingConfig, PackingProblem};
+use paradmm_svm::{gaussian_mixture, SvmConfig, SvmProblem};
+use rand::SeedableRng;
+
+fn main() {
+    let args = FigArgs::parse();
+    let link = PcieLink::pcie3_x16();
+    let n_pack = if args.paper_scale { 2000 } else { 500 };
+    let k_mpc = if args.paper_scale { 100_000 } else { 20_000 };
+    let n_svm = if args.paper_scale { 75_000 } else { 20_000 };
+
+    // --- transfer accounting ---
+    let mut rows = Vec::new();
+    {
+        let (_, p) = PackingProblem::build(PackingConfig::new(n_pack));
+        let store = VarStore::zeros(p.graph());
+        rows.push(vec![
+            format!("packing N={n_pack}"),
+            format!("{:.2e}", link.copy_z_back(&store)),
+            format!("{:.1}", link.upload_graph(p.graph(), &store)),
+        ]);
+    }
+    {
+        let (_, p) = MpcProblem::build(MpcConfig::new(k_mpc), paper_plant());
+        let store = VarStore::zeros(p.graph());
+        rows.push(vec![
+            format!("mpc K={k_mpc}"),
+            format!("{:.2e}", link.copy_z_back(&store)),
+            format!("{:.1}", link.upload_graph(p.graph(), &store)),
+        ]);
+        rows.push(vec![
+            "mpc per-cycle state refresh".into(),
+            format!("{:.2e}", link.refresh_state(4)),
+            "-".into(),
+        ]);
+    }
+    {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let data = gaussian_mixture(n_svm, 2, 4.0, &mut rng);
+        let (_, p) = SvmProblem::build(&data, SvmConfig::default());
+        let store = VarStore::zeros(p.graph());
+        rows.push(vec![
+            format!("svm N={n_svm}"),
+            format!("{:.2e}", link.copy_z_back(&store)),
+            format!("{:.1}", link.upload_graph(p.graph(), &store)),
+        ]);
+    }
+    print_table(
+        "Transfer accounting (paper: z-copy negligible; graph upload up to 450 s)",
+        &["problem", "z_copy_s", "graph_upload_s"],
+        &rows,
+    );
+
+    // --- naive-layout baseline (the refs [9],[24] tool proxy) ---
+    let n = if args.paper_scale { 500 } else { 200 };
+    let (_, problem) = PackingProblem::build(PackingConfig::new(n));
+    let flat = measure_serial_s_per_iter(&problem, 0.5);
+
+    let mut naive = NaiveAdmm::new(&problem);
+    let store = VarStore::zeros(problem.graph());
+    naive.load_from(&store);
+    naive.iterate(); // warm-up
+    let mut iters = 4usize;
+    let naive_s = loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            naive.iterate();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= 0.5 || iters >= 1 << 18 {
+            break elapsed / iters as f64;
+        }
+        iters *= 2;
+    };
+    print_table(
+        &format!(
+            "Layout ablation at packing N = {n} (paper: parADMM ≥4× faster per iteration than the refs-9/24 tool)"
+        ),
+        &["engine", "s_per_iter", "relative"],
+        &[
+            vec!["parADMM flat SoA".into(), format!("{flat:.3e}"), "1.00".into()],
+            vec![
+                "naive per-edge allocs".into(),
+                format!("{naive_s:.3e}"),
+                format!("{:.2}", naive_s / flat),
+            ],
+        ],
+    );
+}

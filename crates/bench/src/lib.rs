@@ -1,0 +1,312 @@
+//! Shared harness for the paper-reproduction benchmarks.
+//!
+//! Every figure binary follows the same recipe:
+//!
+//! 1. build the real factor-graph problem at a sweep of sizes,
+//! 2. extract its per-task [`WorkloadProfile`],
+//! 3. price one iteration on the machine models
+//!    ([`SimtDevice::tesla_k40`] / [`CpuModel::opteron_6300`]),
+//! 4. **calibrate** the CPU model against a real measured serial run of
+//!    the actual engine (so the "CPU time" column is anchored to this
+//!    machine, not to guessed constants), and
+//! 5. print the same series the paper plots.
+//!
+//! Run any binary with `--help` for its options. All binaries accept
+//! `--paper-scale` to extend sweeps toward the paper's full sizes (more
+//! memory / time).
+
+use std::time::Instant;
+
+use paradmm_core::{AdmmProblem, Scheduler, UpdateKind, UpdateTimings};
+use paradmm_gpusim::{CpuModel, GpuAdmmEngine, SimtDevice, WorkloadProfile};
+use paradmm_graph::VarStore;
+
+/// One row of a GPU-vs-serial-CPU figure.
+#[derive(Debug, Clone)]
+pub struct GpuRow {
+    /// Problem-size parameter (N circles, K horizon, N data points).
+    pub size: usize,
+    /// Edge count of the built graph.
+    pub edges: usize,
+    /// Modeled (calibrated) serial CPU seconds per iteration.
+    pub cpu_s_per_iter: f64,
+    /// Modeled GPU seconds per iteration.
+    pub gpu_s_per_iter: f64,
+    /// Combined speedup.
+    pub speedup: f64,
+    /// Per-update-kind speedups in x, m, z, u, n order.
+    pub per_update: [f64; 5],
+    /// GPU time fraction per update kind (x, m, z, u, n).
+    pub gpu_fraction: [f64; 5],
+}
+
+/// One row of a multicore figure.
+#[derive(Debug, Clone)]
+pub struct CpuRow {
+    /// Problem-size parameter.
+    pub size: usize,
+    /// Core count.
+    pub cores: usize,
+    /// Modeled seconds per iteration at `cores`.
+    pub s_per_iter: f64,
+    /// Speedup over one core.
+    pub speedup: f64,
+    /// Per-update-kind speedups.
+    pub per_update: [f64; 5],
+    /// Time fraction per update kind at `cores`.
+    pub fraction: [f64; 5],
+}
+
+/// Measures the real engine's serial seconds-per-iteration (used to anchor
+/// the CPU model). Runs enough iterations to cross `min_seconds`.
+pub fn measure_serial_s_per_iter(problem: &AdmmProblem, min_seconds: f64) -> f64 {
+    let mut store = VarStore::zeros(problem.graph());
+    let mut timings = UpdateTimings::new();
+    // Warm-up.
+    Scheduler::Serial.run_block(problem, &mut store, 2, &mut timings, None);
+    let mut iters = 4usize;
+    loop {
+        let mut t = UpdateTimings::new();
+        let start = Instant::now();
+        Scheduler::Serial.run_block(problem, &mut store, iters, &mut t, None);
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_seconds || iters >= 1 << 20 {
+            return elapsed / iters as f64;
+        }
+        iters *= 2;
+    }
+}
+
+/// Calibration result: multiply model CPU times by `scale` to match the
+/// measured engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// measured / modeled serial seconds-per-iteration.
+    pub scale: f64,
+    /// The measured value, for reporting.
+    pub measured_s_per_iter: f64,
+    /// The uncalibrated model value, for reporting.
+    pub modeled_s_per_iter: f64,
+}
+
+/// Calibrates `cpu` against a real serial run of `problem`.
+pub fn calibrate(problem: &AdmmProblem, cpu: &CpuModel, min_seconds: f64) -> Calibration {
+    let profile = WorkloadProfile::from_problem(problem);
+    let modeled = cpu.iteration_time(&profile, 1);
+    let measured = measure_serial_s_per_iter(problem, min_seconds);
+    Calibration { scale: measured / modeled, measured_s_per_iter: measured, modeled_s_per_iter: modeled }
+}
+
+/// Prices `problem` on the GPU model vs the (calibrated) serial CPU model.
+pub fn gpu_row(
+    problem: &AdmmProblem,
+    size: usize,
+    device: &SimtDevice,
+    cpu: &CpuModel,
+    cal_scale: f64,
+    tune: bool,
+) -> GpuRow {
+    let profile = WorkloadProfile::from_problem(problem);
+    let edges = problem.graph().num_edges();
+    let cpu_total = cpu.iteration_time(&profile, 1) * cal_scale;
+
+    // Kernel times at ntb = 32 (the paper's default) or tuned per kernel.
+    let mut gpu_seconds = [0.0f64; 5];
+    for (i, sweep) in profile.sweeps.iter().enumerate() {
+        let ntb = if tune { device.tune_ntb(&sweep.tasks) } else { 32 };
+        gpu_seconds[i] = device.kernel_time(&sweep.tasks, ntb).seconds;
+    }
+    let gpu_total: f64 = gpu_seconds.iter().sum();
+
+    let mut per_update = [0.0f64; 5];
+    let mut gpu_fraction = [0.0f64; 5];
+    for (i, sweep) in profile.sweeps.iter().enumerate() {
+        let cpu_sweep = cpu.sweep_time(sweep, 1) * cal_scale;
+        per_update[i] = cpu_sweep / gpu_seconds[i];
+        gpu_fraction[i] = gpu_seconds[i] / gpu_total;
+    }
+
+    GpuRow {
+        size,
+        edges,
+        cpu_s_per_iter: cpu_total,
+        gpu_s_per_iter: gpu_total,
+        speedup: cpu_total / gpu_total,
+        per_update,
+        gpu_fraction,
+    }
+}
+
+/// Prices `problem` on the multicore model at `cores`.
+pub fn cpu_row(
+    problem: &AdmmProblem,
+    size: usize,
+    cpu: &CpuModel,
+    cal_scale: f64,
+    cores: usize,
+) -> CpuRow {
+    let profile = WorkloadProfile::from_problem(problem);
+    let t1 = cpu.iteration_time(&profile, 1) * cal_scale;
+    let tp = cpu.iteration_time(&profile, cores) * cal_scale;
+    let mut per_update = [0.0f64; 5];
+    let mut fraction = [0.0f64; 5];
+    for (i, sweep) in profile.sweeps.iter().enumerate() {
+        per_update[i] = cpu.sweep_time(sweep, 1) / cpu.sweep_time(sweep, cores);
+        fraction[i] = cpu.sweep_time(sweep, cores) * cal_scale / tp;
+    }
+    CpuRow { size, cores, s_per_iter: tp, speedup: t1 / tp, per_update, fraction }
+}
+
+/// Builds a GPU engine with tuned ntb, for experiments that need one.
+pub fn tuned_engine(problem: AdmmProblem, device: SimtDevice) -> GpuAdmmEngine {
+    let mut engine = GpuAdmmEngine::new(problem, device);
+    engine.tune_ntb();
+    engine
+}
+
+/// Prints a header + aligned CSV-ish rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}");
+    println!("{}", header.join(","));
+    for row in rows {
+        println!("{}", row.join(","));
+    }
+}
+
+/// Formats the five per-update values as strings.
+pub fn fmt_per_update(values: &[f64; 5]) -> Vec<String> {
+    values.iter().map(|v| format!("{v:.2}")).collect()
+}
+
+/// Formats seconds with sensible precision.
+pub fn fmt_s(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// Common CLI flags for the figure binaries.
+#[derive(Debug, Clone)]
+pub struct FigArgs {
+    /// Extend sweeps toward the paper's full problem sizes.
+    pub paper_scale: bool,
+    /// Auto-tune ntb per kernel instead of the default 32.
+    pub tune: bool,
+    /// Anchor the CPU model to a measured serial run on *this* host
+    /// instead of the paper's 2.8 GHz Opteron model. Off by default: the
+    /// paper's speedups are relative to its own Opteron baseline, so the
+    /// unscaled model is the faithful denominator; `--calibrate` answers
+    /// "what would the K40 buy over *my* CPU".
+    pub calibrate: bool,
+}
+
+impl FigArgs {
+    /// Parses `--paper-scale` / `--tune` / `--calibrate` from
+    /// `std::env::args`.
+    pub fn parse() -> Self {
+        let mut a = FigArgs { paper_scale: false, tune: false, calibrate: false };
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--paper-scale" => a.paper_scale = true,
+                "--tune" => a.tune = true,
+                "--calibrate" => a.calibrate = true,
+                "--help" | "-h" => {
+                    println!(
+                        "flags: --paper-scale (full paper problem sizes), --tune (auto-tune ntb), --calibrate (anchor CPU model to this host)"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        a
+    }
+
+    /// Calibration scale per the `--calibrate` flag: measures the real
+    /// engine when requested, otherwise 1.0 (pure Opteron model).
+    pub fn cal_scale(&self, problem: &AdmmProblem, cpu: &CpuModel) -> f64 {
+        if self.calibrate {
+            let cal = calibrate(problem, cpu, 0.2);
+            println!(
+                "# calibration: measured {:.3e} s/iter vs modeled {:.3e} (scale {:.3})",
+                cal.measured_s_per_iter, cal.modeled_s_per_iter, cal.scale
+            );
+            cal.scale
+        } else {
+            let cal = calibrate(problem, cpu, 0.05);
+            println!(
+                "# CPU denominator: Opteron 6300 model (this host measured {:.3e} s/iter vs model {:.3e}; pass --calibrate to anchor to host)",
+                cal.measured_s_per_iter, cal.modeled_s_per_iter
+            );
+            1.0
+        }
+    }
+}
+
+/// Names of the five update kinds in order, for table headers.
+pub const KIND_LABELS: [&str; 5] = ["x", "m", "z", "u", "n"];
+
+/// Returns all five kinds in order.
+pub fn kinds() -> [UpdateKind; 5] {
+    UpdateKind::ALL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradmm_graph::GraphBuilder;
+    use paradmm_prox::{ProxOp, QuadraticProx};
+
+    fn tiny_problem(n: usize) -> AdmmProblem {
+        let mut b = GraphBuilder::new(1);
+        let mut proxes: Vec<Box<dyn ProxOp>> = Vec::new();
+        for _ in 0..n {
+            let v = b.add_var();
+            b.add_factor(&[v]);
+            proxes.push(Box::new(QuadraticProx::isotropic(1, 1.0, &[1.0])));
+        }
+        AdmmProblem::new(b.build(), proxes, 1.0, 1.0)
+    }
+
+    #[test]
+    fn measurement_returns_positive_time() {
+        let p = tiny_problem(100);
+        let s = measure_serial_s_per_iter(&p, 0.01);
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn calibration_scale_positive() {
+        let p = tiny_problem(500);
+        let cal = calibrate(&p, &CpuModel::opteron_6300(), 0.01);
+        assert!(cal.scale > 0.0);
+        assert!(cal.measured_s_per_iter > 0.0);
+        assert!(cal.modeled_s_per_iter > 0.0);
+    }
+
+    #[test]
+    fn gpu_row_fields_consistent() {
+        let p = tiny_problem(2000);
+        let row = gpu_row(
+            &p,
+            2000,
+            &SimtDevice::tesla_k40(),
+            &CpuModel::opteron_6300(),
+            1.0,
+            false,
+        );
+        assert_eq!(row.size, 2000);
+        assert_eq!(row.edges, 2000);
+        assert!(row.speedup > 0.0);
+        let fsum: f64 = row.gpu_fraction.iter().sum();
+        assert!((fsum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_row_single_core_speedup_is_one() {
+        let p = tiny_problem(1000);
+        let row = cpu_row(&p, 1000, &CpuModel::opteron_6300(), 1.0, 1);
+        assert!((row.speedup - 1.0).abs() < 1e-12);
+    }
+}

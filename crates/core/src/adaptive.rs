@@ -1,0 +1,128 @@
+//! Residual-balancing adaptive penalty (Boyd et al. §3.4.1).
+//!
+//! The paper keeps `ρ` constant "in classical implementations" but notes
+//! improved update schemes exist and that parADMM can implement them. This
+//! module provides the standard residual-balancing rule: grow `ρ` when the
+//! primal residual dominates, shrink it when the dual residual dominates,
+//! and rescale the scaled duals `u` to keep `ρ·u` (the unscaled dual)
+//! invariant.
+
+use paradmm_graph::VarStore;
+
+use crate::problem::AdmmProblem;
+use crate::residuals::Residuals;
+
+/// Residual-balancing controller.
+#[derive(Debug, Clone, Copy)]
+pub struct ResidualBalancing {
+    /// Imbalance threshold μ (Boyd suggests 10).
+    pub mu: f64,
+    /// Multiplicative adjustment τ (Boyd suggests 2).
+    pub tau: f64,
+    /// Clamp on total accumulated scaling, to keep ρ finite.
+    pub max_total_scale: f64,
+}
+
+impl Default for ResidualBalancing {
+    fn default() -> Self {
+        ResidualBalancing { mu: 10.0, tau: 2.0, max_total_scale: 1e6 }
+    }
+}
+
+impl ResidualBalancing {
+    /// Applies one adaptation step. Returns the factor `ρ` was scaled by
+    /// (1.0 if unchanged).
+    pub fn adapt(
+        &self,
+        problem: &mut AdmmProblem,
+        store: &mut VarStore,
+        residuals: &Residuals,
+        accumulated_scale: &mut f64,
+    ) -> f64 {
+        let factor = if residuals.primal > self.mu * residuals.dual {
+            self.tau
+        } else if residuals.dual > self.mu * residuals.primal {
+            1.0 / self.tau
+        } else {
+            return 1.0;
+        };
+        let next = *accumulated_scale * factor;
+        if !(1.0 / self.max_total_scale..=self.max_total_scale).contains(&next) {
+            return 1.0;
+        }
+        *accumulated_scale = next;
+        problem.params_mut().scale_rho(factor);
+        // Keep the unscaled dual ρ·u invariant: u ← u / factor.
+        let inv = 1.0 / factor;
+        for v in &mut store.u {
+            *v *= inv;
+        }
+        factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradmm_graph::{EdgeId, GraphBuilder, VarStore};
+    use paradmm_prox::{ProxOp, ZeroProx};
+
+    fn problem() -> AdmmProblem {
+        let mut b = GraphBuilder::new(1);
+        let v = b.add_var();
+        b.add_factor(&[v]);
+        let proxes: Vec<Box<dyn ProxOp>> = vec![Box::new(ZeroProx)];
+        AdmmProblem::new(b.build(), proxes, 1.0, 1.0)
+    }
+
+    fn resid(primal: f64, dual: f64) -> Residuals {
+        Residuals { primal, dual, x_norm: 1.0, z_norm: 1.0, u_norm: 1.0 }
+    }
+
+    #[test]
+    fn grows_rho_when_primal_dominates() {
+        let mut p = problem();
+        let mut s = VarStore::zeros(p.graph());
+        s.u[0] = 4.0;
+        let mut acc = 1.0;
+        let f = ResidualBalancing::default().adapt(&mut p, &mut s, &resid(100.0, 1.0), &mut acc);
+        assert_eq!(f, 2.0);
+        assert_eq!(p.params().rho(EdgeId(0)), 2.0);
+        assert_eq!(s.u[0], 2.0); // rescaled to keep ρ·u fixed
+    }
+
+    #[test]
+    fn shrinks_rho_when_dual_dominates() {
+        let mut p = problem();
+        let mut s = VarStore::zeros(p.graph());
+        s.u[0] = 4.0;
+        let mut acc = 1.0;
+        let f = ResidualBalancing::default().adapt(&mut p, &mut s, &resid(1.0, 100.0), &mut acc);
+        assert_eq!(f, 0.5);
+        assert_eq!(p.params().rho(EdgeId(0)), 0.5);
+        assert_eq!(s.u[0], 8.0);
+    }
+
+    #[test]
+    fn balanced_residuals_leave_rho_alone() {
+        let mut p = problem();
+        let mut s = VarStore::zeros(p.graph());
+        let mut acc = 1.0;
+        let f = ResidualBalancing::default().adapt(&mut p, &mut s, &resid(3.0, 2.0), &mut acc);
+        assert_eq!(f, 1.0);
+        assert_eq!(p.params().rho(EdgeId(0)), 1.0);
+    }
+
+    #[test]
+    fn scale_clamped() {
+        let mut p = problem();
+        let mut s = VarStore::zeros(p.graph());
+        let rb = ResidualBalancing { mu: 10.0, tau: 2.0, max_total_scale: 4.0 };
+        let mut acc = 1.0;
+        for _ in 0..10 {
+            rb.adapt(&mut p, &mut s, &resid(1e9, 1.0), &mut acc);
+        }
+        assert!(acc <= 4.0);
+        assert!(p.params().rho(EdgeId(0)) <= 4.0 + 1e-12);
+    }
+}

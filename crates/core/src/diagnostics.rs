@@ -1,0 +1,136 @@
+//! Convergence tracing: record residuals and objective estimates per
+//! check-point, export as CSV.
+//!
+//! The paper's experiments run "for the same number of iterations" and
+//! separately verify convergence; this module provides the verification
+//! half for downstream users — a ring of residual samples a monitoring
+//! loop can inspect or dump.
+
+use paradmm_graph::VarStore;
+
+use crate::problem::AdmmProblem;
+use crate::residuals::Residuals;
+
+/// One trace sample.
+#[derive(Debug, Clone, Copy)]
+pub struct TracePoint {
+    /// Iteration count at which the sample was taken.
+    pub iteration: usize,
+    /// Residuals at that point.
+    pub residuals: Residuals,
+}
+
+/// A growing record of convergence samples.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    points: Vec<TracePoint>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Samples the current state.
+    pub fn record(&mut self, iteration: usize, problem: &AdmmProblem, store: &VarStore) {
+        let residuals = Residuals::compute(problem.graph(), problem.params(), store);
+        self.points.push(TracePoint { iteration, residuals });
+    }
+
+    /// All samples, in recording order.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Latest sample.
+    pub fn last(&self) -> Option<&TracePoint> {
+        self.points.last()
+    }
+
+    /// Whether the combined residual is (weakly) decreasing over the last
+    /// `window` samples — a cheap stall detector.
+    pub fn is_improving(&self, window: usize) -> bool {
+        if self.points.len() < window.max(2) {
+            return true;
+        }
+        let tail = &self.points[self.points.len() - window..];
+        let first = tail.first().map(|p| p.residuals.primal + p.residuals.dual).unwrap();
+        let last = tail.last().map(|p| p.residuals.primal + p.residuals.dual).unwrap();
+        last <= first
+    }
+
+    /// Renders the trace as CSV (`iteration,primal,dual,x_norm,z_norm,u_norm`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("iteration,primal,dual,x_norm,z_norm,u_norm\n");
+        for p in &self.points {
+            let r = &p.residuals;
+            out.push_str(&format!(
+                "{},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e}\n",
+                p.iteration, r.primal, r.dual, r.x_norm, r.z_norm, r.u_norm
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Scheduler;
+    use crate::timing::UpdateTimings;
+    use paradmm_graph::GraphBuilder;
+    use paradmm_prox::{ProxOp, QuadraticProx};
+
+    fn problem() -> AdmmProblem {
+        let mut b = GraphBuilder::new(1);
+        let v = b.add_var();
+        b.add_factor(&[v]);
+        b.add_factor(&[v]);
+        let proxes: Vec<Box<dyn ProxOp>> = vec![
+            Box::new(QuadraticProx::isotropic(1, 1.0, &[0.0])),
+            Box::new(QuadraticProx::isotropic(1, 1.0, &[4.0])),
+        ];
+        AdmmProblem::new(b.build(), proxes, 1.0, 1.0)
+    }
+
+    #[test]
+    fn records_and_reports() {
+        let p = problem();
+        let mut store = paradmm_graph::VarStore::zeros(p.graph());
+        let mut trace = Trace::new();
+        let mut t = UpdateTimings::new();
+        let mut done = 0;
+        for _ in 0..10 {
+            Scheduler::Serial.run_block(&p, &mut store, 20, &mut t, None);
+            done += 20;
+            trace.record(done, &p, &store);
+        }
+        assert_eq!(trace.points().len(), 10);
+        assert_eq!(trace.last().unwrap().iteration, 200);
+        // Converging problem → residuals improve over the tail.
+        assert!(trace.is_improving(5));
+        let first = trace.points()[0].residuals.primal + trace.points()[0].residuals.dual;
+        let last = trace.last().unwrap().residuals.primal + trace.last().unwrap().residuals.dual;
+        assert!(last < first);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let p = problem();
+        let store = paradmm_graph::VarStore::zeros(p.graph());
+        let mut trace = Trace::new();
+        trace.record(0, &p, &store);
+        let csv = trace.to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("iteration,primal"));
+        assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn short_trace_counts_as_improving() {
+        let trace = Trace::new();
+        assert!(trace.is_improving(5));
+    }
+}

@@ -1,0 +1,381 @@
+//! The five update kernels of Algorithm 2, expressed over index ranges.
+//!
+//! Every kernel is written as a *range* function so the same code drives
+//! all three schedulers: the serial baseline passes the full range, the
+//! barrier scheduler passes each worker's static partition, and the rayon
+//! scheduler maps the per-element bodies over parallel chunk iterators.
+
+use paradmm_graph::{EdgeParams, FactorGraph, FactorId, VarId};
+use paradmm_prox::{ProxCtx, ProxOp};
+
+/// The five kinds of sweep in one ADMM iteration, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateKind {
+    /// Proximal-operator sweep over factors.
+    X,
+    /// `m = x + u` sweep over edges.
+    M,
+    /// Weighted-average sweep over variable nodes.
+    Z,
+    /// Dual-ascent sweep over edges.
+    U,
+    /// `n = z − u` sweep over edges.
+    N,
+}
+
+impl UpdateKind {
+    /// All kinds in execution order.
+    pub const ALL: [UpdateKind; 5] = [
+        UpdateKind::X,
+        UpdateKind::M,
+        UpdateKind::Z,
+        UpdateKind::U,
+        UpdateKind::N,
+    ];
+
+    /// Index 0..5 in execution order.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            UpdateKind::X => 0,
+            UpdateKind::M => 1,
+            UpdateKind::Z => 2,
+            UpdateKind::U => 3,
+            UpdateKind::N => 4,
+        }
+    }
+
+    /// Short lowercase label matching the paper's figures ("x-update", …).
+    pub fn label(self) -> &'static str {
+        match self {
+            UpdateKind::X => "x",
+            UpdateKind::M => "m",
+            UpdateKind::Z => "z",
+            UpdateKind::U => "u",
+            UpdateKind::N => "n",
+        }
+    }
+}
+
+/// Runs the proximal operator of one factor: reads the factor's contiguous
+/// block of `n_all`, writes its block of `x_factor` (which must be exactly
+/// that factor's slice of the global x array).
+#[inline]
+pub fn x_update_factor(
+    graph: &FactorGraph,
+    prox: &dyn ProxOp,
+    params: &EdgeParams,
+    n_all: &[f64],
+    x_factor: &mut [f64],
+    a: FactorId,
+) {
+    let d = graph.dims();
+    let er = graph.factor_edge_range(a);
+    let n = &n_all[er.start * d..er.end * d];
+    let rho = &params.rho[er];
+    debug_assert_eq!(x_factor.len(), n.len());
+    let mut ctx = ProxCtx::new(n, rho, x_factor, d);
+    prox.prox(&mut ctx);
+}
+
+/// x-update over a contiguous factor range `[a_lo, a_hi)`; `x_all` is the
+/// full global x array.
+pub fn x_update_range(
+    graph: &FactorGraph,
+    proxes: &[Box<dyn ProxOp>],
+    params: &EdgeParams,
+    n_all: &[f64],
+    x_all: &mut [f64],
+    a_lo: usize,
+    a_hi: usize,
+) {
+    let d = graph.dims();
+    for a in a_lo..a_hi {
+        let fa = FactorId::from_usize(a);
+        let er = graph.factor_edge_range(fa);
+        let x_factor = &mut x_all[er.start * d..er.end * d];
+        x_update_factor(graph, &*proxes[a], params, n_all, x_factor, fa);
+    }
+}
+
+/// m-update over flat component range `[lo, hi)`: `m = x + u`.
+#[inline]
+pub fn m_update_range(x: &[f64], u: &[f64], m: &mut [f64], lo: usize, hi: usize) {
+    for j in lo..hi {
+        m[j] = x[j] + u[j];
+    }
+}
+
+/// z-update body for a single variable node `b`:
+/// `z_b = Σ_{e∈∂b} ρ_e m_e / Σ_{e∈∂b} ρ_e`, written into `z_b_out` (that
+/// variable's `dims`-slice of the global z array). Variables of degree 0
+/// are left unchanged (no information flows to them).
+#[inline]
+pub fn z_update_var(
+    graph: &FactorGraph,
+    params: &EdgeParams,
+    m_all: &[f64],
+    z_b_out: &mut [f64],
+    b: VarId,
+) {
+    let d = graph.dims();
+    let edges = graph.var_edges(b);
+    if edges.is_empty() {
+        return;
+    }
+    let mut rho_sum = 0.0;
+    z_b_out.fill(0.0);
+    for &e in edges {
+        let rho = params.rho(e);
+        rho_sum += rho;
+        let me = &m_all[e.idx() * d..(e.idx() + 1) * d];
+        for c in 0..d {
+            z_b_out[c] += rho * me[c];
+        }
+    }
+    let inv = 1.0 / rho_sum;
+    for c in 0..d {
+        z_b_out[c] *= inv;
+    }
+}
+
+/// z-update over a contiguous variable range `[b_lo, b_hi)`; `z_all` is the
+/// full global z array.
+pub fn z_update_range(
+    graph: &FactorGraph,
+    params: &EdgeParams,
+    m_all: &[f64],
+    z_all: &mut [f64],
+    b_lo: usize,
+    b_hi: usize,
+) {
+    let d = graph.dims();
+    for b in b_lo..b_hi {
+        let zb = &mut z_all[b * d..(b + 1) * d];
+        z_update_var(graph, params, m_all, zb, VarId::from_usize(b));
+    }
+}
+
+/// u-update body for a single edge `e`:
+/// `u_e ← u_e + α_e (x_e − z_{var(e)})`, written into `u_e_out`.
+#[inline]
+pub fn u_update_edge(
+    graph: &FactorGraph,
+    params: &EdgeParams,
+    x_all: &[f64],
+    z_all: &[f64],
+    u_e_out: &mut [f64],
+    e: paradmm_graph::EdgeId,
+) {
+    let d = graph.dims();
+    let alpha = params.alpha(e);
+    let b = graph.edge_var(e);
+    let xe = &x_all[e.idx() * d..(e.idx() + 1) * d];
+    let zb = &z_all[b.idx() * d..(b.idx() + 1) * d];
+    for c in 0..d {
+        u_e_out[c] += alpha * (xe[c] - zb[c]);
+    }
+}
+
+/// u-update over a contiguous edge range `[e_lo, e_hi)`.
+pub fn u_update_range(
+    graph: &FactorGraph,
+    params: &EdgeParams,
+    x_all: &[f64],
+    z_all: &[f64],
+    u_all: &mut [f64],
+    e_lo: usize,
+    e_hi: usize,
+) {
+    let d = graph.dims();
+    for e in e_lo..e_hi {
+        let ue = &mut u_all[e * d..(e + 1) * d];
+        u_update_edge(graph, params, x_all, z_all, ue, paradmm_graph::EdgeId::from_usize(e));
+    }
+}
+
+/// n-update body for a single edge `e`: `n_e = z_{var(e)} − u_e`.
+#[inline]
+pub fn n_update_edge(
+    graph: &FactorGraph,
+    z_all: &[f64],
+    u_all: &[f64],
+    n_e_out: &mut [f64],
+    e: paradmm_graph::EdgeId,
+) {
+    let d = graph.dims();
+    let b = graph.edge_var(e);
+    let zb = &z_all[b.idx() * d..(b.idx() + 1) * d];
+    let ue = &u_all[e.idx() * d..(e.idx() + 1) * d];
+    for c in 0..d {
+        n_e_out[c] = zb[c] - ue[c];
+    }
+}
+
+/// n-update over a contiguous edge range `[e_lo, e_hi)`.
+pub fn n_update_range(
+    graph: &FactorGraph,
+    z_all: &[f64],
+    u_all: &[f64],
+    n_all: &mut [f64],
+    e_lo: usize,
+    e_hi: usize,
+) {
+    let d = graph.dims();
+    for e in e_lo..e_hi {
+        let ne = &mut n_all[e * d..(e + 1) * d];
+        n_update_edge(graph, z_all, u_all, ne, paradmm_graph::EdgeId::from_usize(e));
+    }
+}
+
+/// Splits `data` (the global x array) into one mutable slice per factor,
+/// in factor order. The slices partition `data` exactly because factor
+/// edge ranges are contiguous and cover all edges.
+pub fn split_factor_blocks<'a>(graph: &FactorGraph, mut data: &'a mut [f64]) -> Vec<&'a mut [f64]> {
+    let d = graph.dims();
+    let mut out = Vec::with_capacity(graph.num_factors());
+    for a in graph.factors() {
+        let len = graph.factor_degree(a) * d;
+        let (head, tail) = data.split_at_mut(len);
+        out.push(head);
+        data = tail;
+    }
+    debug_assert!(data.is_empty());
+    out
+}
+
+/// Evenly partitions `n_items` across `n_parts`, mirroring the paper's
+/// `AssignThreads`: part `i` gets `[i·n/p, (i+1)·n/p)`, the last part
+/// absorbing the remainder.
+#[inline]
+pub fn assign_range(n_items: usize, part: usize, n_parts: usize) -> (usize, usize) {
+    let lo = part * n_items / n_parts;
+    let hi = if part == n_parts - 1 { n_items } else { (part + 1) * n_items / n_parts };
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradmm_graph::{GraphBuilder, VarStore};
+    use paradmm_prox::ZeroProx;
+
+    fn chain(dims: usize) -> (FactorGraph, EdgeParams) {
+        // v0 -f0- v1 -f1- v2, factors of degree 2.
+        let mut b = GraphBuilder::new(dims);
+        let vs = b.add_vars(3);
+        b.add_factor(&[vs[0], vs[1]]);
+        b.add_factor(&[vs[1], vs[2]]);
+        let g = b.build();
+        let p = EdgeParams::uniform(&g, 1.0, 1.0);
+        (g, p)
+    }
+
+    #[test]
+    fn update_kind_ordering() {
+        assert_eq!(UpdateKind::ALL[0].index(), 0);
+        assert_eq!(UpdateKind::ALL[4].label(), "n");
+    }
+
+    #[test]
+    fn m_update_adds() {
+        let x = [1.0, 2.0];
+        let u = [10.0, 20.0];
+        let mut m = [0.0; 2];
+        m_update_range(&x, &u, &mut m, 0, 2);
+        assert_eq!(m, [11.0, 22.0]);
+    }
+
+    #[test]
+    fn z_update_weighted_average() {
+        let (g, mut p) = chain(1);
+        // Variable 1 touches edges 1 (factor 0) and 2 (factor 1).
+        p.rho = vec![1.0, 2.0, 3.0, 1.0];
+        let m = [0.0, 6.0, 12.0, 0.0];
+        let mut z = [0.0; 3];
+        z_update_range(&g, &p, &m, &mut z, 0, 3);
+        // z1 = (2·6 + 3·12)/(2+3) = 48/5
+        assert!((z[1] - 9.6).abs() < 1e-12);
+        // z0 from edge 0 alone, z2 from edge 3 alone.
+        assert_eq!(z[0], 0.0);
+        assert_eq!(z[2], 0.0);
+    }
+
+    #[test]
+    fn z_update_skips_isolated_var() {
+        let mut b = GraphBuilder::new(1);
+        let v0 = b.add_var();
+        let _iso = b.add_var();
+        b.add_factor(&[v0]);
+        let g = b.build();
+        let p = EdgeParams::uniform(&g, 1.0, 1.0);
+        let m = [5.0];
+        let mut z = [0.0, 7.0];
+        z_update_range(&g, &p, &m, &mut z, 0, 2);
+        assert_eq!(z, [5.0, 7.0]); // isolated var untouched
+    }
+
+    #[test]
+    fn u_update_accumulates_scaled_residual() {
+        let (g, mut p) = chain(1);
+        p.alpha = vec![0.5; 4];
+        let x = [2.0, 0.0, 0.0, 0.0];
+        let z = [1.0, 0.0, 0.0];
+        let mut u = [1.0, 0.0, 0.0, 0.0];
+        u_update_range(&g, &p, &x, &z, &mut u, 0, 4);
+        // edge 0 targets var 0: u += 0.5·(2−1) = 1.5
+        assert!((u[0] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn n_update_is_z_minus_u() {
+        let (g, _) = chain(1);
+        let z = [1.0, 2.0, 3.0];
+        let u = [0.5, 0.5, 0.5, 0.5];
+        let mut n = [0.0; 4];
+        n_update_range(&g, &z, &u, &mut n, 0, 4);
+        // edges target vars 0,1,1,2.
+        assert_eq!(n, [0.5, 1.5, 1.5, 2.5]);
+    }
+
+    #[test]
+    fn x_update_runs_prox_per_factor() {
+        let (g, p) = chain(2);
+        let mut store = VarStore::zeros(&g);
+        for (i, v) in store.n.iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        let proxes: Vec<Box<dyn ProxOp>> = vec![Box::new(ZeroProx), Box::new(ZeroProx)];
+        let n_snapshot = store.n.clone();
+        x_update_range(&g, &proxes, &p, &n_snapshot, &mut store.x, 0, 2);
+        assert_eq!(store.x, store.n); // ZeroProx copies n into x
+    }
+
+    #[test]
+    fn split_factor_blocks_partitions() {
+        let (g, _) = chain(3);
+        let mut data = vec![0.0; g.num_edges() * 3];
+        let blocks = split_factor_blocks(&g, &mut data);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].len(), 6);
+        assert_eq!(blocks[1].len(), 6);
+    }
+
+    #[test]
+    fn assign_range_covers_exactly() {
+        for n in [0usize, 1, 7, 100] {
+            for p in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                let mut prev_hi = 0;
+                for i in 0..p {
+                    let (lo, hi) = assign_range(n, i, p);
+                    assert_eq!(lo, prev_hi);
+                    covered += hi - lo;
+                    prev_hi = hi;
+                }
+                assert_eq!(covered, n, "n={n} p={p}");
+                assert_eq!(prev_hi, n);
+            }
+        }
+    }
+}

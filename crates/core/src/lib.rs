@@ -1,0 +1,51 @@
+//! The message-passing ADMM engine (the paper's Algorithm 2).
+//!
+//! Each iteration performs five sweeps over the factor graph, every one of
+//! them embarrassingly parallel:
+//!
+//! ```text
+//! for a ∈ F:      x(a,∂a) ← Prox_{f_a, ρ(a,·)}(n(a,·))      // x-update
+//! for (a,b) ∈ E:  m(a,b) ← x(a,b) + u(a,b)                  // m-update
+//! for b ∈ V:      z_b ← Σ_{a∈∂b} ρ(a,b) m(a,b) / Σ ρ(a,b)   // z-update
+//! for (a,b) ∈ E:  u(a,b) ← u(a,b) + α(a,b)(x(a,b) − z_b)    // u-update
+//! for (a,b) ∈ E:  n(a,b) ← z_b − u(a,b)                     // n-update
+//! ```
+//!
+//! The engine assigns each graph element to one task; the [`Scheduler`]
+//! decides how tasks map onto hardware:
+//!
+//! * [`Scheduler::Serial`] — the optimized single-core baseline the paper
+//!   measures speedups against,
+//! * [`Scheduler::Rayon`] — five parallel loops per iteration (the paper's
+//!   faster OpenMP approach #1),
+//! * [`Scheduler::Barrier`] — persistent workers with barrier
+//!   synchronization between update kinds (OpenMP approach #2, implemented
+//!   to reproduce the paper's finding that it is slower).
+//!
+//! Users write only serial proximal operators ([`paradmm_prox::ProxOp`]);
+//! no parallel code is ever required — the paper's headline usability
+//! claim.
+
+pub mod adaptive;
+pub mod asynchronous;
+pub mod diagnostics;
+pub mod kernels;
+pub mod naive;
+pub mod problem;
+pub mod residuals;
+pub mod scheduler;
+pub mod solver;
+pub mod timing;
+pub mod twa;
+
+pub use adaptive::ResidualBalancing;
+pub use asynchronous::run_async;
+pub use diagnostics::{Trace, TracePoint};
+pub use kernels::UpdateKind;
+pub use paradmm_prox::{ProxCtx, ProxOp};
+pub use problem::AdmmProblem;
+pub use residuals::{Residuals, StoppingCriteria};
+pub use scheduler::Scheduler;
+pub use solver::{Solver, SolverOptions, SolverReport, StopReason};
+pub use timing::UpdateTimings;
+pub use twa::{TwaWeights, WeightClass};

@@ -1,0 +1,124 @@
+//! A factor graph paired with one proximal operator per factor.
+
+use paradmm_graph::{EdgeParams, FactorGraph, FactorId};
+use paradmm_prox::ProxOp;
+
+/// The fully-specified optimization problem the engine iterates on:
+/// topology, per-factor proximal operators, and per-edge `ρ/α` parameters.
+///
+/// This is the Rust analogue of the paper's `Cpu_graph` after all
+/// `addNode(...)` calls and `initialize_RHOS_APHAS(...)`.
+pub struct AdmmProblem {
+    graph: FactorGraph,
+    proxes: Vec<Box<dyn ProxOp>>,
+    params: EdgeParams,
+}
+
+impl AdmmProblem {
+    /// Pairs a graph with its operators and uniform parameters.
+    ///
+    /// # Panics
+    /// If the number of operators differs from the number of factors.
+    pub fn new(graph: FactorGraph, proxes: Vec<Box<dyn ProxOp>>, rho: f64, alpha: f64) -> Self {
+        assert_eq!(
+            proxes.len(),
+            graph.num_factors(),
+            "need exactly one proximal operator per factor"
+        );
+        let params = EdgeParams::uniform(&graph, rho, alpha);
+        AdmmProblem { graph, proxes, params }
+    }
+
+    /// Pairs a graph with operators and explicit per-edge parameters.
+    pub fn with_params(
+        graph: FactorGraph,
+        proxes: Vec<Box<dyn ProxOp>>,
+        params: EdgeParams,
+    ) -> Self {
+        assert_eq!(proxes.len(), graph.num_factors());
+        params.validate(&graph).expect("invalid edge parameters");
+        AdmmProblem { graph, proxes, params }
+    }
+
+    /// The topology.
+    #[inline]
+    pub fn graph(&self) -> &FactorGraph {
+        &self.graph
+    }
+
+    /// The proximal operator of factor `a`.
+    #[inline]
+    pub fn prox(&self, a: FactorId) -> &dyn ProxOp {
+        &*self.proxes[a.idx()]
+    }
+
+    /// All proximal operators, factor-indexed.
+    #[inline]
+    pub fn proxes(&self) -> &[Box<dyn ProxOp>] {
+        &self.proxes
+    }
+
+    /// The edge parameters.
+    #[inline]
+    pub fn params(&self) -> &EdgeParams {
+        &self.params
+    }
+
+    /// Mutable edge parameters (adaptive-ρ schemes).
+    #[inline]
+    pub fn params_mut(&mut self) -> &mut EdgeParams {
+        &mut self.params
+    }
+
+    /// Replaces the proximal operator of factor `a` — the paper's
+    /// real-time MPC path ("we only need to update the value in the GPU
+    /// of the current state of the system"): constants baked into an
+    /// operator, like the initial-condition target, can be refreshed
+    /// without rebuilding the graph.
+    pub fn set_prox(&mut self, a: FactorId, prox: Box<dyn ProxOp>) {
+        self.proxes[a.idx()] = prox;
+    }
+
+    /// Decomposes into parts (used by the GPU simulator, which re-wraps the
+    /// problem with device-side bookkeeping).
+    pub fn into_parts(self) -> (FactorGraph, Vec<Box<dyn ProxOp>>, EdgeParams) {
+        (self.graph, self.proxes, self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradmm_graph::GraphBuilder;
+    use paradmm_prox::ZeroProx;
+
+    fn tiny() -> FactorGraph {
+        let mut b = GraphBuilder::new(1);
+        let v = b.add_var();
+        b.add_factor(&[v]);
+        b.build()
+    }
+
+    #[test]
+    fn construction_checks_operator_count() {
+        let g = tiny();
+        let p = AdmmProblem::new(g, vec![Box::new(ZeroProx)], 1.0, 1.0);
+        assert_eq!(p.graph().num_factors(), 1);
+        assert_eq!(p.prox(paradmm_graph::FactorId(0)).name(), "zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "one proximal operator per factor")]
+    fn wrong_operator_count_panics() {
+        let g = tiny();
+        let _ = AdmmProblem::new(g, vec![], 1.0, 1.0);
+    }
+
+    #[test]
+    fn with_params_validates() {
+        let g = tiny();
+        let params = EdgeParams::uniform(&g, 2.0, 0.5);
+        let p = AdmmProblem::with_params(g, vec![Box::new(ZeroProx)], params);
+        assert_eq!(p.params().rho(paradmm_graph::EdgeId(0)), 2.0);
+    }
+}

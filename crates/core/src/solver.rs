@@ -1,0 +1,346 @@
+//! High-level driver: iterate Algorithm 2 until convergence or budget.
+
+use std::time::{Duration, Instant};
+
+use paradmm_graph::{FactorGraph, VarStore};
+use paradmm_prox::ProxOp;
+
+use crate::problem::AdmmProblem;
+use crate::residuals::{Residuals, StoppingCriteria};
+use crate::scheduler::Scheduler;
+use crate::timing::UpdateTimings;
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverOptions {
+    /// Execution strategy for the five sweeps.
+    pub scheduler: Scheduler,
+    /// Uniform penalty weight ρ (ignored by
+    /// [`Solver::from_problem`], which takes parameters from the problem).
+    pub rho: f64,
+    /// Uniform dual step α.
+    pub alpha: f64,
+    /// Convergence / budget policy.
+    pub stopping: StoppingCriteria,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            scheduler: Scheduler::Serial,
+            rho: 1.0,
+            alpha: 1.0,
+            stopping: StoppingCriteria::default(),
+        }
+    }
+}
+
+/// Why the solver stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Residuals fell below tolerance.
+    Converged,
+    /// The iteration budget was exhausted.
+    MaxIterations,
+}
+
+/// Outcome of a solve.
+#[derive(Debug, Clone)]
+pub struct SolverReport {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Why iteration stopped.
+    pub stop_reason: StopReason,
+    /// Total wall-clock time inside update sweeps.
+    pub elapsed: Duration,
+    /// Per-update-kind timing breakdown.
+    pub timings: UpdateTimings,
+    /// Residuals at the final check (if any check ran).
+    pub final_residuals: Option<Residuals>,
+}
+
+impl SolverReport {
+    /// Seconds per iteration, the paper's primary metric.
+    pub fn seconds_per_iteration(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.elapsed.as_secs_f64() / self.iterations as f64
+        }
+    }
+}
+
+/// Owns the problem, the ADMM state, and the execution resources.
+pub struct Solver {
+    problem: AdmmProblem,
+    store: VarStore,
+    options: SolverOptions,
+    pool: Option<rayon::ThreadPool>,
+}
+
+impl Solver {
+    /// Builds a solver from a graph and per-factor operators, with uniform
+    /// `ρ/α` taken from `options`.
+    pub fn new(graph: FactorGraph, proxes: Vec<Box<dyn ProxOp>>, options: SolverOptions) -> Self {
+        let problem = AdmmProblem::new(graph, proxes, options.rho, options.alpha);
+        Self::from_problem(problem, options)
+    }
+
+    /// Builds a solver from a fully-specified problem (custom per-edge
+    /// parameters preserved).
+    pub fn from_problem(problem: AdmmProblem, options: SolverOptions) -> Self {
+        let store = VarStore::zeros(problem.graph());
+        let pool = options.scheduler.build_pool();
+        Solver { problem, store, options, pool }
+    }
+
+    /// The ADMM state.
+    pub fn store(&self) -> &VarStore {
+        &self.store
+    }
+
+    /// Mutable ADMM state (warm starts, custom initialization).
+    pub fn store_mut(&mut self) -> &mut VarStore {
+        &mut self.store
+    }
+
+    /// The problem definition.
+    pub fn problem(&self) -> &AdmmProblem {
+        &self.problem
+    }
+
+    /// Mutable problem (adaptive-ρ schemes).
+    pub fn problem_mut(&mut self) -> &mut AdmmProblem {
+        &mut self.problem
+    }
+
+    /// Simultaneous shared problem + mutable store access (custom
+    /// initialization that reads the topology while writing state).
+    pub fn problem_and_store_mut(&mut self) -> (&AdmmProblem, &mut VarStore) {
+        (&self.problem, &mut self.store)
+    }
+
+    /// Simultaneous mutable access to problem and store (operator
+    /// refresh + warm-start in one step, e.g. receding-horizon MPC).
+    pub fn parts_mut(&mut self) -> (&mut AdmmProblem, &mut VarStore) {
+        (&mut self.problem, &mut self.store)
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &SolverOptions {
+        &self.options
+    }
+
+    /// Replaces the scheduler (e.g. to compare strategies on one state).
+    pub fn set_scheduler(&mut self, scheduler: Scheduler) {
+        self.options.scheduler = scheduler;
+        self.pool = scheduler.build_pool();
+    }
+
+    /// Randomizes all state uniformly in `[lo, hi)` from a deterministic
+    /// seed — the analogue of the paper's `initialize_X_N_Z_M_U_rand`.
+    pub fn init_random(&mut self, lo: f64, hi: f64, seed: u64) {
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+        self.store.init_uniform(lo, hi, move || {
+            // xorshift64*: fast, deterministic, good enough for init noise.
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            (s.wrapping_mul(0x2545f4914f6cdd1d) >> 11) as f64 / (1_u64 << 53) as f64
+        });
+    }
+
+    /// Current residuals (an O(|E|·d) sweep).
+    pub fn residuals(&self) -> Residuals {
+        Residuals::compute(self.problem.graph(), self.problem.params(), &self.store)
+    }
+
+    /// Runs at most `max_iters` iterations, checking the configured
+    /// stopping criteria every `check_every` iterations.
+    pub fn run(&mut self, max_iters: usize) -> SolverReport {
+        let stopping = self.options.stopping;
+        let check_every = stopping.check_every;
+        let n_components = self.problem.graph().num_edges() * self.problem.graph().dims();
+        let mut timings = UpdateTimings::new();
+        let mut done = 0usize;
+        let mut final_residuals = None;
+        let start = Instant::now();
+        let mut stop_reason = StopReason::MaxIterations;
+
+        while done < max_iters {
+            let block = if check_every == usize::MAX {
+                max_iters - done
+            } else {
+                check_every.max(1).min(max_iters - done)
+            };
+            self.options.scheduler.run_block(
+                &self.problem,
+                &mut self.store,
+                block,
+                &mut timings,
+                self.pool.as_ref(),
+            );
+            done += block;
+            if check_every != usize::MAX {
+                let r = self.residuals();
+                let conv = r.converged(n_components, stopping.eps_abs, stopping.eps_rel);
+                final_residuals = Some(r);
+                if conv {
+                    stop_reason = StopReason::Converged;
+                    break;
+                }
+            }
+        }
+        SolverReport {
+            iterations: done,
+            stop_reason,
+            elapsed: start.elapsed(),
+            timings,
+            final_residuals,
+        }
+    }
+
+    /// Runs with the options' own `max_iters` budget.
+    pub fn run_default(&mut self) -> SolverReport {
+        self.run(self.options.stopping.max_iters)
+    }
+
+    /// Serializes the full ADMM state (x, m, u, n, z) into a byte buffer
+    /// — a mid-solve checkpoint for warm restarts across processes.
+    pub fn save_checkpoint(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        paradmm_graph::io::encode_store(&self.store, &mut out);
+        out
+    }
+
+    /// Restores a checkpoint previously produced by
+    /// [`Solver::save_checkpoint`] for the same graph shape.
+    pub fn load_checkpoint(&mut self, bytes: &[u8]) -> Result<(), paradmm_graph::io::IoError> {
+        let store = paradmm_graph::io::decode_store(bytes, self.problem.graph())?;
+        self.store = store;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradmm_graph::{GraphBuilder, VarId};
+    use paradmm_prox::{ProxOp, QuadraticProx};
+
+    fn two_quadratics() -> (FactorGraph, Vec<Box<dyn ProxOp>>) {
+        let mut b = GraphBuilder::new(1);
+        let v = b.add_var();
+        b.add_factor(&[v]);
+        b.add_factor(&[v]);
+        let proxes: Vec<Box<dyn ProxOp>> = vec![
+            Box::new(QuadraticProx::isotropic(1, 1.0, &[1.0])),
+            Box::new(QuadraticProx::isotropic(1, 1.0, &[5.0])),
+        ];
+        (b.build(), proxes)
+    }
+
+    #[test]
+    fn converges_and_reports() {
+        let (g, p) = two_quadratics();
+        let mut solver = Solver::new(g, p, SolverOptions::default());
+        let report = solver.run(1000);
+        assert_eq!(report.stop_reason, StopReason::Converged);
+        assert!(report.iterations < 1000);
+        assert!(report.final_residuals.is_some());
+        let z = solver.store().z_var(VarId(0));
+        assert!((z[0] - 3.0).abs() < 1e-5, "z = {}", z[0]);
+    }
+
+    #[test]
+    fn fixed_iteration_mode_never_converges_early() {
+        let (g, p) = two_quadratics();
+        let mut opts = SolverOptions::default();
+        opts.stopping = StoppingCriteria::fixed_iterations(37);
+        let mut solver = Solver::new(g, p, opts);
+        let report = solver.run(37);
+        assert_eq!(report.iterations, 37);
+        assert_eq!(report.stop_reason, StopReason::MaxIterations);
+        assert!(report.final_residuals.is_none());
+    }
+
+    #[test]
+    fn seconds_per_iteration_sane() {
+        let (g, p) = two_quadratics();
+        let mut solver = Solver::new(g, p, SolverOptions::default());
+        let report = solver.run(20);
+        assert!(report.seconds_per_iteration() >= 0.0);
+        assert!(report.elapsed.as_secs_f64() < 10.0);
+    }
+
+    #[test]
+    fn init_random_is_deterministic() {
+        let (g, p) = two_quadratics();
+        let mut s1 = Solver::new(g, p, SolverOptions::default());
+        s1.init_random(-1.0, 1.0, 42);
+        let z1 = s1.store().z.clone();
+
+        let (g2, p2) = two_quadratics();
+        let mut s2 = Solver::new(g2, p2, SolverOptions::default());
+        s2.init_random(-1.0, 1.0, 42);
+        assert_eq!(z1, s2.store().z);
+
+        let (g3, p3) = two_quadratics();
+        let mut s3 = Solver::new(g3, p3, SolverOptions::default());
+        s3.init_random(-1.0, 1.0, 43);
+        assert_ne!(z1, s3.store().z);
+    }
+
+    #[test]
+    fn random_init_still_converges_to_optimum() {
+        let (g, p) = two_quadratics();
+        let mut solver = Solver::new(g, p, SolverOptions::default());
+        solver.init_random(-10.0, 10.0, 7);
+        let report = solver.run(2000);
+        assert_eq!(report.stop_reason, StopReason::Converged);
+        assert!((solver.store().z_var(VarId(0))[0] - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_identically() {
+        let (g, p) = two_quadratics();
+        let mut a = Solver::new(g, p, SolverOptions::default());
+        a.run(25);
+        let snapshot = a.save_checkpoint();
+        a.run(25);
+        let z_final = a.store().z.clone();
+
+        let (g2, p2) = two_quadratics();
+        let mut b = Solver::new(g2, p2, SolverOptions::default());
+        b.load_checkpoint(&snapshot).unwrap();
+        b.run(25);
+        assert_eq!(b.store().z, z_final, "resumed run must be bit-identical");
+    }
+
+    #[test]
+    fn checkpoint_shape_mismatch_rejected() {
+        let (g, p) = two_quadratics();
+        let a = Solver::new(g, p, SolverOptions::default());
+        let snapshot = a.save_checkpoint();
+
+        let mut builder = paradmm_graph::GraphBuilder::new(2);
+        let v = builder.add_var();
+        builder.add_factor(&[v]);
+        let other: Vec<Box<dyn ProxOp>> = vec![Box::new(paradmm_prox::ZeroProx)];
+        let mut b = Solver::new(builder.build(), other, SolverOptions::default());
+        assert!(b.load_checkpoint(&snapshot).is_err());
+    }
+
+    #[test]
+    fn scheduler_swap_preserves_state() {
+        let (g, p) = two_quadratics();
+        let mut solver = Solver::new(g, p, SolverOptions::default());
+        solver.run(10);
+        let z_mid = solver.store().z[0];
+        solver.set_scheduler(Scheduler::Rayon { threads: Some(2) });
+        solver.run(10);
+        // State continued from z_mid, not reset.
+        assert_ne!(solver.store().z[0], 0.0);
+        let _ = z_mid;
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-update-kind wall-clock accounting.
+//!
+//! The paper reports which sweeps dominate the iteration (e.g. packing on
+//! the GPU: x 31% + z 40%; MPC on CPUs: m+u+n = 60%). The solver collects
+//! exactly those breakdowns here.
+
+use std::time::Duration;
+
+use crate::kernels::UpdateKind;
+
+/// Accumulated wall-clock time per update kind.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateTimings {
+    seconds: [f64; 5],
+    /// Number of complete iterations these timings cover.
+    pub iterations: usize,
+}
+
+impl UpdateTimings {
+    /// Fresh, zeroed timings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `dur` to the accumulator of `kind`.
+    #[inline]
+    pub fn add(&mut self, kind: UpdateKind, dur: Duration) {
+        self.seconds[kind.index()] += dur.as_secs_f64();
+    }
+
+    /// Total seconds spent in `kind`.
+    #[inline]
+    pub fn seconds(&self, kind: UpdateKind) -> f64 {
+        self.seconds[kind.index()]
+    }
+
+    /// Total seconds across all five kinds.
+    pub fn total_seconds(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Fraction of total time spent in `kind` (0 if nothing recorded).
+    pub fn fraction(&self, kind: UpdateKind) -> f64 {
+        let t = self.total_seconds();
+        if t > 0.0 {
+            self.seconds(kind) / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &UpdateTimings) {
+        for i in 0..5 {
+            self.seconds[i] += other.seconds[i];
+        }
+        self.iterations += other.iterations;
+    }
+
+    /// Formats a one-line percentage breakdown like
+    /// `x 31.2% | m 9.8% | z 40.1% | u 9.4% | n 9.5%`.
+    pub fn breakdown(&self) -> String {
+        UpdateKind::ALL
+            .iter()
+            .map(|&k| format!("{} {:.1}%", k.label(), 100.0 * self.fraction(k)))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_fractions() {
+        let mut t = UpdateTimings::new();
+        t.add(UpdateKind::X, Duration::from_millis(30));
+        t.add(UpdateKind::Z, Duration::from_millis(70));
+        assert!((t.total_seconds() - 0.1).abs() < 1e-9);
+        assert!((t.fraction(UpdateKind::Z) - 0.7).abs() < 1e-9);
+        assert_eq!(t.fraction(UpdateKind::M), 0.0);
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        let t = UpdateTimings::new();
+        assert_eq!(t.fraction(UpdateKind::X), 0.0);
+        assert_eq!(t.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = UpdateTimings::new();
+        a.add(UpdateKind::U, Duration::from_secs(1));
+        a.iterations = 5;
+        let mut b = UpdateTimings::new();
+        b.add(UpdateKind::U, Duration::from_secs(2));
+        b.iterations = 7;
+        a.merge(&b);
+        assert!((a.seconds(UpdateKind::U) - 3.0).abs() < 1e-12);
+        assert_eq!(a.iterations, 12);
+    }
+
+    #[test]
+    fn breakdown_formats_all_kinds() {
+        let mut t = UpdateTimings::new();
+        t.add(UpdateKind::X, Duration::from_secs(1));
+        let s = t.breakdown();
+        assert!(s.contains("x 100.0%"));
+        assert!(s.contains("n 0.0%"));
+    }
+}

@@ -1,0 +1,237 @@
+//! The simulated-GPU ADMM engine.
+//!
+//! Runs the *exact* Algorithm 2 numerics on the host (bit-identical to
+//! [`paradmm_core::Scheduler::Serial`] — asserted by tests) while advancing
+//! a simulated device clock according to the [`SimtDevice`] model: five
+//! kernel launches per iteration, each timed from the problem's real
+//! per-task work profile. This is the substitution substrate for every GPU
+//! figure in the paper.
+
+use paradmm_core::{AdmmProblem, Scheduler, UpdateKind, UpdateTimings};
+use paradmm_graph::VarStore;
+
+use crate::device::{KernelStats, SimtDevice};
+use crate::tasks::WorkloadProfile;
+
+/// Simulated per-iteration time, split by update kind.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuIterationBreakdown {
+    /// Simulated seconds per iteration for each of x, m, z, u, n.
+    pub seconds: [f64; 5],
+}
+
+impl GpuIterationBreakdown {
+    /// Total simulated seconds per iteration.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Fraction of iteration time in `kind`.
+    pub fn fraction(&self, kind: UpdateKind) -> f64 {
+        let t = self.total();
+        if t > 0.0 {
+            self.seconds[kind.index()] / t
+        } else {
+            0.0
+        }
+    }
+}
+
+/// ADMM running on a simulated SIMT device.
+pub struct GpuAdmmEngine {
+    problem: AdmmProblem,
+    store: VarStore,
+    device: SimtDevice,
+    profile: WorkloadProfile,
+    ntb: [usize; 5],
+    stats: [KernelStats; 5],
+    sim_seconds: f64,
+    iterations: usize,
+}
+
+impl GpuAdmmEngine {
+    /// Wraps `problem` on `device` with the paper's default `ntb = 32` for
+    /// every kernel.
+    pub fn new(problem: AdmmProblem, device: SimtDevice) -> Self {
+        let store = VarStore::zeros(problem.graph());
+        let profile = WorkloadProfile::from_problem(&problem);
+        let ntb = [32; 5];
+        let stats = Self::compute_stats(&device, &profile, &ntb);
+        GpuAdmmEngine {
+            problem,
+            store,
+            device,
+            profile,
+            ntb,
+            stats,
+            sim_seconds: 0.0,
+            iterations: 0,
+        }
+    }
+
+    fn compute_stats(
+        device: &SimtDevice,
+        profile: &WorkloadProfile,
+        ntb: &[usize; 5],
+    ) -> [KernelStats; 5] {
+        std::array::from_fn(|i| device.kernel_time(&profile.sweeps[i].tasks, ntb[i]))
+    }
+
+    /// Auto-tunes `ntb` per kernel (the paper's per-problem sweep; e.g.
+    /// MPC's z-update preferring 2–16). Returns the chosen values in
+    /// x, m, z, u, n order.
+    pub fn tune_ntb(&mut self) -> [usize; 5] {
+        for i in 0..5 {
+            self.ntb[i] = self.device.tune_ntb(&self.profile.sweeps[i].tasks);
+        }
+        self.stats = Self::compute_stats(&self.device, &self.profile, &self.ntb);
+        self.ntb
+    }
+
+    /// Sets one kernel's threads-per-block explicitly.
+    pub fn set_ntb(&mut self, kind: UpdateKind, ntb: usize) {
+        self.ntb[kind.index()] = ntb;
+        self.stats = Self::compute_stats(&self.device, &self.profile, &self.ntb);
+    }
+
+    /// Runs `iters` iterations: exact numerics on the host, simulated time
+    /// on the device clock.
+    pub fn run(&mut self, iters: usize) {
+        let mut discard = UpdateTimings::new();
+        Scheduler::Serial.run_block(&self.problem, &mut self.store, iters, &mut discard, None);
+        self.sim_seconds += iters as f64 * self.iteration_breakdown().total();
+        self.iterations += iters;
+    }
+
+    /// Simulated per-iteration breakdown at current `ntb` settings.
+    pub fn iteration_breakdown(&self) -> GpuIterationBreakdown {
+        GpuIterationBreakdown { seconds: std::array::from_fn(|i| self.stats[i].seconds) }
+    }
+
+    /// Simulated kernel statistics for one update kind.
+    pub fn kernel_stats(&self, kind: UpdateKind) -> KernelStats {
+        self.stats[kind.index()]
+    }
+
+    /// Total simulated device seconds so far.
+    pub fn simulated_seconds(&self) -> f64 {
+        self.sim_seconds
+    }
+
+    /// Iterations executed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// The ADMM state (read from "device memory" — numerically exact).
+    pub fn store(&self) -> &VarStore {
+        &self.store
+    }
+
+    /// Mutable ADMM state (initialization / warm starts).
+    pub fn store_mut(&mut self) -> &mut VarStore {
+        &mut self.store
+    }
+
+    /// The problem.
+    pub fn problem(&self) -> &AdmmProblem {
+        &self.problem
+    }
+
+    /// The device.
+    pub fn device(&self) -> &SimtDevice {
+        &self.device
+    }
+
+    /// The work profile.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Current per-kernel `ntb` settings.
+    pub fn ntb(&self) -> [usize; 5] {
+        self.ntb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradmm_graph::GraphBuilder;
+    use paradmm_prox::{ProxOp, QuadraticProx};
+
+    fn consensus_problem() -> AdmmProblem {
+        let mut b = GraphBuilder::new(1);
+        let v = b.add_var();
+        b.add_factor(&[v]);
+        b.add_factor(&[v]);
+        let proxes: Vec<Box<dyn ProxOp>> = vec![
+            Box::new(QuadraticProx::isotropic(1, 1.0, &[1.0])),
+            Box::new(QuadraticProx::isotropic(1, 1.0, &[5.0])),
+        ];
+        AdmmProblem::new(b.build(), proxes, 1.0, 1.0)
+    }
+
+    #[test]
+    fn numerics_match_serial_cpu_exactly() {
+        let mut gpu = GpuAdmmEngine::new(consensus_problem(), SimtDevice::tesla_k40());
+        gpu.run(40);
+
+        let problem = consensus_problem();
+        let mut store = VarStore::zeros(problem.graph());
+        let mut t = UpdateTimings::new();
+        Scheduler::Serial.run_block(&problem, &mut store, 40, &mut t, None);
+
+        assert_eq!(gpu.store().z, store.z, "GPU engine must be bit-identical to serial CPU");
+        assert_eq!(gpu.store().u, store.u);
+    }
+
+    #[test]
+    fn simulated_clock_advances_linearly() {
+        let mut gpu = GpuAdmmEngine::new(consensus_problem(), SimtDevice::tesla_k40());
+        gpu.run(10);
+        let t10 = gpu.simulated_seconds();
+        gpu.run(10);
+        assert!((gpu.simulated_seconds() - 2.0 * t10).abs() < 1e-12);
+        assert_eq!(gpu.iterations(), 20);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let gpu = GpuAdmmEngine::new(consensus_problem(), SimtDevice::tesla_k40());
+        let b = gpu.iteration_breakdown();
+        let manual: f64 = UpdateKind::ALL.iter().map(|&k| b.seconds[k.index()]).sum();
+        assert!((b.total() - manual).abs() < 1e-15);
+        let fsum: f64 = UpdateKind::ALL.iter().map(|&k| b.fraction(k)).sum();
+        assert!((fsum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_ntb_changes_timing() {
+        // A graph big enough that grid shape matters (tiny kernels are
+        // launch-overhead-bound and legitimately insensitive to ntb).
+        let mut b = GraphBuilder::new(1);
+        let mut proxes: Vec<Box<dyn ProxOp>> = Vec::new();
+        for _ in 0..50_000 {
+            let v = b.add_var();
+            b.add_factor(&[v]);
+            proxes.push(Box::new(QuadraticProx::isotropic(1, 1.0, &[0.0])));
+        }
+        let problem = AdmmProblem::new(b.build(), proxes, 1.0, 1.0);
+        let mut gpu = GpuAdmmEngine::new(problem, SimtDevice::tesla_k40());
+        let before = gpu.kernel_stats(UpdateKind::X).seconds;
+        gpu.set_ntb(UpdateKind::X, 1);
+        assert_eq!(gpu.ntb()[0], 1);
+        let after = gpu.kernel_stats(UpdateKind::X).seconds;
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn tune_ntb_returns_valid_settings() {
+        let mut gpu = GpuAdmmEngine::new(consensus_problem(), SimtDevice::tesla_k40());
+        let chosen = gpu.tune_ntb();
+        for v in chosen {
+            assert!(v >= 1 && v <= 1024);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Machine models standing in for the paper's hardware.
+//!
+//! The paper evaluates parADMM on an NVIDIA Tesla K40 (CUDA) and a 32-core
+//! AMD Opteron Abu Dhabi 6300 (OpenMP). Neither is available here, so this
+//! crate provides *analytic execution models* of both, driven by the exact
+//! per-task work profile of a real [`paradmm_core::AdmmProblem`]:
+//!
+//! * [`SimtDevice`] — a SIMT GPU model: kernels launched as
+//!   `<<<nb, ntb>>>` grids, warps of 32 executing in lockstep (so a warp
+//!   costs its *slowest* thread), block-granularity SM slot scheduling,
+//!   occupancy-dependent memory-latency hiding, and coalescing determined
+//!   by the actual edge-ordered array layout.
+//! * [`CpuModel`] — a shared-memory multicore model: per-sweep fork-join
+//!   overhead, memory-bandwidth saturation for the cheap streaming sweeps
+//!   (m/u/n), and a cross-socket penalty past one socket — the effects
+//!   behind Figures 8/11/14's sub-linear scaling.
+//!
+//! Numerics are **never** simulated: [`GpuAdmmEngine`] executes the real
+//! update kernels on the host (bit-identical to `Scheduler::Serial`, which
+//! tests assert) and only the *clock* is modeled. Timing constants are
+//! calibrated against a measured serial run so the modeled serial-CPU time
+//! matches reality, making speedup = modeled-CPU / modeled-GPU a
+//! like-for-like ratio.
+
+pub mod balance;
+pub mod cpu;
+pub mod device;
+pub mod engine;
+pub mod multi;
+pub mod tasks;
+pub mod transfer;
+
+pub use cpu::CpuModel;
+pub use device::{KernelStats, SimtDevice};
+pub use engine::{GpuAdmmEngine, GpuIterationBreakdown};
+pub use multi::{MultiDevice, MultiIteration};
+pub use tasks::{SweepProfile, TaskCost, WorkloadProfile};
+pub use transfer::PcieLink;

@@ -1,0 +1,89 @@
+//! Typed indices for the three kinds of graph elements.
+//!
+//! `u32` keeps the CSR arrays compact (the paper runs graphs with millions
+//! of edges; 4-byte indices halve index-array memory traffic vs `usize`).
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The index as a `usize`, for array access.
+            #[inline]
+            pub fn idx(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Constructs from a `usize` index.
+            ///
+            /// # Panics
+            /// If `i` exceeds `u32::MAX`.
+            #[inline]
+            pub fn from_usize(i: usize) -> Self {
+                assert!(i <= u32::MAX as usize, "index overflow");
+                $name(i as u32)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}({})", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index of a variable node `b ∈ V`.
+    VarId
+);
+id_type!(
+    /// Index of a function (factor) node `a ∈ F`.
+    FactorId
+);
+id_type!(
+    /// Index of an edge `(a, b) ∈ E`, in creation order.
+    EdgeId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_usize() {
+        let v = VarId::from_usize(17);
+        assert_eq!(v.idx(), 17);
+        assert_eq!(v, VarId(17));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(EdgeId(3) < EdgeId(4));
+        assert!(FactorId(0) < FactorId(1));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(VarId(5).to_string(), "VarId(5)");
+    }
+
+    #[test]
+    #[should_panic(expected = "index overflow")]
+    fn from_usize_overflow_panics() {
+        let _ = VarId::from_usize(u32::MAX as usize + 1);
+    }
+}

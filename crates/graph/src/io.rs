@@ -1,0 +1,291 @@
+//! Compact binary serialization of graphs, parameters and solver state.
+//!
+//! The paper's workflow builds a factor graph once (up to 450 s for large
+//! packing instances) and reuses it "for different instances of similar
+//! problems". This module makes that concrete: a versioned little-endian
+//! binary format for the topology + `ρ/α` + ADMM state, so a graph is
+//! built once, saved, and reloaded instantly — including mid-solve
+//! checkpoints for warm restarts.
+
+use bytes::{Buf, BufMut};
+
+use crate::graph::FactorGraph;
+use crate::params::EdgeParams;
+use crate::store::VarStore;
+use crate::ids::VarId;
+
+const MAGIC: &[u8; 4] = b"PADM";
+const VERSION: u32 = 1;
+
+/// Serialization errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// Buffer ended before the structure was complete.
+    Truncated,
+    /// Magic bytes or version did not match.
+    BadHeader,
+    /// Structural validation failed after decode.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Truncated => write!(f, "buffer truncated"),
+            IoError::BadHeader => write!(f, "bad magic/version"),
+            IoError::Corrupt(msg) => write!(f, "corrupt payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), IoError> {
+    if buf.remaining() < n {
+        Err(IoError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Encodes a graph (topology only) into `out`.
+pub fn encode_graph(graph: &FactorGraph, out: &mut Vec<u8>) {
+    out.put_slice(MAGIC);
+    out.put_u32_le(VERSION);
+    out.put_u32_le(graph.dims() as u32);
+    out.put_u32_le(graph.num_vars() as u32);
+    out.put_u32_le(graph.num_factors() as u32);
+    out.put_u32_le(graph.num_edges() as u32);
+    for a in graph.factors() {
+        out.put_u32_le(graph.factor_edge_range(a).start as u32);
+    }
+    out.put_u32_le(graph.num_edges() as u32); // final offset sentinel
+    for e in graph.edges() {
+        out.put_u32_le(graph.edge_var(e).0);
+    }
+}
+
+/// Decodes a graph, validating structure.
+pub fn decode_graph(mut buf: &[u8]) -> Result<FactorGraph, IoError> {
+    need(&buf, 8)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC || buf.get_u32_le() != VERSION {
+        return Err(IoError::BadHeader);
+    }
+    need(&buf, 16)?;
+    let dims = buf.get_u32_le() as usize;
+    let num_vars = buf.get_u32_le() as usize;
+    let num_factors = buf.get_u32_le() as usize;
+    let num_edges = buf.get_u32_le() as usize;
+    if dims == 0 {
+        return Err(IoError::Corrupt("dims must be positive".into()));
+    }
+    need(&buf, 4 * (num_factors + 1))?;
+    let offsets: Vec<u32> = (0..=num_factors).map(|_| buf.get_u32_le()).collect();
+    need(&buf, 4 * num_edges)?;
+    let edge_var: Vec<VarId> = (0..num_edges).map(|_| VarId(buf.get_u32_le())).collect();
+    if offsets.last().copied() != Some(num_edges as u32) {
+        return Err(IoError::Corrupt("offset sentinel mismatch".into()));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(IoError::Corrupt("offsets not monotone".into()));
+    }
+    if edge_var.iter().any(|v| v.idx() >= num_vars) {
+        return Err(IoError::Corrupt("edge references missing variable".into()));
+    }
+    let graph = FactorGraph::from_parts(dims, num_vars, offsets, edge_var);
+    graph.validate().map_err(IoError::Corrupt)?;
+    Ok(graph)
+}
+
+/// Encodes per-edge parameters.
+pub fn encode_params(params: &EdgeParams, out: &mut Vec<u8>) {
+    out.put_u32_le(params.rho.len() as u32);
+    for &r in &params.rho {
+        out.put_f64_le(r);
+    }
+    for &a in &params.alpha {
+        out.put_f64_le(a);
+    }
+}
+
+/// Decodes per-edge parameters and validates them against `graph`.
+pub fn decode_params(mut buf: &[u8], graph: &FactorGraph) -> Result<EdgeParams, IoError> {
+    need(&buf, 4)?;
+    let n = buf.get_u32_le() as usize;
+    if n != graph.num_edges() {
+        return Err(IoError::Corrupt("edge-count mismatch".into()));
+    }
+    need(&buf, 16 * n)?;
+    let rho: Vec<f64> = (0..n).map(|_| buf.get_f64_le()).collect();
+    let alpha: Vec<f64> = (0..n).map(|_| buf.get_f64_le()).collect();
+    let params = EdgeParams { rho, alpha };
+    params.validate(graph).map_err(IoError::Corrupt)?;
+    Ok(params)
+}
+
+/// Encodes a full ADMM state checkpoint (x, m, u, n, z).
+pub fn encode_store(store: &VarStore, out: &mut Vec<u8>) {
+    out.put_u32_le(store.dims() as u32);
+    out.put_u32_le(store.num_edges() as u32);
+    out.put_u32_le(store.num_vars() as u32);
+    for arr in [&store.x, &store.m, &store.u, &store.n, &store.z, &store.z_prev] {
+        for &v in arr.iter() {
+            out.put_f64_le(v);
+        }
+    }
+}
+
+/// Decodes an ADMM state checkpoint shaped for `graph`.
+pub fn decode_store(mut buf: &[u8], graph: &FactorGraph) -> Result<VarStore, IoError> {
+    need(&buf, 12)?;
+    let dims = buf.get_u32_le() as usize;
+    let ne = buf.get_u32_le() as usize;
+    let nv = buf.get_u32_le() as usize;
+    if dims != graph.dims() || ne != graph.num_edges() || nv != graph.num_vars() {
+        return Err(IoError::Corrupt("checkpoint shape mismatch".into()));
+    }
+    let mut store = VarStore::zeros(graph);
+    let edge_len = ne * dims;
+    let var_len = nv * dims;
+    need(&buf, 8 * (4 * edge_len + 2 * var_len))?;
+    for len_arr in [
+        (edge_len, 0usize),
+        (edge_len, 1),
+        (edge_len, 2),
+        (edge_len, 3),
+        (var_len, 4),
+        (var_len, 5),
+    ] {
+        let (len, which) = len_arr;
+        let target: &mut [f64] = match which {
+            0 => &mut store.x,
+            1 => &mut store.m,
+            2 => &mut store.u,
+            3 => &mut store.n,
+            4 => &mut store.z,
+            _ => &mut store.z_prev,
+        };
+        for slot in target.iter_mut().take(len) {
+            *slot = buf.get_f64_le();
+        }
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> FactorGraph {
+        let mut b = GraphBuilder::new(3);
+        let vs = b.add_vars(4);
+        b.add_factor(&[vs[0], vs[1], vs[2]]);
+        b.add_factor(&[vs[1], vs[3]]);
+        b.add_factor(&[vs[3]]);
+        b.build()
+    }
+
+    #[test]
+    fn graph_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        encode_graph(&g, &mut buf);
+        let back = decode_graph(&buf).unwrap();
+        assert_eq!(back.dims(), g.dims());
+        assert_eq!(back.num_edges(), g.num_edges());
+        for e in g.edges() {
+            assert_eq!(back.edge_var(e), g.edge_var(e));
+        }
+        for a in g.factors() {
+            assert_eq!(back.factor_edge_range(a), g.factor_edge_range(a));
+        }
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let g = sample();
+        let mut p = EdgeParams::uniform(&g, 2.0, 0.7);
+        p.rho[1] = 5.0;
+        let mut buf = Vec::new();
+        encode_params(&p, &mut buf);
+        let back = decode_params(&buf, &g).unwrap();
+        assert_eq!(back.rho, p.rho);
+        assert_eq!(back.alpha, p.alpha);
+    }
+
+    #[test]
+    fn store_roundtrip() {
+        let g = sample();
+        let mut s = VarStore::zeros(&g);
+        for (i, v) in s.x.iter_mut().enumerate() {
+            *v = i as f64 * 0.5;
+        }
+        s.z[2] = -3.25;
+        let mut buf = Vec::new();
+        encode_store(&s, &mut buf);
+        let back = decode_store(&buf, &g).unwrap();
+        assert_eq!(back.x, s.x);
+        assert_eq!(back.z, s.z);
+        assert_eq!(back.z_prev, s.z_prev);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let g = sample();
+        let mut buf = Vec::new();
+        encode_graph(&g, &mut buf);
+        buf[0] = b'X';
+        assert!(matches!(decode_graph(&buf), Err(IoError::BadHeader)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let g = sample();
+        let mut buf = Vec::new();
+        encode_graph(&g, &mut buf);
+        for cut in [0usize, 4, 10, buf.len() - 1] {
+            assert!(decode_graph(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_edge_target_rejected() {
+        let g = sample();
+        let mut buf = Vec::new();
+        encode_graph(&g, &mut buf);
+        // Overwrite the last edge's variable id with an out-of-range one.
+        let len = buf.len();
+        buf[len - 4..].copy_from_slice(&999u32.to_le_bytes());
+        assert!(matches!(decode_graph(&buf), Err(IoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn params_shape_mismatch_rejected() {
+        let g = sample();
+        let p = EdgeParams::uniform(&g, 1.0, 1.0);
+        let mut buf = Vec::new();
+        encode_params(&p, &mut buf);
+        // Decode against a graph with a different edge count.
+        let mut b2 = GraphBuilder::new(3);
+        let v = b2.add_var();
+        b2.add_factor(&[v]);
+        let g2 = b2.build();
+        assert!(matches!(decode_params(&buf, &g2), Err(IoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn store_shape_mismatch_rejected() {
+        let g = sample();
+        let s = VarStore::zeros(&g);
+        let mut buf = Vec::new();
+        encode_store(&s, &mut buf);
+        let mut b2 = GraphBuilder::new(2);
+        let v = b2.add_var();
+        b2.add_factor(&[v]);
+        let g2 = b2.build();
+        assert!(matches!(decode_store(&buf, &g2), Err(IoError::Corrupt(_))));
+    }
+}

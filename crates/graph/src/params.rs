@@ -1,0 +1,123 @@
+//! Per-edge penalty (`ρ`) and over-relaxation (`α`) parameters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::FactorGraph;
+use crate::ids::EdgeId;
+
+/// Per-edge ADMM parameters `ρ(a,b) > 0` and `α(a,b) > 0`.
+///
+/// Classical ADMM keeps these constant (the paper's
+/// `initialize_RHOS_APHAS(&graph, rho, alpha)`), but the engine also
+/// supports the three-weight update schemes of Derbinsky et al. (paper
+/// ref [9]), which mutate `ρ` per edge between iterations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdgeParams {
+    /// Penalty weight per edge.
+    pub rho: Vec<f64>,
+    /// Dual step size per edge.
+    pub alpha: Vec<f64>,
+}
+
+impl EdgeParams {
+    /// All edges share the same `rho` and `alpha`.
+    ///
+    /// # Panics
+    /// If either parameter is not strictly positive and finite.
+    pub fn uniform(graph: &FactorGraph, rho: f64, alpha: f64) -> Self {
+        assert!(rho > 0.0 && rho.is_finite(), "rho must be positive and finite");
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive and finite");
+        EdgeParams {
+            rho: vec![rho; graph.num_edges()],
+            alpha: vec![alpha; graph.num_edges()],
+        }
+    }
+
+    /// `ρ` of edge `e`.
+    #[inline]
+    pub fn rho(&self, e: EdgeId) -> f64 {
+        self.rho[e.idx()]
+    }
+
+    /// `α` of edge `e`.
+    #[inline]
+    pub fn alpha(&self, e: EdgeId) -> f64 {
+        self.alpha[e.idx()]
+    }
+
+    /// Multiplies every `ρ` by `factor` (residual-balancing adaptation).
+    pub fn scale_rho(&mut self, factor: f64) {
+        assert!(factor > 0.0 && factor.is_finite());
+        for r in &mut self.rho {
+            *r *= factor;
+        }
+    }
+
+    /// Validates positivity (e.g. after deserialization).
+    pub fn validate(&self, graph: &FactorGraph) -> Result<(), String> {
+        if self.rho.len() != graph.num_edges() || self.alpha.len() != graph.num_edges() {
+            return Err("parameter arrays sized differently from edge set".into());
+        }
+        if self.rho.iter().any(|&r| !(r > 0.0) || !r.is_finite()) {
+            return Err("all rho must be positive and finite".into());
+        }
+        if self.alpha.iter().any(|&a| !(a > 0.0) || !a.is_finite()) {
+            return Err("all alpha must be positive and finite".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn g() -> FactorGraph {
+        let mut b = GraphBuilder::new(1);
+        let vs = b.add_vars(2);
+        b.add_factor(&[vs[0], vs[1]]);
+        b.build()
+    }
+
+    #[test]
+    fn uniform_fills_every_edge() {
+        let g = g();
+        let p = EdgeParams::uniform(&g, 2.5, 1.0);
+        assert_eq!(p.rho.len(), 2);
+        assert_eq!(p.rho(EdgeId(1)), 2.5);
+        assert_eq!(p.alpha(EdgeId(0)), 1.0);
+        p.validate(&g).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be positive")]
+    fn zero_rho_rejected() {
+        EdgeParams::uniform(&g(), 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn negative_alpha_rejected() {
+        EdgeParams::uniform(&g(), 1.0, -1.0);
+    }
+
+    #[test]
+    fn scale_rho_multiplies() {
+        let g = g();
+        let mut p = EdgeParams::uniform(&g, 2.0, 1.0);
+        p.scale_rho(3.0);
+        assert_eq!(p.rho(EdgeId(0)), 6.0);
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let g = g();
+        let mut p = EdgeParams::uniform(&g, 1.0, 1.0);
+        p.rho[0] = f64::NAN;
+        assert!(p.validate(&g).is_err());
+        let mut p2 = EdgeParams::uniform(&g, 1.0, 1.0);
+        p2.rho.pop();
+        assert!(p2.validate(&g).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Degree statistics and load-imbalance metrics.
+//!
+//! The paper's conclusion observes that "when one GPU-core needs to perform
+//! much more work than most of the other GPU-cores, the speedup can get
+//! substantially reduced" — specifically the z-update stalls on the
+//! highest-degree variable node. These metrics quantify that imbalance and
+//! feed both the GPU simulator's warp-divergence model and the
+//! degree-grouped z-update scheduler.
+
+use crate::graph::FactorGraph;
+
+/// Summary statistics of a factor graph's shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`, `|F|`, `|E|`, `d`.
+    pub num_vars: usize,
+    /// Number of factor nodes.
+    pub num_factors: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Components per edge vector.
+    pub dims: usize,
+    /// Largest `|∂b|` over variables.
+    pub max_var_degree: usize,
+    /// Mean `|∂b|`.
+    pub mean_var_degree: f64,
+    /// Largest `|∂a|` over factors.
+    pub max_factor_degree: usize,
+    /// Mean `|∂a|`.
+    pub mean_factor_degree: f64,
+    /// `max/mean` variable degree — 1.0 means perfectly balanced z-update.
+    pub var_imbalance: f64,
+    /// `max/mean` factor degree — 1.0 means perfectly balanced x-update.
+    pub factor_imbalance: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    pub fn compute(graph: &FactorGraph) -> Self {
+        let nv = graph.num_vars();
+        let nf = graph.num_factors();
+        let ne = graph.num_edges();
+        let (mut max_v, mut sum_v) = (0usize, 0usize);
+        for b in graph.vars() {
+            let d = graph.var_degree(b);
+            max_v = max_v.max(d);
+            sum_v += d;
+        }
+        let (mut max_f, mut sum_f) = (0usize, 0usize);
+        for a in graph.factors() {
+            let d = graph.factor_degree(a);
+            max_f = max_f.max(d);
+            sum_f += d;
+        }
+        let mean_v = if nv == 0 { 0.0 } else { sum_v as f64 / nv as f64 };
+        let mean_f = if nf == 0 { 0.0 } else { sum_f as f64 / nf as f64 };
+        GraphStats {
+            num_vars: nv,
+            num_factors: nf,
+            num_edges: ne,
+            dims: graph.dims(),
+            max_var_degree: max_v,
+            mean_var_degree: mean_v,
+            max_factor_degree: max_f,
+            mean_factor_degree: mean_f,
+            var_imbalance: if mean_v > 0.0 { max_v as f64 / mean_v } else { 1.0 },
+            factor_imbalance: if mean_f > 0.0 { max_f as f64 / mean_f } else { 1.0 },
+        }
+    }
+
+    /// Histogram of variable degrees (index = degree).
+    pub fn var_degree_histogram(graph: &FactorGraph) -> Vec<usize> {
+        let mut h = Vec::new();
+        for b in graph.vars() {
+            let d = graph.var_degree(b);
+            if d >= h.len() {
+                h.resize(d + 1, 0);
+            }
+            h[d] += 1;
+        }
+        h
+    }
+
+    /// Groups variables into chunks whose total edge count is as uniform as
+    /// possible (greedy first-fit by descending degree) — the scheduling
+    /// scheme the paper's conclusion proposes for robust z-updates. Returns
+    /// `groups` lists of variable indices.
+    pub fn balanced_var_groups(graph: &FactorGraph, groups: usize) -> Vec<Vec<u32>> {
+        assert!(groups > 0);
+        let mut order: Vec<u32> = (0..graph.num_vars() as u32).collect();
+        order.sort_by_key(|&b| {
+            std::cmp::Reverse(graph.var_degree(crate::ids::VarId(b)))
+        });
+        let mut buckets: Vec<(usize, Vec<u32>)> = vec![(0, Vec::new()); groups];
+        for b in order {
+            // Place into the currently lightest bucket.
+            let (load, bucket) =
+                buckets.iter_mut().min_by_key(|(load, _)| *load).expect("groups > 0");
+            bucket.push(b);
+            *load += graph.var_degree(crate::ids::VarId(b)).max(1);
+        }
+        buckets.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::ids::VarId;
+
+    fn star(leaves: usize) -> FactorGraph {
+        // One hub variable touched by `leaves` factors, each also touching
+        // its own private variable: hub degree = leaves, others = 1.
+        let mut b = GraphBuilder::new(1);
+        let hub = b.add_var();
+        for _ in 0..leaves {
+            let leaf = b.add_var();
+            b.add_factor(&[hub, leaf]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn stats_on_star() {
+        let g = star(4);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vars, 5);
+        assert_eq!(s.num_factors, 4);
+        assert_eq!(s.num_edges, 8);
+        assert_eq!(s.max_var_degree, 4);
+        assert!((s.mean_var_degree - 8.0 / 5.0).abs() < 1e-12);
+        assert!(s.var_imbalance > 2.0);
+        assert_eq!(s.max_factor_degree, 2);
+        assert!((s.factor_imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_on_empty() {
+        let g = GraphBuilder::new(2).build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_edges, 0);
+        assert_eq!(s.var_imbalance, 1.0);
+    }
+
+    #[test]
+    fn histogram_counts_degrees() {
+        let g = star(3);
+        let h = GraphStats::var_degree_histogram(&g);
+        // 3 leaves with degree 1, hub with degree 3.
+        assert_eq!(h, vec![0, 3, 0, 1]);
+    }
+
+    #[test]
+    fn balanced_groups_cover_all_vars() {
+        let g = star(7);
+        let groups = GraphStats::balanced_var_groups(&g, 3);
+        let mut all: Vec<u32> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn balanced_groups_put_hub_alone_ish() {
+        // Hub has degree 8; leaves have degree 1. With 2 groups the greedy
+        // packer must put the hub in one bucket and all leaves in the other
+        // (loads 8 vs 8).
+        let g = star(8);
+        let groups = GraphStats::balanced_var_groups(&g, 2);
+        let loads: Vec<usize> = groups
+            .iter()
+            .map(|grp| grp.iter().map(|&b| g.var_degree(VarId(b)).max(1)).sum())
+            .collect();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        assert!(max - min <= 1, "loads should be near-equal, got {loads:?}");
+    }
+
+    #[test]
+    fn single_group_is_everything() {
+        let g = star(3);
+        let groups = GraphStats::balanced_var_groups(&g, 1);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 4);
+    }
+}

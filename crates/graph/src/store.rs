@@ -1,0 +1,241 @@
+//! Flat structure-of-arrays storage for the five ADMM auxiliary variables.
+
+use crate::graph::FactorGraph;
+use crate::ids::{EdgeId, FactorId, VarId};
+
+/// ADMM state vectors, stored exactly as the paper stores GPU global memory:
+///
+/// * `x, m, u, n` — one `dims`-vector per **edge**, flattened into four 1-D
+///   `f64` arrays in edge-creation order. Because a factor's edges are
+///   contiguous, the whole x-block of factor `a` is one contiguous slice.
+/// * `z` — one `dims`-vector per **variable node**, in variable order.
+///
+/// The engine hands mutable sub-slices of these arrays to parallel update
+/// loops; the flat layout is what gives coalesced access on the simulated
+/// GPU and streaming access on the CPU.
+#[derive(Debug, Clone)]
+pub struct VarStore {
+    dims: usize,
+    /// Per-edge `x`, the proximal-operator outputs.
+    pub x: Vec<f64>,
+    /// Per-edge `m = x + u`, messages into the z-average.
+    pub m: Vec<f64>,
+    /// Per-edge scaled dual `u`.
+    pub u: Vec<f64>,
+    /// Per-edge `n = z − u`, the proximal-operator inputs.
+    pub n: Vec<f64>,
+    /// Per-variable consensus `z`.
+    pub z: Vec<f64>,
+    /// Previous iteration's `z`, for the dual-residual stopping criterion.
+    pub z_prev: Vec<f64>,
+}
+
+impl VarStore {
+    /// Zero-initialized storage shaped for `graph`.
+    pub fn zeros(graph: &FactorGraph) -> Self {
+        let d = graph.dims();
+        let ne = graph.num_edges() * d;
+        let nv = graph.num_vars() * d;
+        VarStore {
+            dims: d,
+            x: vec![0.0; ne],
+            m: vec![0.0; ne],
+            u: vec![0.0; ne],
+            n: vec![0.0; ne],
+            z: vec![0.0; nv],
+            z_prev: vec![0.0; nv],
+        }
+    }
+
+    /// Components per edge vector.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of edges this store covers.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.x.len() / self.dims
+    }
+
+    /// Number of variables this store covers.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.z.len() / self.dims
+    }
+
+    /// Flat index range of edge `e` within the per-edge arrays.
+    #[inline]
+    pub fn edge_range(&self, e: EdgeId) -> std::ops::Range<usize> {
+        let lo = e.idx() * self.dims;
+        lo..lo + self.dims
+    }
+
+    /// Flat index range of variable `b` within `z` / `z_prev`.
+    #[inline]
+    pub fn var_range(&self, b: VarId) -> std::ops::Range<usize> {
+        let lo = b.idx() * self.dims;
+        lo..lo + self.dims
+    }
+
+    /// The contiguous flat range covering all edges of factor `a`.
+    #[inline]
+    pub fn factor_range(&self, graph: &FactorGraph, a: FactorId) -> std::ops::Range<usize> {
+        let r = graph.factor_edge_range(a);
+        r.start * self.dims..r.end * self.dims
+    }
+
+    /// `x` sub-vector of edge `e`.
+    #[inline]
+    pub fn x_edge(&self, e: EdgeId) -> &[f64] {
+        &self.x[self.edge_range(e)]
+    }
+
+    /// `n` sub-vector of edge `e`.
+    #[inline]
+    pub fn n_edge(&self, e: EdgeId) -> &[f64] {
+        &self.n[self.edge_range(e)]
+    }
+
+    /// `u` sub-vector of edge `e`.
+    #[inline]
+    pub fn u_edge(&self, e: EdgeId) -> &[f64] {
+        &self.u[self.edge_range(e)]
+    }
+
+    /// `m` sub-vector of edge `e`.
+    #[inline]
+    pub fn m_edge(&self, e: EdgeId) -> &[f64] {
+        &self.m[self.edge_range(e)]
+    }
+
+    /// `z` sub-vector of variable `b`.
+    #[inline]
+    pub fn z_var(&self, b: VarId) -> &[f64] {
+        &self.z[self.var_range(b)]
+    }
+
+    /// Fills `x, m, u, n, z` with independent uniform samples from
+    /// `[lo, hi)` using the supplied generator function — the analogue of
+    /// the paper's `initialize_X_N_Z_M_U_rand`. The generator is abstract so
+    /// callers can pass any RNG without this crate depending on `rand`.
+    pub fn init_uniform(&mut self, lo: f64, hi: f64, mut next_unit: impl FnMut() -> f64) {
+        assert!(hi >= lo, "invalid range");
+        let span = hi - lo;
+        for arr in [&mut self.x, &mut self.m, &mut self.u, &mut self.n, &mut self.z] {
+            for v in arr.iter_mut() {
+                *v = lo + span * next_unit();
+            }
+        }
+        self.z_prev.copy_from_slice(&self.z);
+    }
+
+    /// Sets every array to a constant (mostly for tests).
+    pub fn fill(&mut self, value: f64) {
+        for arr in [&mut self.x, &mut self.m, &mut self.u, &mut self.n, &mut self.z] {
+            arr.fill(value);
+        }
+        self.z_prev.fill(value);
+    }
+
+    /// Copies `z` into `z_prev` (called once per iteration before the
+    /// z-update so the dual residual can be formed).
+    #[inline]
+    pub fn snapshot_z(&mut self) {
+        self.z_prev.copy_from_slice(&self.z);
+    }
+
+    /// Total `f64` footprint, matching the paper's memory accounting
+    /// (`4·|E|·d + 2·|V|·d` doubles).
+    pub fn len_f64(&self) -> usize {
+        4 * self.x.len() + 2 * self.z.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn small_graph(dims: usize) -> FactorGraph {
+        let mut b = GraphBuilder::new(dims);
+        let vs = b.add_vars(3);
+        b.add_factor(&[vs[0], vs[1]]);
+        b.add_factor(&[vs[1], vs[2]]);
+        b.build()
+    }
+
+    #[test]
+    fn shapes_match_graph() {
+        let g = small_graph(4);
+        let s = VarStore::zeros(&g);
+        assert_eq!(s.x.len(), 4 * 4); // 4 edges × 4 dims
+        assert_eq!(s.z.len(), 3 * 4);
+        assert_eq!(s.num_edges(), 4);
+        assert_eq!(s.num_vars(), 3);
+        assert_eq!(s.len_f64(), 4 * 16 + 2 * 12);
+    }
+
+    #[test]
+    fn ranges_are_disjoint_and_cover() {
+        let g = small_graph(3);
+        let s = VarStore::zeros(&g);
+        let mut seen = vec![false; s.x.len()];
+        for e in g.edges() {
+            for i in s.edge_range(e) {
+                assert!(!seen[i], "overlap at {i}");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn factor_range_covers_its_edges() {
+        let g = small_graph(2);
+        let s = VarStore::zeros(&g);
+        assert_eq!(s.factor_range(&g, FactorId(0)), 0..4);
+        assert_eq!(s.factor_range(&g, FactorId(1)), 4..8);
+    }
+
+    #[test]
+    fn init_uniform_within_bounds_and_snapshots() {
+        let g = small_graph(2);
+        let mut s = VarStore::zeros(&g);
+        let mut state = 0.12345_f64;
+        s.init_uniform(-2.0, 5.0, move || {
+            // Deterministic pseudo-random in [0,1).
+            state = (state * 9301.0 + 49297.0) % 233280.0 / 233280.0;
+            state
+        });
+        for arr in [&s.x, &s.m, &s.u, &s.n, &s.z] {
+            assert!(arr.iter().all(|&v| (-2.0..5.0).contains(&v)));
+        }
+        assert_eq!(s.z, s.z_prev);
+    }
+
+    #[test]
+    fn fill_and_snapshot() {
+        let g = small_graph(1);
+        let mut s = VarStore::zeros(&g);
+        s.fill(7.0);
+        assert!(s.z.iter().all(|&v| v == 7.0));
+        s.z[0] = 1.0;
+        s.snapshot_z();
+        assert_eq!(s.z_prev[0], 1.0);
+    }
+
+    #[test]
+    fn edge_accessors() {
+        let g = small_graph(2);
+        let mut s = VarStore::zeros(&g);
+        s.x[2] = 9.0; // edge 1, component 0
+        assert_eq!(s.x_edge(EdgeId(1)), &[9.0, 0.0]);
+        s.z[4] = 3.0; // var 2, component 0
+        assert_eq!(s.z_var(VarId(2)), &[3.0, 0.0]);
+        assert_eq!(s.n_edge(EdgeId(0)), &[0.0, 0.0]);
+        assert_eq!(s.u_edge(EdgeId(3)), &[0.0, 0.0]);
+        assert_eq!(s.m_edge(EdgeId(3)), &[0.0, 0.0]);
+    }
+}

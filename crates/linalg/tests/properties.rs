@@ -1,0 +1,104 @@
+//! Property-based tests for the dense linear algebra.
+
+use proptest::prelude::*;
+
+use paradmm_linalg::{ops, project_affine, Cholesky, Lu, Matrix};
+
+/// Strategy: an n×n diagonally-dominant (hence nonsingular) matrix.
+fn dom_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let mut m = Matrix::from_vec(n, n, data);
+        for i in 0..n {
+            let boost = n as f64 + 1.0;
+            m[(i, i)] += if m[(i, i)] >= 0.0 { boost } else { -boost };
+        }
+        m
+    })
+}
+
+fn vec_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-5.0f64..5.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LU solve satisfies A x = b.
+    #[test]
+    fn lu_solve_residual((a, b) in (2usize..8).prop_flat_map(|n| (dom_matrix(n), vec_strategy(n)))) {
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&b);
+        let ax = a.matvec(&x);
+        prop_assert!(ops::dist2(&ax, &b) < 1e-8, "residual {}", ops::dist2(&ax, &b));
+    }
+
+    /// det(A)·det(A⁻¹) ≈ 1 for nonsingular matrices.
+    #[test]
+    fn lu_det_inverse(a in (2usize..6).prop_flat_map(dom_matrix)) {
+        let lu = Lu::factor(&a).unwrap();
+        let inv = lu.inverse();
+        let lu_inv = Lu::factor(&inv).unwrap();
+        prop_assert!((lu.det() * lu_inv.det() - 1.0).abs() < 1e-6);
+    }
+
+    /// Cholesky of AᵀA + I reconstructs and solves consistently with LU.
+    #[test]
+    fn cholesky_matches_lu((a, b) in (2usize..7).prop_flat_map(|n| (dom_matrix(n), vec_strategy(n)))) {
+        // SPD construction.
+        let spd = {
+            let mut s = a.transpose().matmul(&a);
+            for i in 0..s.rows() {
+                s[(i, i)] += 1.0;
+            }
+            s
+        };
+        let ch = Cholesky::factor(&spd).unwrap();
+        let lu = Lu::factor(&spd).unwrap();
+        let xc = ch.solve(&b);
+        let xl = lu.solve(&b);
+        prop_assert!(ops::dist2(&xc, &xl) < 1e-7);
+        // L Lᵀ = A.
+        let rec = ch.l().matmul(&ch.l().transpose());
+        prop_assert!(rec.max_abs_diff(&spd) < 1e-8);
+    }
+
+    /// Matrix transpose is an involution and (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn transpose_algebra(a in (2usize..6).prop_flat_map(dom_matrix), b in (2usize..6).prop_flat_map(dom_matrix)) {
+        prop_assume!(a.cols() == b.rows());
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let ab_t = a.matmul(&b).transpose();
+        let bt_at = b.transpose().matmul(&a.transpose());
+        prop_assert!(ab_t.max_abs_diff(&bt_at) < 1e-10);
+    }
+
+    /// Affine projection is idempotent and feasible.
+    #[test]
+    fn projection_idempotent(
+        row in vec_strategy(4),
+        c in -3.0f64..3.0,
+        x in vec_strategy(4),
+    ) {
+        prop_assume!(ops::norm2(&row) > 0.1);
+        let m = Matrix::from_vec(1, 4, row);
+        let p1 = project_affine(&m, &[c], &x).unwrap();
+        prop_assert!((m.matvec(&p1)[0] - c).abs() < 1e-8);
+        let p2 = project_affine(&m, &[c], &p1).unwrap();
+        prop_assert!(ops::dist2(&p1, &p2) < 1e-8);
+        // Projection is non-expansive relative to the input.
+        let feasible_dist = (m.matvec(&x)[0] - c).abs() / ops::norm2(m.row(0));
+        prop_assert!(ops::dist2(&x, &p1) <= feasible_dist + 1e-8);
+    }
+
+    /// Vector op identities: ‖x‖² = x·x; axpy linearity.
+    #[test]
+    fn ops_identities(x in vec_strategy(6), y in vec_strategy(6), a in -3.0f64..3.0) {
+        prop_assert!((ops::norm2_sq(&x) - ops::dot(&x, &x)).abs() < 1e-10);
+        let mut z = y.clone();
+        ops::axpy(a, &x, &mut z);
+        for i in 0..6 {
+            prop_assert!((z[i] - (y[i] + a * x[i])).abs() < 1e-12);
+        }
+        prop_assert!(ops::dist2_sq(&x, &x) == 0.0);
+    }
+}

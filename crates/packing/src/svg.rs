@@ -1,0 +1,105 @@
+//! SVG rendering of packing solutions.
+//!
+//! The packing literature lives and dies by pictures; this renders a
+//! solution (container outline + disks) as a standalone SVG string so
+//! examples and the benchmark harness can dump inspectable artefacts
+//! without a plotting dependency.
+
+use crate::geometry::{Disk, Polygon};
+
+/// Renders the container and disks into an SVG document of width
+/// `width_px` (height follows the container's aspect ratio).
+pub fn render_svg(container: &Polygon, disks: &[Disk], width_px: f64) -> String {
+    assert!(width_px > 0.0);
+    let (min, max) = bounds(container);
+    let span_x = (max[0] - min[0]).max(1e-9);
+    let span_y = (max[1] - min[1]).max(1e-9);
+    let scale = width_px / span_x;
+    let height_px = span_y * scale;
+    // SVG y grows downward; flip.
+    let tx = |x: f64| (x - min[0]) * scale;
+    let ty = |y: f64| height_px - (y - min[1]) * scale;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px:.0}\" height=\"{height_px:.0}\" viewBox=\"0 0 {width_px:.2} {height_px:.2}\">\n"
+    ));
+    // Container outline.
+    let points: Vec<String> = container
+        .vertices
+        .iter()
+        .map(|v| format!("{:.2},{:.2}", tx(v[0]), ty(v[1])))
+        .collect();
+    out.push_str(&format!(
+        "  <polygon points=\"{}\" fill=\"#f8f8f8\" stroke=\"#333\" stroke-width=\"1.5\"/>\n",
+        points.join(" ")
+    ));
+    // Disks, colour-cycled.
+    const PALETTE: [&str; 6] = ["#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948"];
+    for (i, d) in disks.iter().enumerate() {
+        if d.r <= 0.0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "  <circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"{:.2}\" fill=\"{}\" fill-opacity=\"0.75\" stroke=\"#222\" stroke-width=\"0.8\"/>\n",
+            tx(d.c[0]),
+            ty(d.c[1]),
+            d.r * scale,
+            PALETTE[i % PALETTE.len()]
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn bounds(container: &Polygon) -> ([f64; 2], [f64; 2]) {
+    let mut min = [f64::INFINITY; 2];
+    let mut max = [f64::NEG_INFINITY; 2];
+    for v in &container.vertices {
+        for c in 0..2 {
+            min[c] = min[c].min(v[c]);
+            max[c] = max[c].max(v[c]);
+        }
+    }
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_structure() {
+        let container = Polygon::triangle(1.0);
+        let disks = vec![
+            Disk { c: [0.5, 0.3], r: 0.2 },
+            Disk { c: [0.3, 0.1], r: 0.08 },
+        ];
+        let svg = render_svg(&container, &disks, 400.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert_eq!(svg.matches("<polygon").count(), 1);
+    }
+
+    #[test]
+    fn negative_radius_skipped() {
+        let container = Polygon::square(1.0);
+        let disks = vec![Disk { c: [0.5, 0.5], r: -0.1 }];
+        let svg = render_svg(&container, &disks, 100.0);
+        assert_eq!(svg.matches("<circle").count(), 0);
+    }
+
+    #[test]
+    fn aspect_ratio_follows_container() {
+        let container = Polygon::from_vertices(vec![
+            [0.0, 0.0],
+            [2.0, 0.0],
+            [2.0, 1.0],
+            [0.0, 1.0],
+        ]);
+        let svg = render_svg(&container, &[], 200.0);
+        assert!(svg.contains("width=\"200\""));
+        assert!(svg.contains("height=\"100\""));
+    }
+}

@@ -1,0 +1,101 @@
+//! The argument pack handed to a proximal operator.
+
+/// Borrowed views of one factor's slice of the ADMM state.
+///
+/// `n` and `x` are the factor's contiguous blocks of the global edge-ordered
+/// arrays (`degree() * dims` scalars each); `rho` has one weight per edge.
+pub struct ProxCtx<'a> {
+    /// Proximal inputs `n(a,b)` for each edge of the factor, flattened.
+    pub n: &'a [f64],
+    /// Per-edge penalty weights `ρ(a,b)`.
+    pub rho: &'a [f64],
+    /// Output: the minimizer, written flattened like `n`.
+    pub x: &'a mut [f64],
+    /// Components per edge vector.
+    pub dims: usize,
+}
+
+impl<'a> ProxCtx<'a> {
+    /// Builds a context, checking shape consistency.
+    ///
+    /// # Panics
+    /// If `n`/`x` lengths differ, are not a multiple of `dims`, or `rho`
+    /// does not have one entry per edge.
+    pub fn new(n: &'a [f64], rho: &'a [f64], x: &'a mut [f64], dims: usize) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        assert_eq!(n.len(), x.len(), "n and x must be the same shape");
+        assert_eq!(n.len() % dims, 0, "block length must be a multiple of dims");
+        assert_eq!(rho.len(), n.len() / dims, "one rho per edge");
+        ProxCtx { n, rho, x, dims }
+    }
+
+    /// Number of edges (`|∂a|`) this factor touches.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.rho.len()
+    }
+
+    /// The `n` sub-vector of edge `i`.
+    #[inline]
+    pub fn n_block(&self, i: usize) -> &[f64] {
+        &self.n[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Writes the `x` sub-vector of edge `i`.
+    #[inline]
+    pub fn x_block_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.x[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Copies `n` into `x` (identity prox), the starting point of many
+    /// operators.
+    #[inline]
+    pub fn copy_n_to_x(&mut self) {
+        self.x.copy_from_slice(self.n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let n = [1.0, 2.0, 3.0, 4.0];
+        let rho = [1.0, 2.0];
+        let mut x = [0.0; 4];
+        let mut ctx = ProxCtx::new(&n, &rho, &mut x, 2);
+        assert_eq!(ctx.degree(), 2);
+        assert_eq!(ctx.n_block(1), &[3.0, 4.0]);
+        ctx.x_block_mut(0)[1] = 9.0;
+        assert_eq!(x[1], 9.0);
+    }
+
+    #[test]
+    fn copy_n_to_x() {
+        let n = [1.0, 2.0];
+        let rho = [1.0, 1.0];
+        let mut x = [0.0; 2];
+        let mut ctx = ProxCtx::new(&n, &rho, &mut x, 1);
+        ctx.copy_n_to_x();
+        assert_eq!(x, n);
+    }
+
+    #[test]
+    #[should_panic(expected = "one rho per edge")]
+    fn rho_shape_checked() {
+        let n = [1.0, 2.0];
+        let rho = [1.0];
+        let mut x = [0.0; 2];
+        let _ = ProxCtx::new(&n, &rho, &mut x, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same shape")]
+    fn nx_shape_checked() {
+        let n = [1.0, 2.0];
+        let rho = [1.0];
+        let mut x = [0.0; 3];
+        let _ = ProxCtx::new(&n, &rho, &mut x, 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! Equality-constrained operators: pairwise/chain consensus and general
+//! affine subspaces.
+
+use paradmm_linalg::{project_affine_weighted, Matrix};
+
+use crate::{ProxCtx, ProxOp};
+
+/// Indicator of `s₁ = s₂ = … = s_k` across all edge blocks — the paper's
+/// Appendix C-4 *equality* operator, generalized from 2 to `k` blocks:
+///
+/// `x_i = (Σ_j ρ_j n_j) / (Σ_j ρ_j)`  for every block `i`.
+#[derive(Debug, Clone, Default)]
+pub struct ConsensusEqualityProx;
+
+impl ProxOp for ConsensusEqualityProx {
+    fn prox(&self, ctx: &mut ProxCtx<'_>) {
+        let d = ctx.dims;
+        let k = ctx.degree();
+        let rho_sum: f64 = ctx.rho.iter().sum();
+        assert!(rho_sum > 0.0, "consensus needs positive total weight");
+        for c in 0..d {
+            let mut acc = 0.0;
+            for i in 0..k {
+                acc += ctx.rho[i] * ctx.n[i * d + c];
+            }
+            let avg = acc / rho_sum;
+            for i in 0..k {
+                ctx.x[i * d + c] = avg;
+            }
+        }
+    }
+    fn cost_estimate(&self, degree: usize, dims: usize) -> f64 {
+        6.0 * (degree * dims) as f64 + 10.0
+    }
+    fn name(&self) -> &'static str {
+        "consensus"
+    }
+}
+
+/// Indicator of the affine set `{s : M s = c}` over the factor's flattened
+/// block — used by the MPC dynamics factor
+/// `q(t+1) − q(t) = A q(t) + B u(t)` and any other linear-equality coupling.
+///
+/// Solves the weighted projection
+/// `argmin Σⱼ ρⱼ/2 ‖sⱼ − nⱼ‖² s.t. M s = c` via a Cholesky factorization of
+/// `M W⁻¹ Mᵀ`. For a solve with *uniform* ρ across the factor's edges the
+/// projection matrix is precomputed once at construction and the per-call
+/// work is two mat-vecs (this is the fast path the engine hits in classical
+/// fixed-ρ ADMM).
+#[derive(Debug, Clone)]
+pub struct AffineEqualityProx {
+    m: Matrix,
+    c: Vec<f64>,
+}
+
+impl AffineEqualityProx {
+    /// Creates the operator from the constraint `M s = c`; `M` is
+    /// `(#constraints) × (degree·dims)` over the flattened block and must
+    /// have full row rank.
+    pub fn new(m: Matrix, c: Vec<f64>) -> Self {
+        assert_eq!(m.rows(), c.len(), "constraint rhs length mismatch");
+        AffineEqualityProx { m, c }
+    }
+
+    /// The constraint matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.m
+    }
+}
+
+impl ProxOp for AffineEqualityProx {
+    fn prox(&self, ctx: &mut ProxCtx<'_>) {
+        assert_eq!(self.m.cols(), ctx.n.len(), "constraint width mismatch");
+        // Expand per-edge rho over components.
+        let mut w = vec![0.0; ctx.n.len()];
+        for j in 0..w.len() {
+            w[j] = ctx.rho[j / ctx.dims];
+        }
+        let s = project_affine_weighted(&self.m, &self.c, ctx.n, &w)
+            .expect("affine constraint must have full row rank");
+        ctx.x.copy_from_slice(&s);
+    }
+    fn cost_estimate(&self, degree: usize, dims: usize) -> f64 {
+        // One small Cholesky + two mat-vecs; dominated by rows² · cols.
+        let n = (degree * dims) as f64;
+        let r = self.m.rows() as f64;
+        r * r * n + r * r * r / 3.0 + 2.0 * r * n
+    }
+    fn name(&self) -> &'static str {
+        "affine-eq"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::assert_is_minimizer;
+    use paradmm_linalg::ops;
+
+    fn run(op: &dyn ProxOp, n: &[f64], rho: &[f64], dims: usize) -> Vec<f64> {
+        let mut x = vec![0.0; n.len()];
+        let mut ctx = ProxCtx::new(n, rho, &mut x, dims);
+        op.prox(&mut ctx);
+        x
+    }
+
+    #[test]
+    fn consensus_two_blocks_matches_paper_eq11() {
+        let (r1, r2) = (2.0, 3.0);
+        let x = run(&ConsensusEqualityProx, &[4.0, -1.0], &[r1, r2], 1);
+        let expect = (r1 * 4.0 + r2 * (-1.0)) / (r1 + r2);
+        assert!((x[0] - expect).abs() < 1e-12);
+        assert_eq!(x[0], x[1]);
+    }
+
+    #[test]
+    fn consensus_multidim() {
+        let n = [1.0, 10.0, 3.0, 20.0]; // two blocks of dims=2
+        let x = run(&ConsensusEqualityProx, &n, &[1.0, 1.0], 2);
+        assert_eq!(x, vec![2.0, 15.0, 2.0, 15.0]);
+    }
+
+    #[test]
+    fn consensus_is_minimizer() {
+        let n = [0.5, -2.0, 1.5];
+        let rho = [1.0, 2.0, 0.5];
+        let x = run(&ConsensusEqualityProx, &n, &rho, 1);
+        assert_is_minimizer(
+            |s| {
+                let eq = (s[0] - s[1]).abs() < 1e-9 && (s[1] - s[2]).abs() < 1e-9;
+                if eq {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            },
+            &n,
+            &rho,
+            1,
+            &x,
+            1e-7,
+        );
+    }
+
+    #[test]
+    fn consensus_weighted_toward_heavy_edge() {
+        let x = run(&ConsensusEqualityProx, &[0.0, 10.0], &[1.0, 9.0], 1);
+        assert!((x[0] - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_projects_onto_constraint() {
+        // s0 + s1 = 4
+        let op = AffineEqualityProx::new(Matrix::from_rows(&[&[1.0, 1.0]]), vec![4.0]);
+        let x = run(&op, &[0.0, 0.0], &[1.0, 1.0], 1);
+        assert!((x[0] + x[1] - 4.0).abs() < 1e-12);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_equals_consensus_on_equality_constraint() {
+        // The pairwise consensus is the affine constraint s0 − s1 = 0.
+        let op = AffineEqualityProx::new(Matrix::from_rows(&[&[1.0, -1.0]]), vec![0.0]);
+        let n = [4.0, -1.0];
+        let rho = [2.0, 3.0];
+        let a = run(&op, &n, &rho, 1);
+        let b = run(&ConsensusEqualityProx, &n, &rho, 1);
+        assert!(ops::dist2(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn affine_respects_weights() {
+        let op = AffineEqualityProx::new(Matrix::from_rows(&[&[1.0, -1.0]]), vec![0.0]);
+        let x = run(&op, &[0.0, 10.0], &[1e6, 1.0], 1);
+        assert!(x[0].abs() < 0.01, "heavy-rho block should barely move");
+    }
+
+    #[test]
+    fn affine_is_minimizer() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, -1.0, 0.5]]);
+        let op = AffineEqualityProx::new(m.clone(), vec![1.0]);
+        let n = [0.3, -0.7, 1.9, 0.0];
+        let rho = [1.0, 2.5]; // dims=2 → 2 edges
+        let x = run(&op, &n, &rho, 2);
+        assert_is_minimizer(
+            |s| {
+                let r = m.matvec(s)[0] - 1.0;
+                if r.abs() < 1e-8 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            },
+            &n,
+            &rho,
+            2,
+            &x,
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn affine_multirow_constraint() {
+        // s0 = 1, s1 = 2 exactly.
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let op = AffineEqualityProx::new(m, vec![1.0, 2.0]);
+        let x = run(&op, &[9.0, -9.0], &[1.0, 1.0], 1);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,73 @@
+//! Proximal operators for the factor-graph ADMM.
+//!
+//! Line 3 of the paper's Algorithm 2 assigns every function node `a` the
+//! sub-problem
+//!
+//! ```text
+//! x(a,∂a) ← argmin_s  f_a(s) + Σ_{b∈∂a} ρ(a,b)/2 · ‖s_b − n(a,b)‖²
+//! ```
+//!
+//! — the *proximal operator* (PO) of `f_a` under per-edge weights. Users of
+//! parADMM write exactly this map as **serial** code; the engine schedules
+//! one PO per core. This crate defines the [`ProxOp`] trait the engine
+//! invokes plus a library of closed-form operators covering the paper's
+//! appendix (quadratic costs, half-space and affine-equality indicators,
+//! consensus, semi-lasso, hinge, …) and a numeric fallback
+//! ([`NumericProx`]) used to cross-check every closed form in tests.
+//!
+//! Operator state is immutable during a solve (`&self`), which is what
+//! makes the x-update embarrassingly parallel.
+
+pub mod ctx;
+pub mod equality;
+pub mod halfspace;
+pub mod numeric;
+pub mod projections;
+pub mod simple;
+pub mod testing;
+
+pub use ctx::ProxCtx;
+pub use equality::{AffineEqualityProx, ConsensusEqualityProx};
+pub use halfspace::{HalfspaceProx, HingeProx};
+pub use numeric::NumericProx;
+pub use projections::{max_assignment, project_simplex, NormBallProx, PermutationProx, SimplexProx};
+pub use simple::{BoxProx, L1Prox, LinearProx, QuadraticProx, SemiLassoProx, ZeroProx};
+
+/// A proximal operator: the serial kernel executed by one GPU thread / CPU
+/// core during the x-update.
+///
+/// Implementations must be `Send + Sync` (shared read-only across worker
+/// threads) and deterministic. All mutable state lives in the
+/// [`ProxCtx`]'s output slice.
+pub trait ProxOp: Send + Sync {
+    /// Solves `argmin_s f(s) + Σᵢ ρᵢ/2 ‖sᵢ − nᵢ‖²` and writes `s` into
+    /// `ctx.x`. Blocks are laid out contiguously: edge `i` of the factor
+    /// occupies components `i*dims .. (i+1)*dims` of both `ctx.n` and
+    /// `ctx.x`, weighted by `ctx.rho[i]`.
+    fn prox(&self, ctx: &mut ProxCtx<'_>);
+
+    /// Analytic work estimate in abstract flop-units for a factor of
+    /// `degree` edges with `dims`-component edge vectors. Drives the
+    /// machine models in `paradmm-gpusim`; the default charges a small
+    /// constant per scalar touched.
+    fn cost_estimate(&self, degree: usize, dims: usize) -> f64 {
+        4.0 * (degree * dims) as f64
+    }
+
+    /// Human-readable operator name (diagnostics / traces).
+    fn name(&self) -> &'static str {
+        "prox"
+    }
+}
+
+impl<T: ProxOp + ?Sized> ProxOp for Box<T> {
+    fn prox(&self, ctx: &mut ProxCtx<'_>) {
+        (**self).prox(ctx)
+    }
+    fn cost_estimate(&self, degree: usize, dims: usize) -> f64 {
+        (**self).cost_estimate(degree, dims)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}

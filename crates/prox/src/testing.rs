@@ -1,0 +1,118 @@
+//! Shared verification helpers for proximal-operator tests.
+//!
+//! Every closed-form operator in this workspace is validated against the
+//! defining variational property: the returned `x` must minimize
+//! `F(s) = f(s) + Σᵢ ρᵢ/2 ‖sᵢ − nᵢ‖²`. These helpers probe `F` at random
+//! perturbations of `x` and fail if any probe improves on it.
+
+/// Evaluates the augmented objective `F(s) = f(s) + Σᵢ ρᵢ/2 ‖sᵢ − nᵢ‖²`
+/// with per-edge weights expanded over `dims`-component blocks.
+pub fn augmented_objective(
+    f: &dyn Fn(&[f64]) -> f64,
+    n: &[f64],
+    rho: &[f64],
+    dims: usize,
+    s: &[f64],
+) -> f64 {
+    let mut acc = f(s);
+    for j in 0..s.len() {
+        let r = rho[j / dims];
+        let d = s[j] - n[j];
+        acc += 0.5 * r * d * d;
+    }
+    acc
+}
+
+/// Asserts `x` (approximately) minimizes the augmented objective by probing
+/// deterministic perturbations at several scales in random directions.
+///
+/// `f` may return `f64::INFINITY` outside its domain (indicator functions);
+/// infeasible probes are skipped, but `x` itself must be feasible.
+///
+/// # Panics
+/// If `F(x)` is infinite, or any probe beats `F(x)` by more than `tol`.
+pub fn assert_is_minimizer(
+    f: impl Fn(&[f64]) -> f64,
+    n: &[f64],
+    rho: &[f64],
+    dims: usize,
+    x: &[f64],
+    tol: f64,
+) {
+    let fx = augmented_objective(&f, n, rho, dims, x);
+    assert!(
+        fx.is_finite(),
+        "prox output must be feasible: F(x) = {fx} for x = {x:?}"
+    );
+    // Deterministic low-discrepancy direction generator (no rand dependency
+    // here; this module is also used from doctests).
+    let mut state = 0x9e3779b97f4a7c15_u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64) / ((1_u64 << 53) as f64) * 2.0 - 1.0
+    };
+    let mut probe = vec![0.0; x.len()];
+    for scale in [1e-3, 1e-2, 1e-1, 0.5] {
+        for _ in 0..64 {
+            for j in 0..x.len() {
+                probe[j] = x[j] + scale * next();
+            }
+            let fp = augmented_objective(&f, n, rho, dims, &probe);
+            assert!(
+                fp >= fx - tol,
+                "found better point: F(probe)={fp} < F(x)={fx} (scale {scale})\n  x={x:?}\n  probe={probe:?}"
+            );
+        }
+        // Also probe along coordinate axes, both directions.
+        for j in 0..x.len() {
+            for sign in [-1.0, 1.0] {
+                probe.copy_from_slice(x);
+                probe[j] += sign * scale;
+                let fp = augmented_objective(&f, n, rho, dims, &probe);
+                assert!(
+                    fp >= fx - tol,
+                    "axis probe beats x: F={fp} < {fx} at coord {j}, scale {scale}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_matches_manual() {
+        let f = |s: &[f64]| s[0] * s[0];
+        let v = augmented_objective(&f, &[1.0], &[2.0], 1, &[3.0]);
+        // 9 + 0.5·2·(3−1)² = 9 + 4
+        assert_eq!(v, 13.0);
+    }
+
+    #[test]
+    fn accepts_true_minimizer() {
+        // f = 0, so minimizer of augmented objective is x = n.
+        assert_is_minimizer(|_| 0.0, &[1.0, 2.0], &[1.0, 1.0], 1, &[1.0, 2.0], 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "better point")]
+    fn rejects_non_minimizer() {
+        assert_is_minimizer(|_| 0.0, &[1.0, 2.0], &[1.0, 1.0], 1, &[2.0, 2.0], 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "feasible")]
+    fn rejects_infeasible_output() {
+        let f = |s: &[f64]| if s[0] < 0.0 { f64::INFINITY } else { 0.0 };
+        assert_is_minimizer(f, &[1.0], &[1.0], 1, &[-1.0], 1e-9);
+    }
+
+    #[test]
+    fn indicator_probes_skip_infeasible() {
+        // f = indicator(s ≥ 0); prox of n=-1 is 0, sitting on the boundary.
+        let f = |s: &[f64]| if s[0] < 0.0 { f64::INFINITY } else { 0.0 };
+        assert_is_minimizer(f, &[-1.0], &[1.0], 1, &[0.0], 1e-9);
+    }
+}

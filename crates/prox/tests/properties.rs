@@ -1,0 +1,158 @@
+//! Property-based tests: every closed-form operator satisfies the
+//! variational definition of a proximal map on random inputs, plus the
+//! firm-nonexpansiveness of the convex projections.
+
+use proptest::prelude::*;
+
+use paradmm_prox::testing::augmented_objective;
+use paradmm_prox::{
+    BoxProx, ConsensusEqualityProx, HalfspaceProx, L1Prox, ProxCtx, ProxOp, QuadraticProx,
+    SemiLassoProx, SimplexProx,
+};
+
+fn run(op: &dyn ProxOp, n: &[f64], rho: &[f64], dims: usize) -> Vec<f64> {
+    let mut x = vec![0.0; n.len()];
+    let mut ctx = ProxCtx::new(n, rho, &mut x, dims);
+    op.prox(&mut ctx);
+    x
+}
+
+/// Probes a handful of perturbations; returns the best objective found.
+fn probe_best(
+    f: &dyn Fn(&[f64]) -> f64,
+    n: &[f64],
+    rho: &[f64],
+    dims: usize,
+    x: &[f64],
+) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut probe = x.to_vec();
+    let mut state = 0xabcdef12345_u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 11) as f64 / (1_u64 << 53) as f64) * 2.0 - 1.0
+    };
+    for scale in [1e-3, 1e-2, 0.1, 0.4] {
+        for _ in 0..24 {
+            for (p, &xi) in probe.iter_mut().zip(x) {
+                *p = xi + scale * next();
+            }
+            best = best.min(augmented_objective(f, n, rho, dims, &probe));
+        }
+    }
+    best
+}
+
+fn inputs(len: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (
+        proptest::collection::vec(-4.0f64..4.0, len),
+        proptest::collection::vec(0.2f64..5.0, len),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// L1 prox minimizes λ‖s‖₁ + penalty.
+    #[test]
+    fn l1_is_prox((n, rho) in inputs(4), lambda in 0.0f64..3.0) {
+        let op = L1Prox::new(lambda);
+        let x = run(&op, &n, &rho, 1);
+        let f = move |s: &[f64]| lambda * s.iter().map(|v| v.abs()).sum::<f64>();
+        let fx = augmented_objective(&f, &n, &rho, 1, &x);
+        prop_assert!(probe_best(&f, &n, &rho, 1, &x) >= fx - 1e-7);
+    }
+
+    /// Semi-lasso prox stays non-negative and minimizes.
+    #[test]
+    fn semilasso_is_prox((n, rho) in inputs(4), lambda in 0.0f64..3.0) {
+        let op = SemiLassoProx::new(lambda);
+        let x = run(&op, &n, &rho, 1);
+        prop_assert!(x.iter().all(|&v| v >= 0.0));
+        let f = move |s: &[f64]| {
+            if s.iter().any(|&v| v < 0.0) {
+                f64::INFINITY
+            } else {
+                lambda * s.iter().sum::<f64>()
+            }
+        };
+        let fx = augmented_objective(&f, &n, &rho, 1, &x);
+        prop_assert!(probe_best(&f, &n, &rho, 1, &x) >= fx - 1e-7);
+    }
+
+    /// Box prox clamps and minimizes.
+    #[test]
+    fn box_is_prox((n, rho) in inputs(5), lo in -2.0f64..0.0, width in 0.1f64..3.0) {
+        let op = BoxProx::new(lo, lo + width);
+        let x = run(&op, &n, &rho, 1);
+        prop_assert!(x.iter().all(|&v| v >= lo - 1e-12 && v <= lo + width + 1e-12));
+        for (xi, ni) in x.iter().zip(&n) {
+            prop_assert!((xi - ni.clamp(lo, lo + width)).abs() < 1e-12);
+        }
+    }
+
+    /// Quadratic prox solves the stationarity equation exactly.
+    #[test]
+    fn quadratic_stationarity((n, rho) in inputs(3), q in 0.1f64..4.0, g in -2.0f64..2.0) {
+        let op = QuadraticProx::diagonal(vec![q; 3], vec![g; 3]);
+        let x = run(&op, &n, &rho, 1);
+        for j in 0..3 {
+            // q·x − g + ρ(x − n) = 0
+            let resid = q * x[j] - g + rho[j] * (x[j] - n[j]);
+            prop_assert!(resid.abs() < 1e-9);
+        }
+    }
+
+    /// Half-space prox output is feasible and no farther than the input's
+    /// own violation requires (weighted non-expansiveness sanity).
+    #[test]
+    fn halfspace_feasible((n, rho) in inputs(4), bias in -2.0f64..2.0, a in proptest::collection::vec(-2.0f64..2.0, 4)) {
+        prop_assume!(a.iter().map(|v| v * v).sum::<f64>() > 0.05);
+        let op = HalfspaceProx::new(a.clone(), bias);
+        let x = run(&op, &n, &rho, 1);
+        prop_assert!(op.slack(&x) >= -1e-8);
+        // If already feasible, identity.
+        if op.slack(&n) >= 0.0 {
+            for j in 0..4 {
+                prop_assert!((x[j] - n[j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Consensus prox returns equal blocks at the ρ-weighted mean, and is
+    /// a projection (idempotent).
+    #[test]
+    fn consensus_idempotent((n, rho) in inputs(5)) {
+        let op = ConsensusEqualityProx;
+        let x = run(&op, &n, &rho, 1);
+        let x2 = run(&op, &x, &rho, 1);
+        for (a, b) in x.iter().zip(&x2) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+        let first = x[0];
+        prop_assert!(x.iter().all(|&v| (v - first).abs() < 1e-10));
+    }
+
+    /// Simplex projection: feasible output, idempotent, and order-
+    /// preserving (larger inputs never map below smaller ones).
+    #[test]
+    fn simplex_properties(n in proptest::collection::vec(-3.0f64..3.0, 5)) {
+        let rho = [1.0];
+        let op = SimplexProx;
+        let x = run(&op, &n, &rho, 5);
+        let sum: f64 = x.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(x.iter().all(|&v| v >= 0.0));
+        let x2 = run(&op, &x, &rho, 5);
+        for (a, b) in x.iter().zip(&x2) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        for i in 0..5 {
+            for j in 0..5 {
+                if n[i] > n[j] {
+                    prop_assert!(x[i] >= x[j] - 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Pegasos-style subgradient SVM trainer, used as an independent
+//! correctness reference for the ADMM model.
+
+use rand::Rng;
+
+use crate::data::Dataset;
+
+/// Trains a soft-margin SVM by stochastic subgradient descent on
+/// `λ/2‖w‖² + mean hinge loss` (Shalev-Shwartz et al.'s Pegasos, with a
+/// standard unregularized bias). Returns `(w, b)`.
+pub fn pegasos_train(
+    data: &Dataset,
+    lambda: f64,
+    epochs: usize,
+    rng: &mut impl Rng,
+) -> (Vec<f64>, f64) {
+    assert!(lambda > 0.0 && !data.is_empty());
+    let n = data.len();
+    let mut w = vec![0.0; data.dim];
+    let mut b = 0.0;
+    let mut t = 0usize;
+    for _ in 0..epochs {
+        for _ in 0..n {
+            t += 1;
+            let i = rng.gen_range(0..n);
+            let x = &data.points[i];
+            let y = data.labels[i];
+            let eta = 1.0 / (lambda * t as f64);
+            let score: f64 = w.iter().zip(x.iter()).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
+            // w ← (1 − ηλ)w (+ ηy x if margin violated)
+            let shrink = 1.0 - eta * lambda;
+            for wi in w.iter_mut() {
+                *wi *= shrink;
+            }
+            if y * score < 1.0 {
+                for (wi, xi) in w.iter_mut().zip(x.iter()) {
+                    *wi += eta * y * xi;
+                }
+                b += eta * y * 0.1; // slow bias updates keep Pegasos stable
+            }
+        }
+    }
+    (w, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::gaussian_mixture;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_separable_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let data = gaussian_mixture(400, 2, 6.0, &mut rng);
+        let (w, b) = pegasos_train(&data, 0.01, 20, &mut rng);
+        let acc = data.accuracy(&w, b);
+        assert!(acc > 0.95, "pegasos accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_higher_dimensional_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let data = gaussian_mixture(600, 10, 7.0, &mut rng);
+        let (w, b) = pegasos_train(&data, 0.01, 20, &mut rng);
+        assert!(data.accuracy(&w, b) > 0.93);
+    }
+
+    #[test]
+    fn weight_points_along_separating_axis() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let data = gaussian_mixture(500, 3, 8.0, &mut rng);
+        let (w, _) = pegasos_train(&data, 0.01, 15, &mut rng);
+        let norm: f64 = w.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(w[0] / norm > 0.9, "first axis must dominate, w = {w:?}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Run a problem on the simulated SIMT device: exact numerics on the host,
+//! modeled Tesla K40 clock, per-kernel breakdown, and ntb auto-tuning —
+//! the substitution substrate behind every GPU figure in EXPERIMENTS.md.
+//!
+//! Run: `cargo run --release --example gpu_simulation`
+
+use paradmm::core::UpdateKind;
+use paradmm::gpusim::{GpuAdmmEngine, PcieLink, SimtDevice};
+use paradmm::packing::{PackingConfig, PackingProblem};
+
+fn main() {
+    let n = 300;
+    let (_, problem) = PackingProblem::build(PackingConfig::new(n));
+    println!(
+        "packing N = {n}: {} factors, {} variables, {} edges",
+        problem.graph().num_factors(),
+        problem.graph().num_vars(),
+        problem.graph().num_edges()
+    );
+
+    let mut gpu = GpuAdmmEngine::new(problem, SimtDevice::tesla_k40());
+    println!("\nper-kernel stats at the paper's default ntb = 32:");
+    for kind in UpdateKind::ALL {
+        let s = gpu.kernel_stats(kind);
+        println!(
+            "  {}-update: {:>9.3} µs  (nb = {:>6}, occupancy {:.2}, bw-util {:.2}, straggler {:.2})",
+            kind.label(),
+            s.seconds * 1e6,
+            s.nb,
+            s.occupancy,
+            s.bw_utilization,
+            s.straggler_factor
+        );
+    }
+
+    let tuned = gpu.tune_ntb();
+    println!("\nauto-tuned ntb per kernel (x, m, z, u, n): {tuned:?}");
+    let b = gpu.iteration_breakdown();
+    println!("simulated iteration time: {:.3} µs", b.total() * 1e6);
+    for kind in UpdateKind::ALL {
+        println!("  {}-update: {:.1}%", kind.label(), 100.0 * b.fraction(kind));
+    }
+
+    // Run real numerics against the simulated clock.
+    gpu.run(100);
+    println!("\nafter {} iterations: simulated device time {:.3} ms", gpu.iterations(), gpu.simulated_seconds() * 1e3);
+
+    let link = PcieLink::pcie3_x16();
+    println!(
+        "transfer accounting: z copy-back {:.3} ms, one-time graph upload {:.2} s",
+        link.copy_z_back(gpu.store()) * 1e3,
+        link.upload_graph(gpu.problem().graph(), gpu.store())
+    );
+}

@@ -1,0 +1,160 @@
+//! Property-based tests on the core invariants, with randomly generated
+//! topologies, parameters, and states.
+
+use proptest::prelude::*;
+
+use paradmm::core::{AdmmProblem, Residuals, Scheduler, UpdateTimings};
+use paradmm::graph::{EdgeParams, FactorGraph, GraphBuilder, GraphStats, VarId, VarStore};
+use paradmm::prox::{ConsensusEqualityProx, ProxCtx, ProxOp, QuadraticProx, ZeroProx};
+
+/// Strategy: a random factor graph with `dims`, up to `max_vars` variables
+/// and `max_factors` factors, each factor touching a random distinct
+/// subset.
+fn arb_graph(max_vars: usize, max_factors: usize) -> impl Strategy<Value = FactorGraph> {
+    (1usize..=3, 1usize..=max_vars).prop_flat_map(move |(dims, nv)| {
+        let factor = proptest::collection::btree_set(0..nv, 1..=nv.min(4));
+        proptest::collection::vec(factor, 1..=max_factors).prop_map(move |factors| {
+            let mut b = GraphBuilder::new(dims);
+            let vars = b.add_vars(nv);
+            for f in &factors {
+                let vs: Vec<VarId> = f.iter().map(|&i| vars[i]).collect();
+                b.add_factor(&vs);
+            }
+            b.build()
+        })
+    })
+}
+
+fn zero_problem(graph: FactorGraph) -> AdmmProblem {
+    let proxes: Vec<Box<dyn ProxOp>> =
+        (0..graph.num_factors()).map(|_| Box::new(ZeroProx) as Box<dyn ProxOp>).collect();
+    AdmmProblem::new(graph, proxes, 1.0, 1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR invariants hold for every generated topology.
+    #[test]
+    fn graph_validates(g in arb_graph(8, 12)) {
+        prop_assert!(g.validate().is_ok());
+        // Degree sums agree in both directions.
+        let fsum: usize = g.factors().map(|a| g.factor_degree(a)).sum();
+        let vsum: usize = g.vars().map(|b| g.var_degree(b)).sum();
+        prop_assert_eq!(fsum, g.num_edges());
+        prop_assert_eq!(vsum, g.num_edges());
+    }
+
+    /// Degree statistics are consistent with brute-force recounts.
+    #[test]
+    fn stats_match_brute_force(g in arb_graph(8, 12)) {
+        let s = GraphStats::compute(&g);
+        let max_v = g.vars().map(|b| g.var_degree(b)).max().unwrap_or(0);
+        prop_assert_eq!(s.max_var_degree, max_v);
+        prop_assert!(s.var_imbalance >= 1.0 - 1e-12);
+        let hist = GraphStats::var_degree_histogram(&g);
+        prop_assert_eq!(hist.iter().sum::<usize>(), g.num_vars());
+    }
+
+    /// Balanced grouping is a partition of the variables.
+    #[test]
+    fn grouping_is_partition(g in arb_graph(10, 14), k in 1usize..6) {
+        let groups = GraphStats::balanced_var_groups(&g, k);
+        let mut seen: Vec<u32> = groups.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let expect: Vec<u32> = (0..g.num_vars() as u32).collect();
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// All three schedulers produce bit-identical iterates on random
+    /// problems (quadratic factors with random targets).
+    #[test]
+    fn schedulers_agree(
+        g in arb_graph(6, 8),
+        seed in 0u64..1000,
+        threads in 1usize..4,
+    ) {
+        let make = || {
+            let proxes: Vec<Box<dyn ProxOp>> = g
+                .factors()
+                .map(|a| {
+                    let len = g.factor_degree(a) * g.dims();
+                    let t: Vec<f64> = (0..len)
+                        .map(|i| ((seed as f64 + i as f64) * 0.61).sin())
+                        .collect();
+                    Box::new(QuadraticProx::isotropic(len, 1.0, &t)) as Box<dyn ProxOp>
+                })
+                .collect();
+            AdmmProblem::new(g.clone(), proxes, 1.5, 0.9)
+        };
+        let run = |p: &AdmmProblem, s: Scheduler| {
+            let mut store = VarStore::zeros(p.graph());
+            let mut t = UpdateTimings::new();
+            let pool = s.build_pool();
+            s.run_block(p, &mut store, 7, &mut t, pool.as_ref());
+            store.z
+        };
+        let pa = make();
+        let pb = make();
+        let pc = make();
+        let z_serial = run(&pa, Scheduler::Serial);
+        let z_rayon = run(&pb, Scheduler::Rayon { threads: Some(threads) });
+        let z_barrier = run(&pc, Scheduler::Barrier { threads });
+        prop_assert_eq!(&z_serial, &z_rayon);
+        prop_assert_eq!(&z_serial, &z_barrier);
+    }
+
+    /// With f ≡ 0, the consensus z equals the ρ-weighted average of
+    /// messages no matter the topology (conservation property of the
+    /// z-update), and residuals are finite.
+    #[test]
+    fn zero_prox_fixed_point_and_finite_residuals(
+        g in arb_graph(6, 8),
+        init in -5.0f64..5.0,
+    ) {
+        let p = zero_problem(g);
+        let mut store = VarStore::zeros(p.graph());
+        store.fill(init);
+        // A consensus state is a fixed point only with zero duals.
+        store.u.fill(0.0);
+        let mut t = UpdateTimings::new();
+        Scheduler::Serial.run_block(&p, &mut store, 5, &mut t, None);
+        // f = 0 and uniform init is a fixed point: z stays at init.
+        for &z in &store.z {
+            prop_assert!((z - init).abs() < 1e-9);
+        }
+        let r = Residuals::compute(p.graph(), p.params(), &store);
+        prop_assert!(r.primal.is_finite() && r.dual.is_finite());
+        prop_assert!(r.primal < 1e-9);
+    }
+
+    /// The consensus prox output always has equal blocks, equal to the
+    /// ρ-weighted mean.
+    #[test]
+    fn consensus_prox_property(
+        vals in proptest::collection::vec(-10.0f64..10.0, 2..6),
+        rhos in proptest::collection::vec(0.1f64..10.0, 2..6),
+    ) {
+        let k = vals.len().min(rhos.len());
+        let n: Vec<f64> = vals[..k].to_vec();
+        let rho: Vec<f64> = rhos[..k].to_vec();
+        let mut x = vec![0.0; k];
+        let mut ctx = ProxCtx::new(&n, &rho, &mut x, 1);
+        ConsensusEqualityProx.prox(&mut ctx);
+        let expect: f64 = n.iter().zip(&rho).map(|(a, b)| a * b).sum::<f64>()
+            / rho.iter().sum::<f64>();
+        for &xi in x.iter() {
+            prop_assert!((xi - expect).abs() < 1e-9);
+        }
+    }
+
+    /// EdgeParams validation accepts everything `uniform` produces and
+    /// scaling preserves validity.
+    #[test]
+    fn edge_params_valid(g in arb_graph(6, 8), rho in 0.01f64..100.0, s in 0.1f64..10.0) {
+        let mut p = EdgeParams::uniform(&g, rho, 1.0);
+        prop_assert!(p.validate(&g).is_ok());
+        p.scale_rho(s);
+        prop_assert!(p.validate(&g).is_ok());
+    }
+}
