@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use paradmm_core::{naive::NaiveAdmm, Scheduler, UpdateTimings};
+use paradmm_core::{naive::NaiveAdmm, SerialBackend, SweepExecutor, UpdateTimings};
 use paradmm_graph::VarStore;
 use paradmm_mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
 use paradmm_packing::{PackingConfig, PackingProblem};
@@ -19,7 +19,7 @@ fn bench_problem_iterations(c: &mut Criterion) {
         let mut t = UpdateTimings::new();
         group.bench_with_input(BenchmarkId::new("packing", n), &n, |b, _| {
             b.iter(|| {
-                Scheduler::Serial.run_block(&problem, &mut store, 1, &mut t, None);
+                SerialBackend.run_block(&problem, &mut store, 1, &mut t);
             })
         });
     }
@@ -30,7 +30,7 @@ fn bench_problem_iterations(c: &mut Criterion) {
         let mut t = UpdateTimings::new();
         group.bench_with_input(BenchmarkId::new("mpc", k), &k, |b, _| {
             b.iter(|| {
-                Scheduler::Serial.run_block(&problem, &mut store, 1, &mut t, None);
+                SerialBackend.run_block(&problem, &mut store, 1, &mut t);
             })
         });
     }
@@ -43,7 +43,7 @@ fn bench_problem_iterations(c: &mut Criterion) {
         let mut t = UpdateTimings::new();
         group.bench_with_input(BenchmarkId::new("svm", n), &n, |b, _| {
             b.iter(|| {
-                Scheduler::Serial.run_block(&problem, &mut store, 1, &mut t, None);
+                SerialBackend.run_block(&problem, &mut store, 1, &mut t);
             })
         });
     }
@@ -59,14 +59,12 @@ fn bench_naive_vs_flat(c: &mut Criterion) {
     let mut t = UpdateTimings::new();
     group.bench_function("flat_soa", |b| {
         b.iter(|| {
-            Scheduler::Serial.run_block(&problem, &mut store, 1, &mut t, None);
+            SerialBackend.run_block(&problem, &mut store, 1, &mut t);
         })
     });
 
     let mut naive = NaiveAdmm::new(&problem);
-    group.bench_function("naive_scattered", |b| {
-        b.iter(|| naive.iterate())
-    });
+    group.bench_function("naive_scattered", |b| b.iter(|| naive.iterate()));
     group.finish();
 }
 

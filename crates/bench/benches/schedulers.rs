@@ -4,39 +4,42 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use paradmm_core::{Scheduler, UpdateTimings};
+use paradmm_core::{BarrierBackend, RayonBackend, SerialBackend, SweepExecutor, UpdateTimings};
 use paradmm_graph::VarStore;
 use paradmm_packing::{PackingConfig, PackingProblem};
 
 fn bench_schedulers(c: &mut Criterion) {
-    let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
     let (_, problem) = PackingProblem::build(PackingConfig::new(120));
     let mut group = c.benchmark_group("schedulers");
 
     {
+        let mut backend = SerialBackend;
         let mut store = VarStore::zeros(problem.graph());
         let mut t = UpdateTimings::new();
         group.bench_function("serial", |b| {
-            b.iter(|| Scheduler::Serial.run_block(&problem, &mut store, 1, &mut t, None))
+            b.iter(|| backend.run_block(&problem, &mut store, 1, &mut t))
         });
     }
     {
-        let scheduler = Scheduler::Rayon { threads: Some(threads) };
-        let pool = scheduler.build_pool();
+        // The backend owns its pool across iterations — no rebuild cost.
+        let mut backend = RayonBackend::new(Some(threads));
         let mut store = VarStore::zeros(problem.graph());
         let mut t = UpdateTimings::new();
         group.bench_function("rayon_approach1", |b| {
-            b.iter(|| scheduler.run_block(&problem, &mut store, 1, &mut t, pool.as_ref()))
+            b.iter(|| backend.run_block(&problem, &mut store, 1, &mut t))
         });
     }
     {
-        let scheduler = Scheduler::Barrier { threads };
+        let mut backend = BarrierBackend::new(threads);
         let mut store = VarStore::zeros(problem.graph());
         let mut t = UpdateTimings::new();
         group.bench_function("barrier_approach2", |b| {
             // Barrier spins a scope per block; batch 8 iterations to
             // amortize like a real run does.
-            b.iter(|| scheduler.run_block(&problem, &mut store, 8, &mut t, None))
+            b.iter(|| backend.run_block(&problem, &mut store, 8, &mut t))
         });
     }
     group.finish();

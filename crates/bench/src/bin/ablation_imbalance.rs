@@ -23,8 +23,7 @@ fn main() {
     // --- (b) star vs replicated topology ---
     let mut rows = Vec::new();
     for topology in [SvmTopology::Star, SvmTopology::Replicated] {
-        let (_, problem) =
-            SvmProblem::build_with_topology(&data, SvmConfig::default(), topology);
+        let (_, problem) = SvmProblem::build_with_topology(&data, SvmConfig::default(), topology);
         let stats = GraphStats::compute(problem.graph());
         let profile = WorkloadProfile::from_problem(&problem);
         let z = device

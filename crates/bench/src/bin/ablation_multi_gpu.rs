@@ -56,7 +56,14 @@ fn main() {
     }
     print_table(
         "Future-work 3: multi-GPU scaling (simulated K40s, BFS partition)",
-        &["problem", "gpus", "halo_vars", "compute_s", "exchange_s", "speedup"],
+        &[
+            "problem",
+            "gpus",
+            "halo_vars",
+            "compute_s",
+            "exchange_s",
+            "speedup",
+        ],
         &rows,
     );
 }

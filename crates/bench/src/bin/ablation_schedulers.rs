@@ -11,27 +11,30 @@
 use std::time::Instant;
 
 use paradmm_bench::{print_table, FigArgs};
-use paradmm_core::{AdmmProblem, Scheduler, UpdateTimings};
+use paradmm_core::{
+    AdmmProblem, BarrierBackend, RayonBackend, SerialBackend, SweepExecutor, UpdateTimings,
+};
 use paradmm_graph::VarStore;
 use paradmm_mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
 use paradmm_packing::{PackingConfig, PackingProblem};
 use paradmm_svm::{gaussian_mixture, SvmConfig, SvmProblem};
 use rand::SeedableRng;
 
-fn time_scheduler(problem: &AdmmProblem, scheduler: Scheduler, iters: usize) -> f64 {
+fn time_backend(problem: &AdmmProblem, backend: &mut dyn SweepExecutor, iters: usize) -> f64 {
     let mut store = VarStore::zeros(problem.graph());
     let mut t = UpdateTimings::new();
-    let pool = scheduler.build_pool();
     // Warm-up.
-    scheduler.run_block(problem, &mut store, 2, &mut t, pool.as_ref());
+    backend.run_block(problem, &mut store, 2, &mut t);
     let start = Instant::now();
-    scheduler.run_block(problem, &mut store, iters, &mut t, pool.as_ref());
+    backend.run_block(problem, &mut store, iters, &mut t);
     start.elapsed().as_secs_f64() / iters as f64
 }
 
 fn main() {
     let args = FigArgs::parse();
-    let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
     let scale = if args.paper_scale { 4 } else { 1 };
     println!("# host has {threads} core(s); schedulers use that many threads");
 
@@ -47,21 +50,21 @@ fn main() {
             MpcProblem::build(MpcConfig::new(5_000 * scale), paper_plant()).1,
             20,
         ),
-        ("svm", {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-            let data = gaussian_mixture(5_000 * scale, 2, 4.0, &mut rng);
-            SvmProblem::build(&data, SvmConfig::default()).1
-        }, 20),
+        (
+            "svm",
+            {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+                let data = gaussian_mixture(5_000 * scale, 2, 4.0, &mut rng);
+                SvmProblem::build(&data, SvmConfig::default()).1
+            },
+            20,
+        ),
     ];
 
     for (name, problem, iters) in &problems {
-        let serial = time_scheduler(problem, Scheduler::Serial, *iters);
-        let rayon = time_scheduler(
-            problem,
-            Scheduler::Rayon { threads: Some(threads) },
-            *iters,
-        );
-        let barrier = time_scheduler(problem, Scheduler::Barrier { threads }, *iters);
+        let serial = time_backend(problem, &mut SerialBackend, *iters);
+        let rayon = time_backend(problem, &mut RayonBackend::new(Some(threads)), *iters);
+        let barrier = time_backend(problem, &mut BarrierBackend::new(threads), *iters);
         rows.push(vec![
             (*name).into(),
             format!("{serial:.3e}"),

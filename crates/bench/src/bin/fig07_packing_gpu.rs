@@ -5,7 +5,8 @@
 //! Also prints the x+z time-fraction claim (§V-A: 31% + 40% at N = 5000).
 
 use paradmm_bench::{
-fmt_per_update, fmt_s, gpu_row, print_table, FigArgs, KIND_LABELS,
+    fmt_per_update, fmt_s, gpu_row, gpu_row_json, print_table, write_bench_json, FigArgs,
+    KIND_LABELS,
 };
 use paradmm_gpusim::{CpuModel, SimtDevice};
 use paradmm_packing::{PackingConfig, PackingProblem};
@@ -25,6 +26,7 @@ fn main() {
 
     let mut left = Vec::new();
     let mut right = Vec::new();
+    let mut json_rows = Vec::new();
     let mut last_fraction = [0.0f64; 5];
     for &n in &sizes {
         let (_, problem) = PackingProblem::build(PackingConfig::new(n));
@@ -39,6 +41,7 @@ fn main() {
         let mut r = vec![n.to_string()];
         r.extend(fmt_per_update(&row.per_update));
         right.push(r);
+        json_rows.extend(gpu_row_json(&row));
         last_fraction = row.gpu_fraction;
     }
 
@@ -49,7 +52,11 @@ fn main() {
     );
     let mut hdr = vec!["N"];
     hdr.extend(KIND_LABELS);
-    print_table("Figure 7 (right): packing — per-update GPU speedups", &hdr, &right);
+    print_table(
+        "Figure 7 (right): packing — per-update GPU speedups",
+        &hdr,
+        &right,
+    );
 
     println!(
         "\n# §V-A breakdown at N = {}: x {:.0}% + z {:.0}% = {:.0}% of GPU iteration (paper: 31% + 40% = 71%)",
@@ -58,4 +65,9 @@ fn main() {
         100.0 * last_fraction[2],
         100.0 * (last_fraction[0] + last_fraction[2]),
     );
+
+    match write_bench_json("fig07_packing_gpu", &json_rows) {
+        Ok(path) => println!("# machine-readable series written to {}", path.display()),
+        Err(e) => eprintln!("# failed to write BENCH json: {e}"),
+    }
 }

@@ -5,7 +5,8 @@
 //! Also prints the §V-B x+z fraction claim (59% + 21% = 80% at K = 10⁵).
 
 use paradmm_bench::{
-fmt_per_update, fmt_s, gpu_row, print_table, FigArgs, KIND_LABELS,
+    fmt_per_update, fmt_s, gpu_row, gpu_row_json, print_table, write_bench_json, FigArgs,
+    KIND_LABELS,
 };
 use paradmm_gpusim::{CpuModel, SimtDevice};
 use paradmm_mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
@@ -24,6 +25,7 @@ fn main() {
 
     let mut left = Vec::new();
     let mut right = Vec::new();
+    let mut json_rows = Vec::new();
     let mut last_fraction = [0.0f64; 5];
     for &k in &sizes {
         let (_, problem) = MpcProblem::build(MpcConfig::new(k), paper_plant());
@@ -38,17 +40,28 @@ fn main() {
         let mut r = vec![k.to_string()];
         r.extend(fmt_per_update(&row.per_update));
         right.push(r);
+        json_rows.extend(gpu_row_json(&row));
         last_fraction = row.gpu_fraction;
     }
 
     print_table(
         "Figure 10 (left): MPC — time per 100 iterations, GPU vs 1 CPU core",
-        &["K", "edges", "cpu_s_per_100it", "gpu_s_per_100it", "speedup"],
+        &[
+            "K",
+            "edges",
+            "cpu_s_per_100it",
+            "gpu_s_per_100it",
+            "speedup",
+        ],
         &left,
     );
     let mut hdr = vec!["K"];
     hdr.extend(KIND_LABELS);
-    print_table("Figure 10 (right): MPC — per-update GPU speedups", &hdr, &right);
+    print_table(
+        "Figure 10 (right): MPC — per-update GPU speedups",
+        &hdr,
+        &right,
+    );
 
     println!(
         "\n# §V-B breakdown at K = {}: x {:.0}% + z {:.0}% = {:.0}% of GPU iteration (paper: 59% + 21% = 80%)",
@@ -57,4 +70,9 @@ fn main() {
         100.0 * last_fraction[2],
         100.0 * (last_fraction[0] + last_fraction[2]),
     );
+
+    match write_bench_json("fig10_mpc_gpu", &json_rows) {
+        Ok(path) => println!("# machine-readable series written to {}", path.display()),
+        Err(e) => eprintln!("# failed to write BENCH json: {e}"),
+    }
 }

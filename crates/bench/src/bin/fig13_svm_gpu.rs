@@ -5,7 +5,8 @@
 //! Also prints the §V-C x+z fraction claim (28% + 23% = 51%).
 
 use paradmm_bench::{
-fmt_per_update, fmt_s, gpu_row, print_table, FigArgs, KIND_LABELS,
+    fmt_per_update, fmt_s, gpu_row, gpu_row_json, print_table, write_bench_json, FigArgs,
+    KIND_LABELS,
 };
 use paradmm_gpusim::{CpuModel, SimtDevice};
 use paradmm_svm::{gaussian_mixture, SvmConfig, SvmProblem};
@@ -27,6 +28,7 @@ fn main() {
 
     let mut left = Vec::new();
     let mut right = Vec::new();
+    let mut json_rows = Vec::new();
     let mut last_fraction = [0.0f64; 5];
     for &n in &sizes {
         let data = gaussian_mixture(n, 2, 4.0, &mut rng);
@@ -42,17 +44,28 @@ fn main() {
         let mut r = vec![n.to_string()];
         r.extend(fmt_per_update(&row.per_update));
         right.push(r);
+        json_rows.extend(gpu_row_json(&row));
         last_fraction = row.gpu_fraction;
     }
 
     print_table(
         "Figure 13 (left): SVM (d = 2) — time per 1000 iterations, GPU vs 1 CPU core",
-        &["N", "edges", "cpu_s_per_1000it", "gpu_s_per_1000it", "speedup"],
+        &[
+            "N",
+            "edges",
+            "cpu_s_per_1000it",
+            "gpu_s_per_1000it",
+            "speedup",
+        ],
         &left,
     );
     let mut hdr = vec!["N"];
     hdr.extend(KIND_LABELS);
-    print_table("Figure 13 (right): SVM — per-update GPU speedups", &hdr, &right);
+    print_table(
+        "Figure 13 (right): SVM — per-update GPU speedups",
+        &hdr,
+        &right,
+    );
 
     println!(
         "\n# §V-C breakdown at N = {}: x {:.0}% + z {:.0}% = {:.0}% of GPU iteration (paper: 28% + 23% = 51%)",
@@ -61,4 +74,9 @@ fn main() {
         100.0 * last_fraction[2],
         100.0 * (last_fraction[0] + last_fraction[2]),
     );
+
+    match write_bench_json("fig13_svm_gpu", &json_rows) {
+        Ok(path) => println!("# machine-readable series written to {}", path.display()),
+        Err(e) => eprintln!("# failed to write BENCH json: {e}"),
+    }
 }

@@ -10,8 +10,8 @@ use std::time::Instant;
 
 use paradmm_bench::{measure_serial_s_per_iter, print_table, FigArgs};
 use paradmm_core::naive::NaiveAdmm;
-use paradmm_graph::VarStore;
 use paradmm_gpusim::PcieLink;
+use paradmm_graph::VarStore;
 use paradmm_mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
 use paradmm_packing::{PackingConfig, PackingProblem};
 use paradmm_svm::{gaussian_mixture, SvmConfig, SvmProblem};

@@ -42,8 +42,11 @@ fn sweep_for(
 fn main() {
     let args = FigArgs::parse();
     let n = if args.paper_scale { 2000 } else { 700 };
-    let devices =
-        [SimtDevice::tesla_k40(), SimtDevice::titan_x(), SimtDevice::tesla_m40()];
+    let devices = [
+        SimtDevice::tesla_k40(),
+        SimtDevice::titan_x(),
+        SimtDevice::tesla_m40(),
+    ];
     let cpu = CpuModel::opteron_6300();
 
     // Packing x-update sweep (§V-A; paper N = 5000).

@@ -15,9 +15,10 @@
 //! `--paper-scale` to extend sweeps toward the paper's full sizes (more
 //! memory / time).
 
+use std::io::Write as _;
 use std::time::Instant;
 
-use paradmm_core::{AdmmProblem, Scheduler, UpdateKind, UpdateTimings};
+use paradmm_core::{AdmmProblem, SerialBackend, SweepExecutor, UpdateKind, UpdateTimings};
 use paradmm_gpusim::{CpuModel, GpuAdmmEngine, SimtDevice, WorkloadProfile};
 use paradmm_graph::VarStore;
 
@@ -60,15 +61,26 @@ pub struct CpuRow {
 /// Measures the real engine's serial seconds-per-iteration (used to anchor
 /// the CPU model). Runs enough iterations to cross `min_seconds`.
 pub fn measure_serial_s_per_iter(problem: &AdmmProblem, min_seconds: f64) -> f64 {
+    measure_backend_s_per_iter(problem, &mut SerialBackend, min_seconds)
+}
+
+/// Measures any backend's real seconds-per-iteration on `problem`. Runs a
+/// short warm-up, then doubles the block size until `min_seconds` of
+/// wall-clock is covered.
+pub fn measure_backend_s_per_iter(
+    problem: &AdmmProblem,
+    backend: &mut dyn SweepExecutor,
+    min_seconds: f64,
+) -> f64 {
     let mut store = VarStore::zeros(problem.graph());
     let mut timings = UpdateTimings::new();
     // Warm-up.
-    Scheduler::Serial.run_block(problem, &mut store, 2, &mut timings, None);
+    backend.run_block(problem, &mut store, 2, &mut timings);
     let mut iters = 4usize;
     loop {
         let mut t = UpdateTimings::new();
         let start = Instant::now();
-        Scheduler::Serial.run_block(problem, &mut store, iters, &mut t, None);
+        backend.run_block(problem, &mut store, iters, &mut t);
         let elapsed = start.elapsed().as_secs_f64();
         if elapsed >= min_seconds || iters >= 1 << 20 {
             return elapsed / iters as f64;
@@ -94,7 +106,11 @@ pub fn calibrate(problem: &AdmmProblem, cpu: &CpuModel, min_seconds: f64) -> Cal
     let profile = WorkloadProfile::from_problem(problem);
     let modeled = cpu.iteration_time(&profile, 1);
     let measured = measure_serial_s_per_iter(problem, min_seconds);
-    Calibration { scale: measured / modeled, measured_s_per_iter: measured, modeled_s_per_iter: modeled }
+    Calibration {
+        scale: measured / modeled,
+        measured_s_per_iter: measured,
+        modeled_s_per_iter: modeled,
+    }
 }
 
 /// Prices `problem` on the GPU model vs the (calibrated) serial CPU model.
@@ -113,7 +129,11 @@ pub fn gpu_row(
     // Kernel times at ntb = 32 (the paper's default) or tuned per kernel.
     let mut gpu_seconds = [0.0f64; 5];
     for (i, sweep) in profile.sweeps.iter().enumerate() {
-        let ntb = if tune { device.tune_ntb(&sweep.tasks) } else { 32 };
+        let ntb = if tune {
+            device.tune_ntb(&sweep.tasks)
+        } else {
+            32
+        };
         gpu_seconds[i] = device.kernel_time(&sweep.tasks, ntb).seconds;
     }
     let gpu_total: f64 = gpu_seconds.iter().sum();
@@ -154,7 +174,14 @@ pub fn cpu_row(
         per_update[i] = cpu.sweep_time(sweep, 1) / cpu.sweep_time(sweep, cores);
         fraction[i] = cpu.sweep_time(sweep, cores) * cal_scale / tp;
     }
-    CpuRow { size, cores, s_per_iter: tp, speedup: t1 / tp, per_update, fraction }
+    CpuRow {
+        size,
+        cores,
+        s_per_iter: tp,
+        speedup: t1 / tp,
+        per_update,
+        fraction,
+    }
 }
 
 /// Builds a GPU engine with tuned ntb, for experiments that need one.
@@ -202,7 +229,11 @@ impl FigArgs {
     /// Parses `--paper-scale` / `--tune` / `--calibrate` from
     /// `std::env::args`.
     pub fn parse() -> Self {
-        let mut a = FigArgs { paper_scale: false, tune: false, calibrate: false };
+        let mut a = FigArgs {
+            paper_scale: false,
+            tune: false,
+            calibrate: false,
+        };
         for arg in std::env::args().skip(1) {
             match arg.as_str() {
                 "--paper-scale" => a.paper_scale = true,
@@ -242,6 +273,87 @@ impl FigArgs {
             1.0
         }
     }
+}
+
+/// One machine-readable benchmark record, serialized into the
+/// `BENCH_*.json` artefacts that track the perf trajectory across PRs.
+#[derive(Debug, Clone)]
+pub struct BenchJsonRow {
+    /// Problem-size parameter (N circles, K horizon, N data points).
+    pub size: usize,
+    /// Edge count of the built graph.
+    pub edges: usize,
+    /// Backend / model the time belongs to (e.g. `"cpu-model"`,
+    /// `"gpusim"`, `"serial"`, `"rayon"`).
+    pub backend: String,
+    /// Seconds per iteration under that backend.
+    pub seconds_per_iteration: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes `rows` as `BENCH_<figure>.json` in the working directory and
+/// returns the path. The format is one self-describing object:
+/// `{"figure": ..., "rows": [{"size", "edges", "backend",
+/// "seconds_per_iteration"}, ...]}` — stable keys so tooling can diff the
+/// perf trajectory from PR 1 onward.
+pub fn write_bench_json(
+    figure: &str,
+    rows: &[BenchJsonRow],
+) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::PathBuf::from(format!("BENCH_{figure}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(bench_json_string(figure, rows).as_bytes())?;
+    Ok(path)
+}
+
+/// The JSON document [`write_bench_json`] emits, as a string.
+pub fn bench_json_string(figure: &str, rows: &[BenchJsonRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"figure\": \"{}\",\n  \"rows\": [\n",
+        json_escape(figure)
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"size\": {}, \"edges\": {}, \"backend\": \"{}\", \"seconds_per_iteration\": {:e}}}{}\n",
+            r.size,
+            r.edges,
+            json_escape(&r.backend),
+            r.seconds_per_iteration,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Builds the two standard JSON rows (CPU model + GPU model) for one
+/// [`GpuRow`] of a figure sweep.
+pub fn gpu_row_json(row: &GpuRow) -> [BenchJsonRow; 2] {
+    [
+        BenchJsonRow {
+            size: row.size,
+            edges: row.edges,
+            backend: "cpu-model".into(),
+            seconds_per_iteration: row.cpu_s_per_iter,
+        },
+        BenchJsonRow {
+            size: row.size,
+            edges: row.edges,
+            backend: "gpusim".into(),
+            seconds_per_iteration: row.gpu_s_per_iter,
+        },
+    ]
 }
 
 /// Names of the five update kinds in order, for table headers.
@@ -308,5 +420,52 @@ mod tests {
         let p = tiny_problem(1000);
         let row = cpu_row(&p, 1000, &CpuModel::opteron_6300(), 1.0, 1);
         assert!((row.speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backend_measurement_works_for_parallel_backends() {
+        let p = tiny_problem(200);
+        let mut backend = paradmm_core::RayonBackend::new(Some(2));
+        let s = measure_backend_s_per_iter(&p, &mut backend, 0.01);
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let rows = vec![
+            BenchJsonRow {
+                size: 100,
+                edges: 420,
+                backend: "cpu-model".into(),
+                seconds_per_iteration: 1.25e-4,
+            },
+            BenchJsonRow {
+                size: 100,
+                edges: 420,
+                backend: "gpusim".into(),
+                seconds_per_iteration: 2.5e-5,
+            },
+        ];
+        let doc = bench_json_string("fig99_test", &rows);
+        assert!(doc.starts_with("{\n"));
+        assert!(doc.trim_end().ends_with('}'));
+        assert!(doc.contains("\"figure\": \"fig99_test\""));
+        assert!(doc.contains("\"backend\": \"gpusim\""));
+        assert!(doc.contains("\"seconds_per_iteration\": 2.5e-5"));
+        // Exactly one trailing comma between the two rows, none after the
+        // last (the strictness JSON parsers care about).
+        assert_eq!(doc.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_controls() {
+        let row = BenchJsonRow {
+            size: 1,
+            edges: 1,
+            backend: "we\"ird\\name\n".into(),
+            seconds_per_iteration: 1.0,
+        };
+        let doc = bench_json_string("f", &[row]);
+        assert!(doc.contains(r#"we\"ird\\name\u000a"#));
     }
 }

@@ -25,7 +25,11 @@ pub struct ResidualBalancing {
 
 impl Default for ResidualBalancing {
     fn default() -> Self {
-        ResidualBalancing { mu: 10.0, tau: 2.0, max_total_scale: 1e6 }
+        ResidualBalancing {
+            mu: 10.0,
+            tau: 2.0,
+            max_total_scale: 1e6,
+        }
     }
 }
 
@@ -76,7 +80,13 @@ mod tests {
     }
 
     fn resid(primal: f64, dual: f64) -> Residuals {
-        Residuals { primal, dual, x_norm: 1.0, z_norm: 1.0, u_norm: 1.0 }
+        Residuals {
+            primal,
+            dual,
+            x_norm: 1.0,
+            z_norm: 1.0,
+            u_norm: 1.0,
+        }
     }
 
     #[test]
@@ -117,7 +127,11 @@ mod tests {
     fn scale_clamped() {
         let mut p = problem();
         let mut s = VarStore::zeros(p.graph());
-        let rb = ResidualBalancing { mu: 10.0, tau: 2.0, max_total_scale: 4.0 };
+        let rb = ResidualBalancing {
+            mu: 10.0,
+            tau: 2.0,
+            max_total_scale: 4.0,
+        };
         let mut acc = 1.0;
         for _ in 0..10 {
             rb.adapt(&mut p, &mut s, &resid(1e9, 1.0), &mut acc);

@@ -45,12 +45,10 @@ impl AtomicF64 {
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + delta).to_bits();
-            match self.0.compare_exchange_weak(
-                cur,
-                next,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(actual) => cur = actual,
             }
@@ -92,9 +90,9 @@ pub fn run_async(problem: &AdmmProblem, store: &mut VarStore, sweeps: usize, thr
     let x = as_atomic(&mut store.x);
     let rho_sum = &rho_sum;
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for tid in 0..threads {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let (f_lo, f_hi) = assign_range(nf, tid, threads);
                 // Scratch buffers reused across activations.
                 let mut n_buf = Vec::new();
@@ -154,8 +152,7 @@ pub fn run_async(problem: &AdmmProblem, store: &mut VarStore, sweeps: usize, thr
                 }
             });
         }
-    })
-    .expect("async workers panicked");
+    });
 
     // Refresh n = z − u coherently for downstream synchronous use.
     for e in g.edges() {
@@ -255,7 +252,11 @@ mod tests {
         run_async(&p, &mut store, 500, 2);
         let z = store.z_var(VarId(0));
         for (c, expect) in [2.0, 4.0, 6.0].iter().enumerate() {
-            assert!((z[c] - expect).abs() < 1e-4, "component {c}: {} vs {expect}", z[c]);
+            assert!(
+                (z[c] - expect).abs() < 1e-4,
+                "component {c}: {} vs {expect}",
+                z[c]
+            );
         }
     }
 }

@@ -1,0 +1,696 @@
+//! The execution-backend abstraction: one trait, many ways to run the
+//! five sweeps.
+//!
+//! Every strategy for executing an ADMM iteration — serial loops, rayon
+//! data-parallel loops, persistent barrier-synchronized workers, the
+//! asynchronous activation engine, the simulated GPU in `paradmm-gpusim`,
+//! and any future backend (work-stealing scheduler, sharded multi-GPU,
+//! real CUDA) — implements [`SweepExecutor`]. The [`crate::Solver`] drives
+//! whichever backend it is given through the same convergence loop, so a
+//! new backend is a drop-in `impl`, not another enum arm.
+//!
+//! The three synchronous backends are *bit-identical* to each other by
+//! construction (the z-average is deterministic per variable regardless of
+//! scheduling); [`AsyncBackend`] is not, and converges instead — see its
+//! docs.
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use paradmm_graph::{FactorId, VarId, VarStore};
+
+use crate::asynchronous::run_async;
+use crate::kernels::{self, assign_range, split_factor_blocks, x_update_factor, UpdateKind};
+use crate::problem::AdmmProblem;
+use crate::timing::UpdateTimings;
+
+/// A way to execute blocks of ADMM iterations (the five x/m/z/u/n sweeps)
+/// and report how long each update kind took.
+///
+/// Implementations own whatever execution resources they need (thread
+/// pools, device handles, simulated clocks); the [`crate::Solver`] owns
+/// one backend and calls [`SweepExecutor::run_block`] between residual
+/// checks.
+pub trait SweepExecutor: Send {
+    /// Short stable label for reports and bench tables (e.g. `"serial"`,
+    /// `"rayon"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs exactly `iters` complete iterations on `store`, adding
+    /// per-update-kind durations into `timings`. Implementations must not
+    /// touch `timings.iterations`; [`SweepExecutor::run_block`] accounts
+    /// it centrally.
+    fn execute(
+        &mut self,
+        problem: &AdmmProblem,
+        store: &mut VarStore,
+        iters: usize,
+        timings: &mut UpdateTimings,
+    );
+
+    /// Runs a block of `iters` iterations and accounts them in `timings`.
+    /// Callers use this; implementors override [`SweepExecutor::execute`].
+    fn run_block(
+        &mut self,
+        problem: &AdmmProblem,
+        store: &mut VarStore,
+        iters: usize,
+        timings: &mut UpdateTimings,
+    ) {
+        self.execute(problem, store, iters, timings);
+        timings.iterations += iters;
+    }
+}
+
+/// Minimum scalars per rayon work item for the cheap element-wise sweeps;
+/// keeps task overhead negligible on large graphs.
+const MIN_CHUNK: usize = 1024;
+
+/// Optimized single-core loops — the paper's serial C baseline and the
+/// denominator of every speedup it reports.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SerialBackend;
+
+impl SweepExecutor for SerialBackend {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn execute(
+        &mut self,
+        problem: &AdmmProblem,
+        store: &mut VarStore,
+        iters: usize,
+        t: &mut UpdateTimings,
+    ) {
+        let g = problem.graph();
+        let params = problem.params();
+        let nf = g.num_factors();
+        let nv = g.num_vars();
+        let ne = g.num_edges();
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            kernels::x_update_range(g, problem.proxes(), params, &store.n, &mut store.x, 0, nf);
+            let t1 = Instant::now();
+            t.add(UpdateKind::X, t1 - t0);
+
+            kernels::m_update_range(&store.x, &store.u, &mut store.m, 0, ne * g.dims());
+            let t2 = Instant::now();
+            t.add(UpdateKind::M, t2 - t1);
+
+            store.snapshot_z();
+            kernels::z_update_range(g, params, &store.m, &mut store.z, 0, nv);
+            let t3 = Instant::now();
+            t.add(UpdateKind::Z, t3 - t2);
+
+            kernels::u_update_range(g, params, &store.x, &store.z, &mut store.u, 0, ne);
+            let t4 = Instant::now();
+            t.add(UpdateKind::U, t4 - t3);
+
+            kernels::n_update_range(g, &store.z, &store.u, &mut store.n, 0, ne);
+            t.add(UpdateKind::N, t4.elapsed());
+        }
+    }
+}
+
+/// Five data-parallel loops per iteration on the rayon pool — the paper's
+/// OpenMP approach #1, one `#pragma omp parallel for` ≙ one parallel
+/// iterator.
+pub struct RayonBackend {
+    threads: Option<usize>,
+    pool: Option<rayon::ThreadPool>,
+}
+
+impl RayonBackend {
+    /// Backend on a dedicated pool of `threads` workers; `None` uses the
+    /// global pool.
+    pub fn new(threads: Option<usize>) -> Self {
+        let pool = threads.map(|t| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("failed to build rayon pool")
+        });
+        RayonBackend { threads, pool }
+    }
+
+    /// The configured worker count (`None` = rayon's default).
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+}
+
+impl SweepExecutor for RayonBackend {
+    fn name(&self) -> &'static str {
+        "rayon"
+    }
+
+    fn execute(
+        &mut self,
+        problem: &AdmmProblem,
+        store: &mut VarStore,
+        iters: usize,
+        t: &mut UpdateTimings,
+    ) {
+        match &self.pool {
+            Some(p) => p.install(|| run_rayon(problem, store, iters, t)),
+            None => run_rayon(problem, store, iters, t),
+        }
+    }
+}
+
+fn run_rayon(problem: &AdmmProblem, store: &mut VarStore, iters: usize, t: &mut UpdateTimings) {
+    let g = problem.graph();
+    let params = problem.params();
+    let d = g.dims();
+    let flat_len = g.num_edges() * d;
+    let chunk = MIN_CHUNK.max(d);
+    let var_min = (MIN_CHUNK / d.max(1)).max(1);
+
+    for _ in 0..iters {
+        // x-update: one task per factor (each owns a contiguous x block).
+        let t0 = Instant::now();
+        {
+            let n = &store.n;
+            let blocks = split_factor_blocks(g, &mut store.x);
+            blocks
+                .into_par_iter()
+                .enumerate()
+                .with_min_len(8)
+                .for_each(|(a, xb)| {
+                    let fa = FactorId::from_usize(a);
+                    x_update_factor(g, problem.prox(fa), params, n, xb, fa);
+                });
+        }
+        let t1 = Instant::now();
+        t.add(UpdateKind::X, t1 - t0);
+
+        // m-update: element-wise m = x + u over flat chunks.
+        {
+            let x = &store.x;
+            let u = &store.u;
+            store
+                .m
+                .par_chunks_mut(chunk)
+                .enumerate()
+                .for_each(|(i, mc)| {
+                    let lo = i * chunk;
+                    for (j, m) in mc.iter_mut().enumerate() {
+                        *m = x[lo + j] + u[lo + j];
+                    }
+                });
+        }
+        let t2 = Instant::now();
+        t.add(UpdateKind::M, t2 - t1);
+
+        // z-update: one task per variable node (plus the z_prev snapshot).
+        {
+            let m = &store.m;
+            let z_prev = &mut store.z_prev;
+            z_prev.copy_from_slice(&store.z);
+            store
+                .z
+                .par_chunks_mut(d)
+                .enumerate()
+                .with_min_len(var_min)
+                .for_each(|(b, zb)| {
+                    kernels::z_update_var(g, params, m, zb, VarId::from_usize(b));
+                });
+        }
+        let t3 = Instant::now();
+        t.add(UpdateKind::Z, t3 - t2);
+
+        // u-update: one task per edge.
+        {
+            let x = &store.x;
+            let z = &store.z;
+            store
+                .u
+                .par_chunks_mut(d)
+                .enumerate()
+                .with_min_len(var_min)
+                .for_each(|(e, ue)| {
+                    kernels::u_update_edge(
+                        g,
+                        params,
+                        x,
+                        z,
+                        ue,
+                        paradmm_graph::EdgeId::from_usize(e),
+                    );
+                });
+        }
+        let t4 = Instant::now();
+        t.add(UpdateKind::U, t4 - t3);
+
+        // n-update: one task per edge.
+        {
+            let z = &store.z;
+            let u = &store.u;
+            store
+                .n
+                .par_chunks_mut(d)
+                .enumerate()
+                .with_min_len(var_min)
+                .for_each(|(e, ne)| {
+                    kernels::n_update_edge(g, z, u, ne, paradmm_graph::EdgeId::from_usize(e));
+                });
+        }
+        t.add(UpdateKind::N, t4.elapsed());
+        debug_assert_eq!(store.m.len(), flat_len);
+    }
+}
+
+/// Persistent threads + barrier per update kind — the paper's OpenMP
+/// approach #2, implemented to reproduce the finding that it is *slower*
+/// than approach #1 on all three problems.
+#[derive(Debug, Clone, Copy)]
+pub struct BarrierBackend {
+    threads: usize,
+}
+
+impl BarrierBackend {
+    /// Backend with `threads` persistent workers (static index partition
+    /// per worker, one barrier between update kinds).
+    ///
+    /// # Panics
+    /// If `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "barrier backend needs at least one thread");
+        BarrierBackend { threads }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl SweepExecutor for BarrierBackend {
+    fn name(&self) -> &'static str {
+        "barrier"
+    }
+
+    fn execute(
+        &mut self,
+        problem: &AdmmProblem,
+        store: &mut VarStore,
+        iters: usize,
+        t: &mut UpdateTimings,
+    ) {
+        run_barrier(problem, store, iters, self.threads, t);
+    }
+}
+
+/// Raw shared view of an `f64` array, handed to barrier workers.
+///
+/// # Safety contract
+/// Each phase writes a set of per-thread ranges that are pairwise disjoint
+/// (static partition via [`assign_range`]), and never reads an array that
+/// the same phase writes (verified against Algorithm 2's data flow: X
+/// reads n/writes x; M reads x,u/writes m; Z reads m/writes z,z_prev;
+/// U reads x,z/writes u; N reads z,u/writes n). Barriers separate phases,
+/// establishing happens-before edges for all cross-thread visibility.
+#[derive(Clone, Copy)]
+struct RawArray {
+    ptr: *mut f64,
+    len: usize,
+}
+
+unsafe impl Send for RawArray {}
+unsafe impl Sync for RawArray {}
+
+impl RawArray {
+    fn new(data: &mut [f64]) -> Self {
+        RawArray {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+        }
+    }
+
+    /// # Safety
+    /// Caller must guarantee `[lo, hi)` is in-bounds and not aliased by any
+    /// concurrent write, per the struct-level contract.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [f64] {
+        debug_assert!(lo <= hi && hi <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+
+    /// # Safety
+    /// Caller must guarantee no concurrent writes to the array during this
+    /// borrow, per the struct-level contract.
+    unsafe fn whole(&self) -> &[f64] {
+        std::slice::from_raw_parts(self.ptr, self.len)
+    }
+}
+
+fn run_barrier(
+    problem: &AdmmProblem,
+    store: &mut VarStore,
+    iters: usize,
+    threads: usize,
+    t: &mut UpdateTimings,
+) {
+    assert!(threads >= 1, "barrier backend needs at least one thread");
+    let g = problem.graph();
+    let params = problem.params();
+    let d = g.dims();
+    let nf = g.num_factors();
+    let nv = g.num_vars();
+    let ne = g.num_edges();
+
+    let x = RawArray::new(&mut store.x);
+    let m = RawArray::new(&mut store.m);
+    let u = RawArray::new(&mut store.u);
+    let n = RawArray::new(&mut store.n);
+    let z = RawArray::new(&mut store.z);
+    let z_prev = RawArray::new(&mut store.z_prev);
+
+    let barrier = Barrier::new(threads);
+    let mut collected = UpdateTimings::new();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                let mut local = UpdateTimings::new();
+                // Static partitions, fixed for the whole run (the paper's
+                // AssignThreads).
+                let (f_lo, f_hi) = assign_range(nf, tid, threads);
+                let (v_lo, v_hi) = assign_range(nv, tid, threads);
+                let (e_lo, e_hi) = assign_range(ne, tid, threads);
+                // The x-block owned by this thread is contiguous because
+                // factor edge ranges are contiguous and ordered.
+                let xf_lo = if f_lo < nf {
+                    g.factor_edge_range(FactorId::from_usize(f_lo)).start * d
+                } else {
+                    ne * d
+                };
+                let xf_hi = if f_hi < nf {
+                    g.factor_edge_range(FactorId::from_usize(f_hi)).start * d
+                } else {
+                    ne * d
+                };
+                for _ in 0..iters {
+                    // --- X phase ---
+                    let t0 = Instant::now();
+                    {
+                        // SAFETY: writes x[xf_lo..xf_hi], disjoint across
+                        // threads; reads n, not written this phase.
+                        let x_block = unsafe { x.range_mut(xf_lo, xf_hi) };
+                        let n_all = unsafe { n.whole() };
+                        let mut offset = 0usize;
+                        for a in f_lo..f_hi {
+                            let fa = FactorId::from_usize(a);
+                            let len = g.factor_degree(fa) * d;
+                            x_update_factor(
+                                g,
+                                problem.prox(fa),
+                                params,
+                                n_all,
+                                &mut x_block[offset..offset + len],
+                                fa,
+                            );
+                            offset += len;
+                        }
+                    }
+                    barrier.wait();
+                    let t1 = Instant::now();
+
+                    // --- M phase ---
+                    {
+                        // SAFETY: writes m for own edge range; reads x, u.
+                        let m_block = unsafe { m.range_mut(e_lo * d, e_hi * d) };
+                        let x_all = unsafe { x.whole() };
+                        let u_all = unsafe { u.whole() };
+                        for (j, mv) in m_block.iter_mut().enumerate() {
+                            let idx = e_lo * d + j;
+                            *mv = x_all[idx] + u_all[idx];
+                        }
+                    }
+                    barrier.wait();
+                    let t2 = Instant::now();
+
+                    // --- Z phase (snapshot + average) ---
+                    {
+                        // SAFETY: writes z and z_prev for own variable
+                        // range; reads m and own z (before overwriting).
+                        let z_block = unsafe { z.range_mut(v_lo * d, v_hi * d) };
+                        let zp_block = unsafe { z_prev.range_mut(v_lo * d, v_hi * d) };
+                        zp_block.copy_from_slice(z_block);
+                        let m_all = unsafe { m.whole() };
+                        for b in v_lo..v_hi {
+                            let zb = &mut z_block[(b - v_lo) * d..(b - v_lo + 1) * d];
+                            kernels::z_update_var(g, params, m_all, zb, VarId::from_usize(b));
+                        }
+                    }
+                    barrier.wait();
+                    let t3 = Instant::now();
+
+                    // --- U phase ---
+                    {
+                        // SAFETY: writes u for own edge range; reads x, z.
+                        let u_block = unsafe { u.range_mut(e_lo * d, e_hi * d) };
+                        let x_all = unsafe { x.whole() };
+                        let z_all = unsafe { z.whole() };
+                        for e in e_lo..e_hi {
+                            let ue = &mut u_block[(e - e_lo) * d..(e - e_lo + 1) * d];
+                            kernels::u_update_edge(
+                                g,
+                                params,
+                                x_all,
+                                z_all,
+                                ue,
+                                paradmm_graph::EdgeId::from_usize(e),
+                            );
+                        }
+                    }
+                    barrier.wait();
+                    let t4 = Instant::now();
+
+                    // --- N phase ---
+                    {
+                        // SAFETY: writes n for own edge range; reads z, u.
+                        let n_block = unsafe { n.range_mut(e_lo * d, e_hi * d) };
+                        let z_all = unsafe { z.whole() };
+                        let u_all = unsafe { u.whole() };
+                        for e in e_lo..e_hi {
+                            let nb = &mut n_block[(e - e_lo) * d..(e - e_lo + 1) * d];
+                            kernels::n_update_edge(
+                                g,
+                                z_all,
+                                u_all,
+                                nb,
+                                paradmm_graph::EdgeId::from_usize(e),
+                            );
+                        }
+                    }
+                    barrier.wait();
+                    if tid == 0 {
+                        local.add(UpdateKind::X, t1 - t0);
+                        local.add(UpdateKind::M, t2 - t1);
+                        local.add(UpdateKind::Z, t3 - t2);
+                        local.add(UpdateKind::U, t4 - t3);
+                        local.add(UpdateKind::N, t4.elapsed());
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            let local = h.join().expect("barrier worker panicked");
+            collected.merge(&local);
+        }
+    });
+    collected.iterations = 0; // accounted centrally by run_block
+    t.merge(&collected);
+}
+
+/// Asynchronous activation engine as a backend — the paper's future-work
+/// item 1, adapted from [`run_async`].
+///
+/// One "iteration" of this backend is one activation pass over all
+/// factors on every worker. Iterates are *not* bit-identical to the
+/// synchronous backends (workers see bounded-stale `z`); on convex
+/// problems it converges to the same fixed point, which is what the
+/// equivalence suite asserts.
+///
+/// The activation loop fuses all five updates into one pass, so there is
+/// no per-kind split; wall time is recorded under [`UpdateKind::X`]
+/// (the proximal work dominates every activation).
+///
+/// The incremental z-update maintains the invariant `z_b = Σρm/Σρ`.
+/// [`SweepExecutor::execute`] re-establishes it from the current `m`
+/// before activating (a single z-sweep, idempotent when the state is
+/// already consistent), so hand-seeded or warm-started stores are safe
+/// — the iterates depend only on the `m`/`u`/`x` the caller provides.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncBackend {
+    threads: usize,
+}
+
+impl AsyncBackend {
+    /// Backend with `threads` asynchronous workers.
+    ///
+    /// # Panics
+    /// If `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "async backend needs at least one thread");
+        AsyncBackend { threads }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl SweepExecutor for AsyncBackend {
+    fn name(&self) -> &'static str {
+        "async"
+    }
+
+    fn execute(
+        &mut self,
+        problem: &AdmmProblem,
+        store: &mut VarStore,
+        iters: usize,
+        t: &mut UpdateTimings,
+    ) {
+        let t0 = Instant::now();
+        // Re-establish the invariant the incremental z-update folds onto
+        // (z = ρ-weighted average of m). Idempotent for already-consistent
+        // states; removes the silent-wrong-answer trap for hand-seeded
+        // warm starts (degree-0 variables keep their z).
+        let g = problem.graph();
+        kernels::z_update_range(g, problem.params(), &store.m, &mut store.z, 0, g.num_vars());
+        run_async(problem, store, iters, self.threads);
+        t.add(UpdateKind::X, t0.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradmm_graph::GraphBuilder;
+    use paradmm_prox::{ProxOp, QuadraticProx, ZeroProx};
+
+    /// Consensus of quadratic factors: minimize Σ (s − tᵢ)² over one
+    /// shared scalar variable. Optimum is the mean of the targets.
+    fn consensus_problem(targets: &[f64]) -> AdmmProblem {
+        let mut b = GraphBuilder::new(1);
+        let v = b.add_var();
+        let mut proxes: Vec<Box<dyn ProxOp>> = Vec::new();
+        for &t in targets {
+            b.add_factor(&[v]);
+            proxes.push(Box::new(QuadraticProx::isotropic(1, 2.0, &[t])));
+        }
+        AdmmProblem::new(b.build(), proxes, 1.0, 1.0)
+    }
+
+    fn solve_with(backend: &mut dyn SweepExecutor, iters: usize) -> f64 {
+        let problem = consensus_problem(&[1.0, 5.0, 9.0]);
+        let mut store = VarStore::zeros(problem.graph());
+        let mut t = UpdateTimings::new();
+        backend.run_block(&problem, &mut store, iters, &mut t);
+        assert_eq!(t.iterations, iters);
+        store.z[0]
+    }
+
+    #[test]
+    fn serial_converges_to_mean() {
+        let z = solve_with(&mut SerialBackend, 300);
+        assert!((z - 5.0).abs() < 1e-6, "z = {z}");
+    }
+
+    #[test]
+    fn rayon_matches_serial_exactly() {
+        // Same fixed-point iteration → identical iterates (the z-average is
+        // deterministic per variable regardless of scheduling).
+        let a = solve_with(&mut SerialBackend, 50);
+        let b = solve_with(&mut RayonBackend::new(None), 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rayon_with_explicit_threads() {
+        let a = solve_with(&mut SerialBackend, 50);
+        let b = solve_with(&mut RayonBackend::new(Some(2)), 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn barrier_matches_serial_exactly() {
+        for threads in [1, 2, 3, 5] {
+            let a = solve_with(&mut SerialBackend, 50);
+            let b = solve_with(&mut BarrierBackend::new(threads), 50);
+            assert_eq!(a, b, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn barrier_more_threads_than_work() {
+        // 3 factors, 1 variable, 3 edges but 8 threads: empty partitions
+        // must be handled.
+        let problem = consensus_problem(&[2.0, 4.0, 6.0]);
+        let mut store = VarStore::zeros(problem.graph());
+        let mut t = UpdateTimings::new();
+        BarrierBackend::new(8).run_block(&problem, &mut store, 100, &mut t);
+        assert!((store.z[0] - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn async_backend_converges_to_mean() {
+        let z = solve_with(&mut AsyncBackend::new(2), 800);
+        assert!((z - 5.0).abs() < 1e-4, "z = {z}");
+    }
+
+    #[test]
+    fn async_backend_tolerates_inconsistent_seeded_z() {
+        // Hand-seed z to garbage while m stays zero: execute() must
+        // restore z = ρ-avg(m) = 0 before activating, so the run still
+        // converges to the mean instead of carrying the offset forever.
+        let problem = consensus_problem(&[1.0, 5.0, 9.0]);
+        let mut store = VarStore::zeros(problem.graph());
+        store.z.fill(1e3);
+        let mut t = UpdateTimings::new();
+        AsyncBackend::new(2).run_block(&problem, &mut store, 800, &mut t);
+        assert!((store.z[0] - 5.0).abs() < 1e-4, "z = {}", store.z[0]);
+    }
+
+    #[test]
+    fn zero_prox_is_fixed_point_at_zero() {
+        // With f ≡ 0 and zero init, every sweep keeps state at zero.
+        let mut b = GraphBuilder::new(2);
+        let vs = b.add_vars(2);
+        b.add_factor(&[vs[0], vs[1]]);
+        let problem = AdmmProblem::new(b.build(), vec![Box::new(ZeroProx)], 1.0, 1.0);
+        let mut store = VarStore::zeros(problem.graph());
+        let mut t = UpdateTimings::new();
+        SerialBackend.run_block(&problem, &mut store, 10, &mut t);
+        assert!(store.z.iter().all(|&v| v == 0.0));
+        assert!(store.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn timings_record_all_kinds() {
+        let problem = consensus_problem(&[1.0, 2.0]);
+        let mut store = VarStore::zeros(problem.graph());
+        let mut t = UpdateTimings::new();
+        SerialBackend.run_block(&problem, &mut store, 5, &mut t);
+        assert!(t.total_seconds() > 0.0);
+        assert_eq!(t.iterations, 5);
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(SerialBackend.name(), "serial");
+        assert_eq!(RayonBackend::new(None).name(), "rayon");
+        assert_eq!(BarrierBackend::new(2).name(), "barrier");
+        assert_eq!(AsyncBackend::new(2).name(), "async");
+    }
+}

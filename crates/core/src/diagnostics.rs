@@ -35,7 +35,10 @@ impl Trace {
     /// Samples the current state.
     pub fn record(&mut self, iteration: usize, problem: &AdmmProblem, store: &VarStore) {
         let residuals = Residuals::compute(problem.graph(), problem.params(), store);
-        self.points.push(TracePoint { iteration, residuals });
+        self.points.push(TracePoint {
+            iteration,
+            residuals,
+        });
     }
 
     /// All samples, in recording order.
@@ -55,8 +58,14 @@ impl Trace {
             return true;
         }
         let tail = &self.points[self.points.len() - window..];
-        let first = tail.first().map(|p| p.residuals.primal + p.residuals.dual).unwrap();
-        let last = tail.last().map(|p| p.residuals.primal + p.residuals.dual).unwrap();
+        let first = tail
+            .first()
+            .map(|p| p.residuals.primal + p.residuals.dual)
+            .unwrap();
+        let last = tail
+            .last()
+            .map(|p| p.residuals.primal + p.residuals.dual)
+            .unwrap();
         last <= first
     }
 
@@ -77,7 +86,7 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheduler::Scheduler;
+    use crate::backend::{SerialBackend, SweepExecutor};
     use crate::timing::UpdateTimings;
     use paradmm_graph::GraphBuilder;
     use paradmm_prox::{ProxOp, QuadraticProx};
@@ -102,7 +111,7 @@ mod tests {
         let mut t = UpdateTimings::new();
         let mut done = 0;
         for _ in 0..10 {
-            Scheduler::Serial.run_block(&p, &mut store, 20, &mut t, None);
+            SerialBackend.run_block(&p, &mut store, 20, &mut t);
             done += 20;
             trace.record(done, &p, &store);
         }

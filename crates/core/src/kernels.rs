@@ -190,7 +190,14 @@ pub fn u_update_range(
     let d = graph.dims();
     for e in e_lo..e_hi {
         let ue = &mut u_all[e * d..(e + 1) * d];
-        u_update_edge(graph, params, x_all, z_all, ue, paradmm_graph::EdgeId::from_usize(e));
+        u_update_edge(
+            graph,
+            params,
+            x_all,
+            z_all,
+            ue,
+            paradmm_graph::EdgeId::from_usize(e),
+        );
     }
 }
 
@@ -224,7 +231,13 @@ pub fn n_update_range(
     let d = graph.dims();
     for e in e_lo..e_hi {
         let ne = &mut n_all[e * d..(e + 1) * d];
-        n_update_edge(graph, z_all, u_all, ne, paradmm_graph::EdgeId::from_usize(e));
+        n_update_edge(
+            graph,
+            z_all,
+            u_all,
+            ne,
+            paradmm_graph::EdgeId::from_usize(e),
+        );
     }
 }
 
@@ -250,7 +263,11 @@ pub fn split_factor_blocks<'a>(graph: &FactorGraph, mut data: &'a mut [f64]) -> 
 #[inline]
 pub fn assign_range(n_items: usize, part: usize, n_parts: usize) -> (usize, usize) {
     let lo = part * n_items / n_parts;
-    let hi = if part == n_parts - 1 { n_items } else { (part + 1) * n_items / n_parts };
+    let hi = if part == n_parts - 1 {
+        n_items
+    } else {
+        (part + 1) * n_items / n_parts
+    };
     (lo, hi)
 }
 

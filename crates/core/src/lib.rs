@@ -11,16 +11,24 @@
 //! for (a,b) ∈ E:  n(a,b) ← z_b − u(a,b)                     // n-update
 //! ```
 //!
-//! The engine assigns each graph element to one task; the [`Scheduler`]
-//! decides how tasks map onto hardware:
+//! The engine assigns each graph element to one task; a
+//! [`SweepExecutor`] *backend* decides how tasks map onto hardware:
 //!
-//! * [`Scheduler::Serial`] — the optimized single-core baseline the paper
+//! * [`SerialBackend`] — the optimized single-core baseline the paper
 //!   measures speedups against,
-//! * [`Scheduler::Rayon`] — five parallel loops per iteration (the paper's
+//! * [`RayonBackend`] — five parallel loops per iteration (the paper's
 //!   faster OpenMP approach #1),
-//! * [`Scheduler::Barrier`] — persistent workers with barrier
-//!   synchronization between update kinds (OpenMP approach #2, implemented
-//!   to reproduce the paper's finding that it is slower).
+//! * [`BarrierBackend`] — persistent workers with barrier
+//!   synchronization between update kinds (OpenMP approach #2,
+//!   implemented to reproduce the paper's finding that it is slower),
+//! * [`AsyncBackend`] — asynchronous activation workers (the paper's
+//!   future-work item 1; converges rather than matching bit-for-bit),
+//! * `paradmm-gpusim`'s adapter — the same numerics against a simulated
+//!   SIMT device clock.
+//!
+//! The legacy [`Scheduler`] enum survives as a thin descriptor that
+//! constructs the built-in backends; new execution strategies implement
+//! [`SweepExecutor`] and plug into the same [`Solver`] loop.
 //!
 //! Users write only serial proximal operators ([`paradmm_prox::ProxOp`]);
 //! no parallel code is ever required — the paper's headline usability
@@ -28,6 +36,7 @@
 
 pub mod adaptive;
 pub mod asynchronous;
+pub mod backend;
 pub mod diagnostics;
 pub mod kernels;
 pub mod naive;
@@ -40,6 +49,7 @@ pub mod twa;
 
 pub use adaptive::ResidualBalancing;
 pub use asynchronous::run_async;
+pub use backend::{AsyncBackend, BarrierBackend, RayonBackend, SerialBackend, SweepExecutor};
 pub use diagnostics::{Trace, TracePoint};
 pub use kernels::UpdateKind;
 pub use paradmm_prox::{ProxCtx, ProxOp};

@@ -146,7 +146,7 @@ impl<'p> NaiveAdmm<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheduler::Scheduler;
+    use crate::backend::{SerialBackend, SweepExecutor};
     use crate::timing::UpdateTimings;
     use paradmm_graph::{GraphBuilder, VarStore};
     use paradmm_prox::{HalfspaceProx, ProxOp, QuadraticProx};
@@ -179,7 +179,7 @@ mod tests {
 
         let mut t = UpdateTimings::new();
         for _ in 0..25 {
-            Scheduler::Serial.run_block(&problem, &mut store, 1, &mut t, None);
+            SerialBackend.run_block(&problem, &mut store, 1, &mut t);
             naive.iterate();
         }
         let d = problem.graph().dims();

@@ -26,7 +26,11 @@ impl AdmmProblem {
             "need exactly one proximal operator per factor"
         );
         let params = EdgeParams::uniform(&graph, rho, alpha);
-        AdmmProblem { graph, proxes, params }
+        AdmmProblem {
+            graph,
+            proxes,
+            params,
+        }
     }
 
     /// Pairs a graph with operators and explicit per-edge parameters.
@@ -37,7 +41,11 @@ impl AdmmProblem {
     ) -> Self {
         assert_eq!(proxes.len(), graph.num_factors());
         params.validate(&graph).expect("invalid edge parameters");
-        AdmmProblem { graph, proxes, params }
+        AdmmProblem {
+            graph,
+            proxes,
+            params,
+        }
     }
 
     /// The topology.

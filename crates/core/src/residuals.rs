@@ -81,7 +81,12 @@ pub struct StoppingCriteria {
 
 impl Default for StoppingCriteria {
     fn default() -> Self {
-        StoppingCriteria { max_iters: 1000, eps_abs: 1e-8, eps_rel: 1e-6, check_every: 10 }
+        StoppingCriteria {
+            max_iters: 1000,
+            eps_abs: 1e-8,
+            eps_rel: 1e-6,
+            check_every: 10,
+        }
     }
 }
 
@@ -89,7 +94,12 @@ impl StoppingCriteria {
     /// Fixed iteration count, no residual checks — how the paper's speedup
     /// experiments run ("time for 10/100/1000 iterations").
     pub fn fixed_iterations(n: usize) -> Self {
-        StoppingCriteria { max_iters: n, eps_abs: 0.0, eps_rel: 0.0, check_every: usize::MAX }
+        StoppingCriteria {
+            max_iters: n,
+            eps_abs: 0.0,
+            eps_rel: 0.0,
+            check_every: usize::MAX,
+        }
     }
 }
 

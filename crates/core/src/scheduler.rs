@@ -1,50 +1,65 @@
-//! Execution strategies for the five update sweeps.
+//! Backward-compatible scheduler descriptor.
 //!
-//! * [`Scheduler::Serial`] — one core, plain loops: the speedup baseline.
-//! * [`Scheduler::Rayon`] — the paper's OpenMP approach #1: five parallel
-//!   for-loops per iteration, one `#pragma omp parallel for` ≙ one rayon
-//!   parallel iterator.
-//! * [`Scheduler::Barrier`] — the paper's OpenMP approach #2: persistent
-//!   worker threads that each own a static index partition and synchronize
-//!   with a barrier between update kinds. The paper found this *slower*
-//!   than approach #1 on all three problems; we implement it to reproduce
-//!   that ablation.
+//! [`Scheduler`] used to *be* the execution layer — a closed enum whose
+//! `run_block` owned the serial/rayon/barrier loops. Execution now lives
+//! behind the open [`SweepExecutor`] trait in [`crate::backend`]; this
+//! enum survives as a thin, cheap-to-copy *descriptor* that existing call
+//! sites (and [`crate::SolverOptions`]) use to pick one of the built-in
+//! backends. New code should construct backends directly — or implement
+//! [`SweepExecutor`] — and hand them to [`crate::Solver::with_backend`].
 
-use std::sync::Barrier;
-use std::time::Instant;
+use paradmm_graph::VarStore;
 
-use rayon::prelude::*;
-
-use paradmm_graph::{FactorId, VarId, VarStore};
-
-use crate::kernels::{
-    self, assign_range, split_factor_blocks, x_update_factor, UpdateKind,
-};
+use crate::backend::{AsyncBackend, BarrierBackend, RayonBackend, SerialBackend, SweepExecutor};
 use crate::problem::AdmmProblem;
 use crate::timing::UpdateTimings;
 
-/// How to execute each iteration's five sweeps.
+/// Descriptor for the built-in execution backends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scheduler {
-    /// Optimized single-core loops (the paper's serial C baseline).
+    /// Optimized single-core loops (the paper's serial C baseline) —
+    /// [`SerialBackend`].
     Serial,
     /// Five data-parallel loops per iteration on the rayon pool
-    /// (OpenMP approach #1). `threads = None` uses the global pool.
+    /// (OpenMP approach #1) — [`RayonBackend`]. `threads = None` uses the
+    /// global pool.
     Rayon {
         /// Worker count; `None` = rayon's default.
         threads: Option<usize>,
     },
-    /// Persistent threads + barrier per update kind (OpenMP approach #2).
+    /// Persistent threads + barrier per update kind (OpenMP approach #2)
+    /// — [`BarrierBackend`].
     Barrier {
         /// Number of persistent workers.
+        threads: usize,
+    },
+    /// Asynchronous activation workers (the paper's future-work item 1)
+    /// — [`AsyncBackend`]. Iterates are not bit-identical to the
+    /// synchronous backends; convergence is the contract instead.
+    Async {
+        /// Number of asynchronous workers.
         threads: usize,
     },
 }
 
 impl Scheduler {
+    /// Constructs the backend this descriptor names. This is the one
+    /// blessed path from the legacy enum into the trait world.
+    pub fn to_backend(&self) -> Box<dyn SweepExecutor> {
+        match *self {
+            Scheduler::Serial => Box::new(SerialBackend),
+            Scheduler::Rayon { threads } => Box::new(RayonBackend::new(threads)),
+            Scheduler::Barrier { threads } => Box::new(BarrierBackend::new(threads)),
+            Scheduler::Async { threads } => Box::new(AsyncBackend::new(threads)),
+        }
+    }
+
     /// Builds a dedicated rayon pool when this scheduler needs a specific
-    /// thread count (callers running blocks outside a [`crate::Solver`]
-    /// pass the result to [`Scheduler::run_block`]).
+    /// thread count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "pools are owned by RayonBackend now; use Scheduler::to_backend"
+    )]
     pub fn build_pool(&self) -> Option<rayon::ThreadPool> {
         match self {
             Scheduler::Rayon { threads: Some(t) } => Some(
@@ -58,6 +73,16 @@ impl Scheduler {
     }
 
     /// Runs `iters` complete iterations, accumulating per-kind timings.
+    ///
+    /// Compatibility shim: constructs the named backend per call (for
+    /// `Rayon`, honoring an already-built `pool` if one is passed) and
+    /// delegates to [`SweepExecutor::run_block`]. Prefer holding a
+    /// backend across calls — it keeps its pool alive instead of
+    /// rebuilding one each block.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Scheduler::to_backend() / Solver::with_backend and SweepExecutor::run_block"
+    )]
     pub fn run_block(
         &self,
         problem: &AdmmProblem,
@@ -66,357 +91,24 @@ impl Scheduler {
         timings: &mut UpdateTimings,
         pool: Option<&rayon::ThreadPool>,
     ) {
-        match self {
-            Scheduler::Serial => run_serial(problem, store, iters, timings),
-            Scheduler::Rayon { .. } => match pool {
-                Some(p) => p.install(|| run_rayon(problem, store, iters, timings)),
-                None => run_rayon(problem, store, iters, timings),
-            },
-            Scheduler::Barrier { threads } => {
-                run_barrier(problem, store, iters, *threads, timings)
+        match (self, pool) {
+            (Scheduler::Rayon { .. }, Some(p)) => {
+                // Run on the caller's pool instead of building a new one.
+                let mut backend = RayonBackend::new(None);
+                p.install(|| backend.run_block(problem, store, iters, timings));
             }
+            _ => self.to_backend().run_block(problem, store, iters, timings),
         }
-        timings.iterations += iters;
     }
-}
-
-/// Minimum scalars per rayon work item for the cheap element-wise sweeps;
-/// keeps task overhead negligible on large graphs.
-const MIN_CHUNK: usize = 1024;
-
-fn run_serial(problem: &AdmmProblem, store: &mut VarStore, iters: usize, t: &mut UpdateTimings) {
-    let g = problem.graph();
-    let params = problem.params();
-    let nf = g.num_factors();
-    let nv = g.num_vars();
-    let ne = g.num_edges();
-    for _ in 0..iters {
-        let t0 = Instant::now();
-        kernels::x_update_range(g, problem.proxes(), params, &store.n, &mut store.x, 0, nf);
-        let t1 = Instant::now();
-        t.add(UpdateKind::X, t1 - t0);
-
-        kernels::m_update_range(&store.x, &store.u, &mut store.m, 0, ne * g.dims());
-        let t2 = Instant::now();
-        t.add(UpdateKind::M, t2 - t1);
-
-        store.snapshot_z();
-        kernels::z_update_range(g, params, &store.m, &mut store.z, 0, nv);
-        let t3 = Instant::now();
-        t.add(UpdateKind::Z, t3 - t2);
-
-        kernels::u_update_range(g, params, &store.x, &store.z, &mut store.u, 0, ne);
-        let t4 = Instant::now();
-        t.add(UpdateKind::U, t4 - t3);
-
-        kernels::n_update_range(g, &store.z, &store.u, &mut store.n, 0, ne);
-        t.add(UpdateKind::N, t4.elapsed());
-    }
-}
-
-fn run_rayon(problem: &AdmmProblem, store: &mut VarStore, iters: usize, t: &mut UpdateTimings) {
-    let g = problem.graph();
-    let params = problem.params();
-    let d = g.dims();
-    let flat_len = g.num_edges() * d;
-    let chunk = MIN_CHUNK.max(d);
-    let var_min = (MIN_CHUNK / d.max(1)).max(1);
-
-    for _ in 0..iters {
-        // x-update: one task per factor (each owns a contiguous x block).
-        let t0 = Instant::now();
-        {
-            let n = &store.n;
-            let blocks = split_factor_blocks(g, &mut store.x);
-            blocks.into_par_iter().enumerate().with_min_len(8).for_each(|(a, xb)| {
-                let fa = FactorId::from_usize(a);
-                x_update_factor(g, problem.prox(fa), params, n, xb, fa);
-            });
-        }
-        let t1 = Instant::now();
-        t.add(UpdateKind::X, t1 - t0);
-
-        // m-update: element-wise m = x + u over flat chunks.
-        {
-            let x = &store.x;
-            let u = &store.u;
-            store.m.par_chunks_mut(chunk).enumerate().for_each(|(i, mc)| {
-                let lo = i * chunk;
-                for (j, m) in mc.iter_mut().enumerate() {
-                    *m = x[lo + j] + u[lo + j];
-                }
-            });
-        }
-        let t2 = Instant::now();
-        t.add(UpdateKind::M, t2 - t1);
-
-        // z-update: one task per variable node (plus the z_prev snapshot).
-        {
-            let m = &store.m;
-            let z_prev = &mut store.z_prev;
-            z_prev.copy_from_slice(&store.z);
-            store.z.par_chunks_mut(d).enumerate().with_min_len(var_min).for_each(
-                |(b, zb)| {
-                    kernels::z_update_var(g, params, m, zb, VarId::from_usize(b));
-                },
-            );
-        }
-        let t3 = Instant::now();
-        t.add(UpdateKind::Z, t3 - t2);
-
-        // u-update: one task per edge.
-        {
-            let x = &store.x;
-            let z = &store.z;
-            store.u.par_chunks_mut(d).enumerate().with_min_len(var_min).for_each(
-                |(e, ue)| {
-                    kernels::u_update_edge(
-                        g,
-                        params,
-                        x,
-                        z,
-                        ue,
-                        paradmm_graph::EdgeId::from_usize(e),
-                    );
-                },
-            );
-        }
-        let t4 = Instant::now();
-        t.add(UpdateKind::U, t4 - t3);
-
-        // n-update: one task per edge.
-        {
-            let z = &store.z;
-            let u = &store.u;
-            store.n.par_chunks_mut(d).enumerate().with_min_len(var_min).for_each(
-                |(e, ne)| {
-                    kernels::n_update_edge(
-                        g,
-                        z,
-                        u,
-                        ne,
-                        paradmm_graph::EdgeId::from_usize(e),
-                    );
-                },
-            );
-        }
-        t.add(UpdateKind::N, t4.elapsed());
-        debug_assert_eq!(store.m.len(), flat_len);
-    }
-}
-
-/// Raw shared view of an `f64` array, handed to barrier workers.
-///
-/// # Safety contract
-/// Each phase writes a set of per-thread ranges that are pairwise disjoint
-/// (static partition via [`assign_range`]), and never reads an array that
-/// the same phase writes (verified against Algorithm 2's data flow: X
-/// reads n/writes x; M reads x,u/writes m; Z reads m/writes z,z_prev;
-/// U reads x,z/writes u; N reads z,u/writes n). Barriers separate phases,
-/// establishing happens-before edges for all cross-thread visibility.
-#[derive(Clone, Copy)]
-struct RawArray {
-    ptr: *mut f64,
-    len: usize,
-}
-
-unsafe impl Send for RawArray {}
-unsafe impl Sync for RawArray {}
-
-impl RawArray {
-    fn new(data: &mut [f64]) -> Self {
-        RawArray { ptr: data.as_mut_ptr(), len: data.len() }
-    }
-
-    /// # Safety
-    /// Caller must guarantee `[lo, hi)` is in-bounds and not aliased by any
-    /// concurrent write, per the struct-level contract.
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [f64] {
-        debug_assert!(lo <= hi && hi <= self.len);
-        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
-    }
-
-    /// # Safety
-    /// Caller must guarantee no concurrent writes to the array during this
-    /// borrow, per the struct-level contract.
-    unsafe fn whole(&self) -> &[f64] {
-        std::slice::from_raw_parts(self.ptr, self.len)
-    }
-}
-
-fn run_barrier(
-    problem: &AdmmProblem,
-    store: &mut VarStore,
-    iters: usize,
-    threads: usize,
-    t: &mut UpdateTimings,
-) {
-    assert!(threads >= 1, "barrier scheduler needs at least one thread");
-    let g = problem.graph();
-    let params = problem.params();
-    let d = g.dims();
-    let nf = g.num_factors();
-    let nv = g.num_vars();
-    let ne = g.num_edges();
-
-    let x = RawArray::new(&mut store.x);
-    let m = RawArray::new(&mut store.m);
-    let u = RawArray::new(&mut store.u);
-    let n = RawArray::new(&mut store.n);
-    let z = RawArray::new(&mut store.z);
-    let z_prev = RawArray::new(&mut store.z_prev);
-
-    let barrier = Barrier::new(threads);
-    let mut collected = UpdateTimings::new();
-
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for tid in 0..threads {
-            let barrier = &barrier;
-            handles.push(scope.spawn(move |_| {
-                let mut local = UpdateTimings::new();
-                // Static partitions, fixed for the whole run (the paper's
-                // AssignThreads).
-                let (f_lo, f_hi) = assign_range(nf, tid, threads);
-                let (v_lo, v_hi) = assign_range(nv, tid, threads);
-                let (e_lo, e_hi) = assign_range(ne, tid, threads);
-                // The x-block owned by this thread is contiguous because
-                // factor edge ranges are contiguous and ordered.
-                let xf_lo = if f_lo < nf {
-                    g.factor_edge_range(FactorId::from_usize(f_lo)).start * d
-                } else {
-                    ne * d
-                };
-                let xf_hi = if f_hi < nf {
-                    g.factor_edge_range(FactorId::from_usize(f_hi)).start * d
-                } else {
-                    ne * d
-                };
-                for _ in 0..iters {
-                    // --- X phase ---
-                    let t0 = Instant::now();
-                    {
-                        // SAFETY: writes x[xf_lo..xf_hi], disjoint across
-                        // threads; reads n, not written this phase.
-                        let x_block = unsafe { x.range_mut(xf_lo, xf_hi) };
-                        let n_all = unsafe { n.whole() };
-                        let mut offset = 0usize;
-                        for a in f_lo..f_hi {
-                            let fa = FactorId::from_usize(a);
-                            let len = g.factor_degree(fa) * d;
-                            x_update_factor(
-                                g,
-                                problem.prox(fa),
-                                params,
-                                n_all,
-                                &mut x_block[offset..offset + len],
-                                fa,
-                            );
-                            offset += len;
-                        }
-                    }
-                    barrier.wait();
-                    let t1 = Instant::now();
-
-                    // --- M phase ---
-                    {
-                        // SAFETY: writes m for own edge range; reads x, u.
-                        let m_block = unsafe { m.range_mut(e_lo * d, e_hi * d) };
-                        let x_all = unsafe { x.whole() };
-                        let u_all = unsafe { u.whole() };
-                        for (j, mv) in m_block.iter_mut().enumerate() {
-                            let idx = e_lo * d + j;
-                            *mv = x_all[idx] + u_all[idx];
-                        }
-                    }
-                    barrier.wait();
-                    let t2 = Instant::now();
-
-                    // --- Z phase (snapshot + average) ---
-                    {
-                        // SAFETY: writes z and z_prev for own variable
-                        // range; reads m and own z (before overwriting).
-                        let z_block = unsafe { z.range_mut(v_lo * d, v_hi * d) };
-                        let zp_block = unsafe { z_prev.range_mut(v_lo * d, v_hi * d) };
-                        zp_block.copy_from_slice(z_block);
-                        let m_all = unsafe { m.whole() };
-                        for b in v_lo..v_hi {
-                            let zb = &mut z_block[(b - v_lo) * d..(b - v_lo + 1) * d];
-                            kernels::z_update_var(g, params, m_all, zb, VarId::from_usize(b));
-                        }
-                    }
-                    barrier.wait();
-                    let t3 = Instant::now();
-
-                    // --- U phase ---
-                    {
-                        // SAFETY: writes u for own edge range; reads x, z.
-                        let u_block = unsafe { u.range_mut(e_lo * d, e_hi * d) };
-                        let x_all = unsafe { x.whole() };
-                        let z_all = unsafe { z.whole() };
-                        for e in e_lo..e_hi {
-                            let ue = &mut u_block[(e - e_lo) * d..(e - e_lo + 1) * d];
-                            kernels::u_update_edge(
-                                g,
-                                params,
-                                x_all,
-                                z_all,
-                                ue,
-                                paradmm_graph::EdgeId::from_usize(e),
-                            );
-                        }
-                    }
-                    barrier.wait();
-                    let t4 = Instant::now();
-
-                    // --- N phase ---
-                    {
-                        // SAFETY: writes n for own edge range; reads z, u.
-                        let n_block = unsafe { n.range_mut(e_lo * d, e_hi * d) };
-                        let z_all = unsafe { z.whole() };
-                        let u_all = unsafe { u.whole() };
-                        for e in e_lo..e_hi {
-                            let nb = &mut n_block[(e - e_lo) * d..(e - e_lo + 1) * d];
-                            kernels::n_update_edge(
-                                g,
-                                z_all,
-                                u_all,
-                                nb,
-                                paradmm_graph::EdgeId::from_usize(e),
-                            );
-                        }
-                    }
-                    barrier.wait();
-                    if tid == 0 {
-                        local.add(UpdateKind::X, t1 - t0);
-                        local.add(UpdateKind::M, t2 - t1);
-                        local.add(UpdateKind::Z, t3 - t2);
-                        local.add(UpdateKind::U, t4 - t3);
-                        local.add(UpdateKind::N, t4.elapsed());
-                    }
-                }
-                local
-            }));
-        }
-        for h in handles {
-            let local = h.join().expect("barrier worker panicked");
-            collected.merge(&local);
-        }
-    })
-    .expect("crossbeam scope failed");
-    collected.iterations = 0; // merged below by run_block
-    t.merge(&collected);
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use paradmm_graph::GraphBuilder;
-    use paradmm_prox::{ProxOp, QuadraticProx, ZeroProx};
+    use paradmm_prox::{ProxOp, QuadraticProx};
 
-    /// Consensus of quadratic factors: minimize Σ (s − tᵢ)² over one
-    /// shared scalar variable. Optimum is the mean of the targets.
     fn consensus_problem(targets: &[f64]) -> AdmmProblem {
         let mut b = GraphBuilder::new(1);
         let v = b.add_var();
@@ -439,68 +131,42 @@ mod tests {
     }
 
     #[test]
-    fn serial_converges_to_mean() {
-        let z = solve_with(Scheduler::Serial, 300);
-        assert!((z - 5.0).abs() < 1e-6, "z = {z}");
+    fn legacy_run_block_still_works_for_all_variants() {
+        let serial = solve_with(Scheduler::Serial, 100);
+        assert!((serial - 5.0).abs() < 1e-3, "z = {serial}");
+        assert_eq!(
+            solve_with(Scheduler::Rayon { threads: Some(2) }, 100),
+            serial
+        );
+        assert_eq!(solve_with(Scheduler::Rayon { threads: None }, 100), serial);
+        assert_eq!(solve_with(Scheduler::Barrier { threads: 3 }, 100), serial);
     }
 
     #[test]
-    fn rayon_matches_serial_exactly() {
-        // Same fixed-point iteration → identical iterates (the z-average is
-        // deterministic per variable regardless of scheduling).
-        let a = solve_with(Scheduler::Serial, 50);
-        let b = solve_with(Scheduler::Rayon { threads: None }, 50);
-        assert_eq!(a, b);
+    fn descriptor_names_match_backends() {
+        assert_eq!(Scheduler::Serial.to_backend().name(), "serial");
+        assert_eq!(
+            Scheduler::Rayon { threads: None }.to_backend().name(),
+            "rayon"
+        );
+        assert_eq!(
+            Scheduler::Barrier { threads: 2 }.to_backend().name(),
+            "barrier"
+        );
+        assert_eq!(Scheduler::Async { threads: 2 }.to_backend().name(), "async");
     }
 
     #[test]
-    fn rayon_with_explicit_threads() {
-        let b = solve_with(Scheduler::Rayon { threads: Some(2) }, 50);
-        let a = solve_with(Scheduler::Serial, 50);
-        assert_eq!(a, b);
+    fn async_descriptor_converges() {
+        let z = solve_with(Scheduler::Async { threads: 1 }, 400);
+        assert!((z - 5.0).abs() < 1e-4, "z = {z}");
     }
 
     #[test]
-    fn barrier_matches_serial_exactly() {
-        for threads in [1, 2, 3, 5] {
-            let a = solve_with(Scheduler::Serial, 50);
-            let b = solve_with(Scheduler::Barrier { threads }, 50);
-            assert_eq!(a, b, "threads = {threads}");
-        }
-    }
-
-    #[test]
-    fn barrier_more_threads_than_work() {
-        // 3 factors, 1 variable, 3 edges but 8 threads: empty partitions
-        // must be handled.
-        let problem = consensus_problem(&[2.0, 4.0, 6.0]);
-        let mut store = VarStore::zeros(problem.graph());
-        let mut t = UpdateTimings::new();
-        Scheduler::Barrier { threads: 8 }.run_block(&problem, &mut store, 100, &mut t, None);
-        assert!((store.z[0] - 4.0).abs() < 1e-4);
-    }
-
-    #[test]
-    fn zero_prox_is_fixed_point_at_zero() {
-        // With f ≡ 0 and zero init, every sweep keeps state at zero.
-        let mut b = GraphBuilder::new(2);
-        let vs = b.add_vars(2);
-        b.add_factor(&[vs[0], vs[1]]);
-        let problem = AdmmProblem::new(b.build(), vec![Box::new(ZeroProx)], 1.0, 1.0);
-        let mut store = VarStore::zeros(problem.graph());
-        let mut t = UpdateTimings::new();
-        Scheduler::Serial.run_block(&problem, &mut store, 10, &mut t, None);
-        assert!(store.z.iter().all(|&v| v == 0.0));
-        assert!(store.x.iter().all(|&v| v == 0.0));
-    }
-
-    #[test]
-    fn timings_record_all_kinds() {
-        let problem = consensus_problem(&[1.0, 2.0]);
-        let mut store = VarStore::zeros(problem.graph());
-        let mut t = UpdateTimings::new();
-        Scheduler::Serial.run_block(&problem, &mut store, 5, &mut t, None);
-        assert!(t.total_seconds() > 0.0);
-        assert_eq!(t.iterations, 5);
+    fn build_pool_only_for_pinned_rayon() {
+        assert!(Scheduler::Serial.build_pool().is_none());
+        assert!(Scheduler::Rayon { threads: None }.build_pool().is_none());
+        assert!(Scheduler::Rayon { threads: Some(2) }.build_pool().is_some());
+        assert!(Scheduler::Barrier { threads: 2 }.build_pool().is_none());
     }
 }

@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 use paradmm_graph::{FactorGraph, VarStore};
 use paradmm_prox::ProxOp;
 
+use crate::backend::SweepExecutor;
 use crate::problem::AdmmProblem;
 use crate::residuals::{Residuals, StoppingCriteria};
 use crate::scheduler::Scheduler;
@@ -13,7 +14,8 @@ use crate::timing::UpdateTimings;
 /// Solver configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SolverOptions {
-    /// Execution strategy for the five sweeps.
+    /// Which built-in backend to construct (ignored by
+    /// [`Solver::with_backend`], which receives one directly).
     pub scheduler: Scheduler,
     /// Uniform penalty weight ρ (ignored by
     /// [`Solver::from_problem`], which takes parameters from the problem).
@@ -70,28 +72,95 @@ impl SolverReport {
     }
 }
 
-/// Owns the problem, the ADMM state, and the execution resources.
-pub struct Solver {
+/// Owns the problem, the ADMM state, and the execution backend.
+///
+/// Generic over the backend so callers that need a concrete one (e.g.
+/// `paradmm-gpusim`'s engine querying its simulated clock) keep typed
+/// access via [`Solver::backend`]; the default `dyn SweepExecutor` form
+/// is what [`Solver::new`] / [`Solver::from_problem`] build from the
+/// [`SolverOptions::scheduler`] descriptor.
+pub struct Solver<B: SweepExecutor + ?Sized = dyn SweepExecutor> {
     problem: AdmmProblem,
     store: VarStore,
     options: SolverOptions,
-    pool: Option<rayon::ThreadPool>,
+    backend: Box<B>,
 }
 
 impl Solver {
     /// Builds a solver from a graph and per-factor operators, with uniform
-    /// `ρ/α` taken from `options`.
+    /// `ρ/α` taken from `options` and the backend from
+    /// [`SolverOptions::scheduler`].
     pub fn new(graph: FactorGraph, proxes: Vec<Box<dyn ProxOp>>, options: SolverOptions) -> Self {
         let problem = AdmmProblem::new(graph, proxes, options.rho, options.alpha);
         Self::from_problem(problem, options)
     }
 
     /// Builds a solver from a fully-specified problem (custom per-edge
-    /// parameters preserved).
+    /// parameters preserved), backend from [`SolverOptions::scheduler`].
     pub fn from_problem(problem: AdmmProblem, options: SolverOptions) -> Self {
         let store = VarStore::zeros(problem.graph());
-        let pool = options.scheduler.build_pool();
-        Solver { problem, store, options, pool }
+        let backend = options.scheduler.to_backend();
+        Solver {
+            problem,
+            store,
+            options,
+            backend,
+        }
+    }
+
+    /// Builds a solver from a problem and an already-boxed backend.
+    /// [`SolverOptions::scheduler`] is ignored — `backend` is the
+    /// execution strategy.
+    pub fn from_problem_with_backend(
+        problem: AdmmProblem,
+        options: SolverOptions,
+        backend: Box<dyn SweepExecutor>,
+    ) -> Self {
+        let store = VarStore::zeros(problem.graph());
+        Solver {
+            problem,
+            store,
+            options,
+            backend,
+        }
+    }
+
+    /// Replaces the backend by descriptor (e.g. to compare strategies on
+    /// one state).
+    pub fn set_scheduler(&mut self, scheduler: Scheduler) {
+        self.options.scheduler = scheduler;
+        self.backend = scheduler.to_backend();
+    }
+
+    /// Replaces the backend with any [`SweepExecutor`] implementation.
+    pub fn set_backend(&mut self, backend: Box<dyn SweepExecutor>) {
+        self.backend = backend;
+    }
+}
+
+impl<B: SweepExecutor> Solver<B> {
+    /// Builds a solver around a concrete backend, keeping typed access to
+    /// it through [`Solver::backend`] / [`Solver::backend_mut`].
+    pub fn with_backend(problem: AdmmProblem, options: SolverOptions, backend: B) -> Solver<B> {
+        let store = VarStore::zeros(problem.graph());
+        Solver {
+            problem,
+            store,
+            options,
+            backend: Box::new(backend),
+        }
+    }
+}
+
+impl<B: SweepExecutor + ?Sized> Solver<B> {
+    /// The execution backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable backend access (tuning knobs on concrete backends).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
     }
 
     /// The ADMM state.
@@ -131,12 +200,6 @@ impl Solver {
         &self.options
     }
 
-    /// Replaces the scheduler (e.g. to compare strategies on one state).
-    pub fn set_scheduler(&mut self, scheduler: Scheduler) {
-        self.options.scheduler = scheduler;
-        self.pool = scheduler.build_pool();
-    }
-
     /// Randomizes all state uniformly in `[lo, hi)` from a deterministic
     /// seed — the analogue of the paper's `initialize_X_N_Z_M_U_rand`.
     pub fn init_random(&mut self, lo: f64, hi: f64, seed: u64) {
@@ -173,13 +236,8 @@ impl Solver {
             } else {
                 check_every.max(1).min(max_iters - done)
             };
-            self.options.scheduler.run_block(
-                &self.problem,
-                &mut self.store,
-                block,
-                &mut timings,
-                self.pool.as_ref(),
-            );
+            self.backend
+                .run_block(&self.problem, &mut self.store, block, &mut timings);
             done += block;
             if check_every != usize::MAX {
                 let r = self.residuals();
@@ -225,6 +283,7 @@ impl Solver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{BarrierBackend, RayonBackend, SerialBackend};
     use paradmm_graph::{GraphBuilder, VarId};
     use paradmm_prox::{ProxOp, QuadraticProx};
 
@@ -255,8 +314,10 @@ mod tests {
     #[test]
     fn fixed_iteration_mode_never_converges_early() {
         let (g, p) = two_quadratics();
-        let mut opts = SolverOptions::default();
-        opts.stopping = StoppingCriteria::fixed_iterations(37);
+        let opts = SolverOptions {
+            stopping: StoppingCriteria::fixed_iterations(37),
+            ..SolverOptions::default()
+        };
         let mut solver = Solver::new(g, p, opts);
         let report = solver.run(37);
         assert_eq!(report.iterations, 37);
@@ -342,5 +403,49 @@ mod tests {
         // State continued from z_mid, not reset.
         assert_ne!(solver.store().z[0], 0.0);
         let _ = z_mid;
+    }
+
+    #[test]
+    fn with_backend_keeps_typed_access() {
+        let (g, p) = two_quadratics();
+        let problem = AdmmProblem::new(g, p, 1.0, 1.0);
+        let mut solver = Solver::with_backend(
+            problem,
+            SolverOptions::default(),
+            RayonBackend::new(Some(2)),
+        );
+        assert_eq!(solver.backend().threads(), Some(2));
+        let report = solver.run(500);
+        assert_eq!(report.stop_reason, StopReason::Converged);
+    }
+
+    #[test]
+    fn set_backend_swaps_execution_strategy() {
+        let (g, p) = two_quadratics();
+        let mut solver = Solver::new(g, p, SolverOptions::default());
+        solver.run(5);
+        solver.set_backend(Box::new(BarrierBackend::new(2)));
+        assert_eq!(solver.backend().name(), "barrier");
+        solver.set_backend(Box::new(SerialBackend));
+        let report = solver.run(1000);
+        assert_eq!(report.stop_reason, StopReason::Converged);
+    }
+
+    #[test]
+    fn all_synchronous_backends_agree_through_solver() {
+        let run_with = |scheduler: Scheduler| {
+            let (g, p) = two_quadratics();
+            let opts = SolverOptions {
+                scheduler,
+                stopping: StoppingCriteria::fixed_iterations(40),
+                ..SolverOptions::default()
+            };
+            let mut solver = Solver::new(g, p, opts);
+            solver.run(40);
+            solver.store().z.clone()
+        };
+        let serial = run_with(Scheduler::Serial);
+        assert_eq!(serial, run_with(Scheduler::Rayon { threads: Some(2) }));
+        assert_eq!(serial, run_with(Scheduler::Barrier { threads: 2 }));
     }
 }

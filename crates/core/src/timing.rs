@@ -28,6 +28,14 @@ impl UpdateTimings {
         self.seconds[kind.index()] += dur.as_secs_f64();
     }
 
+    /// Adds raw seconds to the accumulator of `kind` — for simulated
+    /// clocks, which would lose sub-nanosecond precision round-tripping
+    /// through [`Duration`].
+    #[inline]
+    pub fn add_seconds(&mut self, kind: UpdateKind, seconds: f64) {
+        self.seconds[kind.index()] += seconds;
+    }
+
     /// Total seconds spent in `kind`.
     #[inline]
     pub fn seconds(&self, kind: UpdateKind) -> f64 {

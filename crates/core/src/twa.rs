@@ -42,7 +42,9 @@ pub struct TwaWeights {
 impl TwaWeights {
     /// All edges standard.
     pub fn standard(graph: &FactorGraph) -> Self {
-        TwaWeights { classes: vec![WeightClass::Standard; graph.num_edges()] }
+        TwaWeights {
+            classes: vec![WeightClass::Standard; graph.num_edges()],
+        }
     }
 
     /// Sets the class of edge `e`.
@@ -118,7 +120,11 @@ mod tests {
         w.apply(&mut p, 1.0);
         let mut z = [0.0];
         z_update_range(&g, &p, &m, &mut z, 0, 1);
-        assert!((z[0] - 10.0).abs() < 1e-6, "certain message must win, z = {}", z[0]);
+        assert!(
+            (z[0] - 10.0).abs() < 1e-6,
+            "certain message must win, z = {}",
+            z[0]
+        );
     }
 
     #[test]
@@ -129,7 +135,11 @@ mod tests {
         w.apply(&mut p, 1.0);
         let mut z = [0.0];
         z_update_range(&g, &p, &m, &mut z, 0, 1);
-        assert!((z[0] - 2.0).abs() < 1e-6, "no-opinion message must vanish, z = {}", z[0]);
+        assert!(
+            (z[0] - 2.0).abs() < 1e-6,
+            "no-opinion message must vanish, z = {}",
+            z[0]
+        );
     }
 
     #[test]

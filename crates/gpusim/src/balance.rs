@@ -22,7 +22,11 @@ pub fn grouped_z_tasks(
     z_sweep: &SweepProfile,
     n_groups: usize,
 ) -> Vec<TaskCost> {
-    assert_eq!(z_sweep.kind, UpdateKind::Z, "grouping applies to the z-sweep");
+    assert_eq!(
+        z_sweep.kind,
+        UpdateKind::Z,
+        "grouping applies to the z-sweep"
+    );
     assert_eq!(z_sweep.tasks.len(), graph.num_vars());
     let groups = GraphStats::balanced_var_groups(graph, n_groups);
     groups
@@ -71,7 +75,11 @@ pub fn z_balance_report(
     let naive = device.kernel_time(&z.tasks, ntb).seconds;
     let grouped_tasks = grouped_z_tasks(graph, z, n_groups);
     let grouped = device.kernel_time(&grouped_tasks, ntb).seconds;
-    ZBalanceReport { naive_seconds: naive, grouped_seconds: grouped, n_groups }
+    ZBalanceReport {
+        naive_seconds: naive,
+        grouped_seconds: grouped,
+        n_groups,
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +146,9 @@ mod tests {
         let profile = WorkloadProfile::from_problem(&p);
         let dev = SimtDevice::tesla_k40();
         let report = z_balance_report(&dev, p.graph(), &profile, 2048, 32);
-        assert!(report.improvement() > 0.3, "grouping must not blow up balanced graphs");
+        assert!(
+            report.improvement() > 0.3,
+            "grouping must not blow up balanced graphs"
+        );
     }
 }

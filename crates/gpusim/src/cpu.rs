@@ -79,8 +79,7 @@ impl CpuModel {
         if cores > self.cores_per_socket {
             // Second socket contributes, but far from 2×: remote traffic to
             // shared arrays steals capacity.
-            let extra = (cores - self.cores_per_socket) as f64
-                / self.cores_per_socket as f64;
+            let extra = (cores - self.cores_per_socket) as f64 / self.cores_per_socket as f64;
             one_socket * (1.0 + 0.6 * extra.min(1.0))
         } else {
             one_socket
@@ -89,7 +88,10 @@ impl CpuModel {
 
     /// Modeled time of one sweep on `cores` cores.
     pub fn sweep_time(&self, sweep: &SweepProfile, cores: usize) -> f64 {
-        assert!(cores >= 1 && cores <= self.max_cores, "invalid core count {cores}");
+        assert!(
+            cores >= 1 && cores <= self.max_cores,
+            "invalid core count {cores}"
+        );
         let compute = sweep.total_compute();
         let bytes = sweep.total_cpu_bytes();
         let unit_rate = self.clock_hz * self.units_per_cycle;
@@ -118,7 +120,11 @@ impl CpuModel {
 
     /// Modeled time of one full iteration (all five sweeps) on `cores`.
     pub fn iteration_time(&self, profile: &WorkloadProfile, cores: usize) -> f64 {
-        profile.sweeps.iter().map(|s| self.sweep_time(s, cores)).sum()
+        profile
+            .sweeps
+            .iter()
+            .map(|s| self.sweep_time(s, cores))
+            .sum()
     }
 
     /// Modeled speedup of `cores` cores over one core.
@@ -143,7 +149,11 @@ mod tests {
         SweepProfile {
             kind,
             tasks: vec![
-                TaskCost { compute, coalesced_bytes: bytes, scattered_transactions: 0.0 };
+                TaskCost {
+                    compute,
+                    coalesced_bytes: bytes,
+                    scattered_transactions: 0.0
+                };
                 n
             ],
         }
@@ -176,7 +186,10 @@ mod tests {
         let c = CpuModel::opteron_6300();
         let p = compute_heavy_profile(100_000);
         let s32 = c.speedup(&p, 32);
-        assert!(s32 > 4.0 && s32 < 12.0, "32-core speedup {s32} outside the paper's band");
+        assert!(
+            s32 > 4.0 && s32 < 12.0,
+            "32-core speedup {s32} outside the paper's band"
+        );
     }
 
     #[test]
@@ -201,7 +214,10 @@ mod tests {
         let t16 = c.sweep_time(&s, 16);
         let t32 = c.sweep_time(&s, 32);
         // NUMA penalty: more cores should NOT help (paper Fig 11-right).
-        assert!(t32 > 0.95 * t16, "memory-bound sweep should not scale past a socket");
+        assert!(
+            t32 > 0.95 * t16,
+            "memory-bound sweep should not scale past a socket"
+        );
     }
 
     #[test]
@@ -209,7 +225,10 @@ mod tests {
         let c = CpuModel::opteron_6300();
         let s = sweep(UpdateKind::X, 100_000, 5000.0, 48.0);
         let sp16 = c.sweep_time(&s, 1) / c.sweep_time(&s, 16);
-        assert!(sp16 > 8.0, "compute-bound x-update should scale, got {sp16}");
+        assert!(
+            sp16 > 8.0,
+            "compute-bound x-update should scale, got {sp16}"
+        );
     }
 
     #[test]
@@ -224,10 +243,23 @@ mod tests {
     fn imbalance_limits_parallel_sweep() {
         let c = CpuModel::opteron_6300();
         // One huge task among many small ones: per-core time floors at it.
-        let mut tasks =
-            vec![TaskCost { compute: 1.0, coalesced_bytes: 0.0, scattered_transactions: 0.0 }; 999];
-        tasks.push(TaskCost { compute: 1e6, coalesced_bytes: 0.0, scattered_transactions: 0.0 });
-        let s = SweepProfile { kind: UpdateKind::Z, tasks };
+        let mut tasks = vec![
+            TaskCost {
+                compute: 1.0,
+                coalesced_bytes: 0.0,
+                scattered_transactions: 0.0
+            };
+            999
+        ];
+        tasks.push(TaskCost {
+            compute: 1e6,
+            coalesced_bytes: 0.0,
+            scattered_transactions: 0.0,
+        });
+        let s = SweepProfile {
+            kind: UpdateKind::Z,
+            tasks,
+        };
         let sp = c.sweep_time(&s, 1) / c.sweep_time(&s, 32);
         assert!(sp < 1.3, "hub-dominated sweep cannot scale, got {sp}");
     }

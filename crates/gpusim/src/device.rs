@@ -116,7 +116,11 @@ impl SimtDevice {
 
     /// Tesla M40 (Maxwell GM200, server variant) — future-work item 5.
     pub fn tesla_m40() -> Self {
-        SimtDevice { name: "Tesla M40", clock_hz: 1.114e9, ..Self::titan_x() }
+        SimtDevice {
+            name: "Tesla M40",
+            clock_hz: 1.114e9,
+            ..Self::titan_x()
+        }
     }
 
     /// Resident blocks per SM for a given block size.
@@ -130,7 +134,10 @@ impl SimtDevice {
     /// block (`nb` is derived, as in the paper: "once ntb is specified, nb
     /// is easily fixed").
     pub fn kernel_time(&self, tasks: &[TaskCost], ntb: usize) -> KernelStats {
-        assert!(ntb >= 1 && ntb <= self.max_threads_per_block, "invalid ntb {ntb}");
+        assert!(
+            ntb >= 1 && ntb <= self.max_threads_per_block,
+            "invalid ntb {ntb}"
+        );
         let t = tasks.len();
         if t == 0 {
             return KernelStats::empty(ntb);
@@ -192,7 +199,11 @@ impl SimtDevice {
         // --- straggler multiplier (block retires with its slowest warp) ---
         let mean_w = warp_cost_sum / n_warps;
         let var_w = (warp_cost_sq / n_warps - mean_w * mean_w).max(0.0);
-        let cv = if mean_w > 0.0 { var_w.sqrt() / mean_w } else { 0.0 };
+        let cv = if mean_w > 0.0 {
+            var_w.sqrt() / mean_w
+        } else {
+            0.0
+        };
         let straggler = 1.0 + cv * (1.0 - 1.0 / warps_per_block as f64);
 
         // --- utilization limited by grid size (small kernels can't fill
@@ -216,8 +227,7 @@ impl SimtDevice {
         // The kernel cannot retire before its single slowest warp (the
         // paper's "the z-update kernel only finishes once the
         // highest-degree variable node is updated").
-        let busy =
-            (compute_time.max(mem_time) * straggler + latency_time).max(max_warp_cost);
+        let busy = (compute_time.max(mem_time) * straggler + latency_time).max(max_warp_cost);
         KernelStats {
             seconds: busy + self.launch_overhead,
             nb,
@@ -298,12 +308,23 @@ mod tests {
     use super::*;
 
     fn uniform_tasks(n: usize, compute: f64, bytes: f64) -> Vec<TaskCost> {
-        vec![TaskCost { compute, coalesced_bytes: bytes, scattered_transactions: 0.0 }; n]
+        vec![
+            TaskCost {
+                compute,
+                coalesced_bytes: bytes,
+                scattered_transactions: 0.0
+            };
+            n
+        ]
     }
 
     #[test]
     fn presets_are_sane() {
-        for d in [SimtDevice::tesla_k40(), SimtDevice::titan_x(), SimtDevice::tesla_m40()] {
+        for d in [
+            SimtDevice::tesla_k40(),
+            SimtDevice::titan_x(),
+            SimtDevice::tesla_m40(),
+        ] {
             assert!(d.num_sms > 0);
             assert!(d.mem_bw > 1e11);
             assert_eq!(d.warp_size, 32);
@@ -324,7 +345,10 @@ mod tests {
         let small = d.kernel_time(&uniform_tasks(10_000, 50.0, 64.0), 32);
         let large = d.kernel_time(&uniform_tasks(1_000_000, 50.0, 64.0), 32);
         let ratio = large.seconds / small.seconds;
-        assert!(ratio > 20.0, "100× tasks should be ≫20× time once overhead amortizes, got {ratio}");
+        assert!(
+            ratio > 20.0,
+            "100× tasks should be ≫20× time once overhead amortizes, got {ratio}"
+        );
     }
 
     #[test]
@@ -363,7 +387,11 @@ mod tests {
         // the gather pays a 32-byte L2 segment per 8-byte element.
         let coalesced = uniform_tasks(n, 1.0, 64.0);
         let scattered: Vec<TaskCost> = (0..n)
-            .map(|_| TaskCost { compute: 1.0, coalesced_bytes: 0.0, scattered_transactions: 8.0 })
+            .map(|_| TaskCost {
+                compute: 1.0,
+                coalesced_bytes: 0.0,
+                scattered_transactions: 8.0,
+            })
             .collect();
         let tc = d.kernel_time(&coalesced, 32).seconds;
         let ts = d.kernel_time(&scattered, 32).seconds;

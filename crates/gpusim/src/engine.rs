@@ -1,162 +1,130 @@
 //! The simulated-GPU ADMM engine.
 //!
-//! Runs the *exact* Algorithm 2 numerics on the host (bit-identical to
-//! [`paradmm_core::Scheduler::Serial`] — asserted by tests) while advancing
-//! a simulated device clock according to the [`SimtDevice`] model: five
-//! kernel launches per iteration, each timed from the problem's real
-//! per-task work profile. This is the substitution substrate for every GPU
-//! figure in the paper.
+//! A thin facade over [`paradmm_core::Solver`] running the
+//! [`GpuSimBackend`]: the engine no longer owns a private driver loop —
+//! the *same* solver that drives the CPU backends drives the simulated
+//! device, with exact Algorithm 2 numerics on the host (bit-identical to
+//! [`paradmm_core::SerialBackend`] — asserted by tests) and the device
+//! clock advanced per the [`SimtDevice`] model: five kernel launches per
+//! iteration, each timed from the problem's real per-task work profile.
+//! This is the substitution substrate for every GPU figure in the paper.
 
-use paradmm_core::{AdmmProblem, Scheduler, UpdateKind, UpdateTimings};
+use paradmm_core::{AdmmProblem, Solver, SolverOptions, StoppingCriteria, UpdateKind};
 use paradmm_graph::VarStore;
 
+pub use crate::backend::{GpuIterationBreakdown, GpuSimBackend};
 use crate::device::{KernelStats, SimtDevice};
 use crate::tasks::WorkloadProfile;
 
-/// Simulated per-iteration time, split by update kind.
-#[derive(Debug, Clone, Copy)]
-pub struct GpuIterationBreakdown {
-    /// Simulated seconds per iteration for each of x, m, z, u, n.
-    pub seconds: [f64; 5],
-}
-
-impl GpuIterationBreakdown {
-    /// Total simulated seconds per iteration.
-    pub fn total(&self) -> f64 {
-        self.seconds.iter().sum()
-    }
-
-    /// Fraction of iteration time in `kind`.
-    pub fn fraction(&self, kind: UpdateKind) -> f64 {
-        let t = self.total();
-        if t > 0.0 {
-            self.seconds[kind.index()] / t
-        } else {
-            0.0
-        }
-    }
-}
-
 /// ADMM running on a simulated SIMT device.
 pub struct GpuAdmmEngine {
-    problem: AdmmProblem,
-    store: VarStore,
-    device: SimtDevice,
-    profile: WorkloadProfile,
-    ntb: [usize; 5],
-    stats: [KernelStats; 5],
-    sim_seconds: f64,
-    iterations: usize,
+    solver: Solver<GpuSimBackend>,
 }
 
 impl GpuAdmmEngine {
     /// Wraps `problem` on `device` with the paper's default `ntb = 32` for
     /// every kernel.
     pub fn new(problem: AdmmProblem, device: SimtDevice) -> Self {
-        let store = VarStore::zeros(problem.graph());
-        let profile = WorkloadProfile::from_problem(&problem);
-        let ntb = [32; 5];
-        let stats = Self::compute_stats(&device, &profile, &ntb);
+        let backend = GpuSimBackend::new(&problem, device);
+        let options = SolverOptions {
+            // The engine is driven in fixed-iteration blocks
+            // ([`GpuAdmmEngine::run`] passes its own budget); residual
+            // checks are the caller's business. The default budget is
+            // finite so `solver_mut().run_default()` terminates instead
+            // of looping for usize::MAX iterations.
+            stopping: StoppingCriteria::fixed_iterations(10_000),
+            ..SolverOptions::default()
+        };
         GpuAdmmEngine {
-            problem,
-            store,
-            device,
-            profile,
-            ntb,
-            stats,
-            sim_seconds: 0.0,
-            iterations: 0,
+            solver: Solver::with_backend(problem, options, backend),
         }
-    }
-
-    fn compute_stats(
-        device: &SimtDevice,
-        profile: &WorkloadProfile,
-        ntb: &[usize; 5],
-    ) -> [KernelStats; 5] {
-        std::array::from_fn(|i| device.kernel_time(&profile.sweeps[i].tasks, ntb[i]))
     }
 
     /// Auto-tunes `ntb` per kernel (the paper's per-problem sweep; e.g.
     /// MPC's z-update preferring 2–16). Returns the chosen values in
     /// x, m, z, u, n order.
     pub fn tune_ntb(&mut self) -> [usize; 5] {
-        for i in 0..5 {
-            self.ntb[i] = self.device.tune_ntb(&self.profile.sweeps[i].tasks);
-        }
-        self.stats = Self::compute_stats(&self.device, &self.profile, &self.ntb);
-        self.ntb
+        self.solver.backend_mut().tune_ntb()
     }
 
     /// Sets one kernel's threads-per-block explicitly.
     pub fn set_ntb(&mut self, kind: UpdateKind, ntb: usize) {
-        self.ntb[kind.index()] = ntb;
-        self.stats = Self::compute_stats(&self.device, &self.profile, &self.ntb);
+        self.solver.backend_mut().set_ntb(kind, ntb);
     }
 
-    /// Runs `iters` iterations: exact numerics on the host, simulated time
-    /// on the device clock.
+    /// Runs `iters` iterations through the shared [`Solver`] loop: exact
+    /// numerics on the host, simulated time on the device clock.
     pub fn run(&mut self, iters: usize) {
-        let mut discard = UpdateTimings::new();
-        Scheduler::Serial.run_block(&self.problem, &mut self.store, iters, &mut discard, None);
-        self.sim_seconds += iters as f64 * self.iteration_breakdown().total();
-        self.iterations += iters;
+        let report = self.solver.run(iters);
+        debug_assert_eq!(report.iterations, iters);
+    }
+
+    /// The underlying solver (residuals, checkpoints, warm starts — the
+    /// full driver API).
+    pub fn solver(&self) -> &Solver<GpuSimBackend> {
+        &self.solver
+    }
+
+    /// Mutable access to the underlying solver.
+    pub fn solver_mut(&mut self) -> &mut Solver<GpuSimBackend> {
+        &mut self.solver
     }
 
     /// Simulated per-iteration breakdown at current `ntb` settings.
     pub fn iteration_breakdown(&self) -> GpuIterationBreakdown {
-        GpuIterationBreakdown { seconds: std::array::from_fn(|i| self.stats[i].seconds) }
+        self.solver.backend().iteration_breakdown()
     }
 
     /// Simulated kernel statistics for one update kind.
     pub fn kernel_stats(&self, kind: UpdateKind) -> KernelStats {
-        self.stats[kind.index()]
+        self.solver.backend().kernel_stats(kind)
     }
 
     /// Total simulated device seconds so far.
     pub fn simulated_seconds(&self) -> f64 {
-        self.sim_seconds
+        self.solver.backend().simulated_seconds()
     }
 
     /// Iterations executed so far.
     pub fn iterations(&self) -> usize {
-        self.iterations
+        self.solver.backend().iterations()
     }
 
     /// The ADMM state (read from "device memory" — numerically exact).
     pub fn store(&self) -> &VarStore {
-        &self.store
+        self.solver.store()
     }
 
     /// Mutable ADMM state (initialization / warm starts).
     pub fn store_mut(&mut self) -> &mut VarStore {
-        &mut self.store
+        self.solver.store_mut()
     }
 
     /// The problem.
     pub fn problem(&self) -> &AdmmProblem {
-        &self.problem
+        self.solver.problem()
     }
 
     /// The device.
     pub fn device(&self) -> &SimtDevice {
-        &self.device
+        self.solver.backend().device()
     }
 
     /// The work profile.
     pub fn profile(&self) -> &WorkloadProfile {
-        &self.profile
+        self.solver.backend().profile()
     }
 
     /// Current per-kernel `ntb` settings.
     pub fn ntb(&self) -> [usize; 5] {
-        self.ntb
+        self.solver.backend().ntb()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use paradmm_core::{SerialBackend, SweepExecutor, UpdateTimings};
     use paradmm_graph::GraphBuilder;
     use paradmm_prox::{ProxOp, QuadraticProx};
 
@@ -180,9 +148,13 @@ mod tests {
         let problem = consensus_problem();
         let mut store = VarStore::zeros(problem.graph());
         let mut t = UpdateTimings::new();
-        Scheduler::Serial.run_block(&problem, &mut store, 40, &mut t, None);
+        SerialBackend.run_block(&problem, &mut store, 40, &mut t);
 
-        assert_eq!(gpu.store().z, store.z, "GPU engine must be bit-identical to serial CPU");
+        assert_eq!(
+            gpu.store().z,
+            store.z,
+            "GPU engine must be bit-identical to serial CPU"
+        );
         assert_eq!(gpu.store().u, store.u);
     }
 
@@ -231,7 +203,18 @@ mod tests {
         let mut gpu = GpuAdmmEngine::new(consensus_problem(), SimtDevice::tesla_k40());
         let chosen = gpu.tune_ntb();
         for v in chosen {
-            assert!(v >= 1 && v <= 1024);
+            assert!((1..=1024).contains(&v));
         }
+    }
+
+    #[test]
+    fn engine_exposes_solver_driver_api() {
+        let mut gpu = GpuAdmmEngine::new(consensus_problem(), SimtDevice::tesla_k40());
+        gpu.run(100);
+        // Residuals come from the shared Solver, not a duplicated loop.
+        let r = gpu.solver().residuals();
+        assert!(r.primal.is_finite() && r.dual.is_finite());
+        let z = gpu.store().z[0];
+        assert!((z - 3.0).abs() < 1e-3, "z = {z}");
     }
 }

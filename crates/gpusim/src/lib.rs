@@ -16,12 +16,13 @@
 //!   behind Figures 8/11/14's sub-linear scaling.
 //!
 //! Numerics are **never** simulated: [`GpuAdmmEngine`] executes the real
-//! update kernels on the host (bit-identical to `Scheduler::Serial`, which
+//! update kernels on the host (bit-identical to `SerialBackend`, which
 //! tests assert) and only the *clock* is modeled. Timing constants are
 //! calibrated against a measured serial run so the modeled serial-CPU time
 //! matches reality, making speedup = modeled-CPU / modeled-GPU a
 //! like-for-like ratio.
 
+pub mod backend;
 pub mod balance;
 pub mod cpu;
 pub mod device;
@@ -30,9 +31,10 @@ pub mod multi;
 pub mod tasks;
 pub mod transfer;
 
+pub use backend::{GpuIterationBreakdown, GpuSimBackend};
 pub use cpu::CpuModel;
 pub use device::{KernelStats, SimtDevice};
-pub use engine::{GpuAdmmEngine, GpuIterationBreakdown};
+pub use engine::GpuAdmmEngine;
 pub use multi::{MultiDevice, MultiIteration};
 pub use tasks::{SweepProfile, TaskCost, WorkloadProfile};
 pub use transfer::PcieLink;

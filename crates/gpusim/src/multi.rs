@@ -51,7 +51,11 @@ impl MultiDevice {
     /// `count` Tesla K40s on a shared PCIe 3.0 link.
     pub fn k40s(count: usize) -> Self {
         assert!(count >= 1);
-        MultiDevice { device: SimtDevice::tesla_k40(), count, link: PcieLink::pcie3_x16() }
+        MultiDevice {
+            device: SimtDevice::tesla_k40(),
+            count,
+            link: PcieLink::pcie3_x16(),
+        }
     }
 
     /// Prices one iteration of `profile` under `partition` (which must
@@ -62,7 +66,10 @@ impl MultiDevice {
         profile: &WorkloadProfile,
         partition: &Partition,
     ) -> MultiIteration {
-        assert_eq!(partition.parts, self.count, "partition must match device count");
+        assert_eq!(
+            partition.parts, self.count,
+            "partition must match device count"
+        );
         let d = graph.dims();
 
         // Split every sweep's tasks by owning part. Factor tasks follow the
@@ -74,8 +81,7 @@ impl MultiDevice {
             .collect();
         for a in graph.factors() {
             let p = partition.part_of(a) as usize;
-            part_tasks[p][UpdateKind::X.index()]
-                .push(profile.sweep(UpdateKind::X).tasks[a.idx()]);
+            part_tasks[p][UpdateKind::X.index()].push(profile.sweep(UpdateKind::X).tasks[a.idx()]);
         }
         for e in graph.edges() {
             let p = partition.part_of(graph.edge_factor(e)) as usize;
@@ -89,8 +95,7 @@ impl MultiDevice {
                 .first()
                 .map(|&e| partition.part_of(graph.edge_factor(e)) as usize)
                 .unwrap_or(0);
-            part_tasks[p][UpdateKind::Z.index()]
-                .push(profile.sweep(UpdateKind::Z).tasks[b.idx()]);
+            part_tasks[p][UpdateKind::Z.index()].push(profile.sweep(UpdateKind::Z).tasks[b.idx()]);
         }
 
         let per_part: Vec<f64> = part_tasks

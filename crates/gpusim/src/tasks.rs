@@ -24,8 +24,11 @@ pub struct TaskCost {
 
 impl TaskCost {
     /// A zero-cost task (idle lane in a partially-filled warp).
-    pub const IDLE: TaskCost =
-        TaskCost { compute: 0.0, coalesced_bytes: 0.0, scattered_transactions: 0.0 };
+    pub const IDLE: TaskCost = TaskCost {
+        compute: 0.0,
+        coalesced_bytes: 0.0,
+        scattered_transactions: 0.0,
+    };
 
     /// Effective bytes this task moves through a *CPU* cache hierarchy:
     /// scattered accesses cost a fraction of a cache line (64 B lines,
@@ -156,11 +159,26 @@ impl WorkloadProfile {
 
         WorkloadProfile {
             sweeps: [
-                SweepProfile { kind: UpdateKind::X, tasks: x_tasks },
-                SweepProfile { kind: UpdateKind::M, tasks: m_tasks },
-                SweepProfile { kind: UpdateKind::Z, tasks: z_tasks },
-                SweepProfile { kind: UpdateKind::U, tasks: u_tasks },
-                SweepProfile { kind: UpdateKind::N, tasks: n_tasks },
+                SweepProfile {
+                    kind: UpdateKind::X,
+                    tasks: x_tasks,
+                },
+                SweepProfile {
+                    kind: UpdateKind::M,
+                    tasks: m_tasks,
+                },
+                SweepProfile {
+                    kind: UpdateKind::Z,
+                    tasks: z_tasks,
+                },
+                SweepProfile {
+                    kind: UpdateKind::U,
+                    tasks: u_tasks,
+                },
+                SweepProfile {
+                    kind: UpdateKind::N,
+                    tasks: n_tasks,
+                },
             ],
         }
     }
@@ -244,6 +262,9 @@ mod tests {
         let small = WorkloadProfile::from_problem(&star_problem(10, 1));
         let large = WorkloadProfile::from_problem(&star_problem(100, 1));
         let ratio = large.total_compute() / small.total_compute();
-        assert!(ratio > 8.0 && ratio < 12.0, "compute should scale ~linearly, got {ratio}");
+        assert!(
+            ratio > 8.0 && ratio < 12.0,
+            "compute should scale ~linearly, got {ratio}"
+        );
     }
 }

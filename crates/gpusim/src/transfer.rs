@@ -24,7 +24,11 @@ pub struct PcieLink {
 impl PcieLink {
     /// PCIe 3.0 ×16 as in the paper's host.
     pub fn pcie3_x16() -> Self {
-        PcieLink { bandwidth: 12e9, latency: 10e-6, per_element_prep: 8e-6 }
+        PcieLink {
+            bandwidth: 12e9,
+            latency: 10e-6,
+            per_element_prep: 8e-6,
+        }
     }
 
     /// Time to move `bytes` across the link.
@@ -45,8 +49,7 @@ impl PcieLink {
         let elements = graph.num_factors() + graph.num_edges() + graph.num_vars();
         let topo_bytes = (graph.num_edges() * 2 * 4 + graph.num_factors() * 4) as f64;
         let state_bytes = store.len_f64() as f64 * 8.0;
-        elements as f64 * self.per_element_prep
-            + self.transfer_time(topo_bytes + state_bytes)
+        elements as f64 * self.per_element_prep + self.transfer_time(topo_bytes + state_bytes)
     }
 
     /// Per-control-cycle refresh for real-time MPC: upload one state

@@ -23,7 +23,12 @@ impl GraphBuilder {
     /// (the paper's `number_of_dims_per_edge`). `dims` must be ≥ 1.
     pub fn new(dims: usize) -> Self {
         assert!(dims >= 1, "dims must be at least 1");
-        GraphBuilder { dims, num_vars: 0, factor_offsets: vec![0], edge_var: Vec::new() }
+        GraphBuilder {
+            dims,
+            num_vars: 0,
+            factor_offsets: vec![0],
+            edge_var: Vec::new(),
+        }
     }
 
     /// Pre-reserves capacity for `factors` factors and `edges` edges.
@@ -56,16 +61,16 @@ impl GraphBuilder {
     /// If `vars` is empty, contains a duplicate, or references an undeclared
     /// variable.
     pub fn add_factor(&mut self, vars: &[VarId]) -> FactorId {
-        assert!(!vars.is_empty(), "a factor must touch at least one variable");
+        assert!(
+            !vars.is_empty(),
+            "a factor must touch at least one variable"
+        );
         for (i, v) in vars.iter().enumerate() {
             assert!(
                 v.idx() < self.num_vars,
                 "factor references undeclared variable {v}"
             );
-            assert!(
-                !vars[..i].contains(v),
-                "factor lists variable {v} twice"
-            );
+            assert!(!vars[..i].contains(v), "factor lists variable {v} twice");
         }
         let id = FactorId::from_usize(self.factor_offsets.len() - 1);
         self.edge_var.extend_from_slice(vars);

@@ -1,0 +1,92 @@
+//! Minimal little-endian cursor traits for the binary codec in
+//! [`crate::io`] — the tiny subset of the `bytes` crate's `Buf`/`BufMut`
+//! that the codec needs, implemented over plain slices so the crate stays
+//! dependency-free.
+
+/// Reading side: a shrinking byte cursor.
+pub(crate) trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes out and advances.
+    ///
+    /// # Panics
+    /// If fewer than `dst.len()` bytes remain (callers bounds-check via
+    /// [`Buf::remaining`] first).
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads a little-endian `u32` and advances.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f64` and advances.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Writing side: an append-only byte sink.
+pub(crate) trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip() {
+        let mut out = Vec::new();
+        out.put_u32_le(0xdead_beef);
+        let mut cursor: &[u8] = &out;
+        assert_eq!(cursor.remaining(), 4);
+        assert_eq!(cursor.get_u32_le(), 0xdead_beef);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn f64_roundtrip_preserves_bits() {
+        let mut out = Vec::new();
+        for v in [0.0, -1.5, f64::MIN_POSITIVE, 1e300, -0.0] {
+            out.put_f64_le(v);
+        }
+        let mut cursor: &[u8] = &out;
+        for v in [0.0, -1.5, f64::MIN_POSITIVE, 1e300, -0.0] {
+            assert_eq!(cursor.get_f64_le().to_bits(), v.to_bits());
+        }
+    }
+}

@@ -1,7 +1,5 @@
 //! Immutable CSR factor-graph topology.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{EdgeId, FactorId, VarId};
 
 /// Immutable bipartite factor-graph `G = (F, V, E)` in CSR form.
@@ -12,7 +10,7 @@ use crate::ids::{EdgeId, FactorId, VarId};
 /// [`FactorGraph::factor_edge_range`]. This is the exact memory layout of
 /// the paper's C implementation (`Gpu_graph.x = [x(1,1), x(1,2), …]`) and is
 /// what makes the x-update's memory accesses coalesce on a GPU.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FactorGraph {
     /// Number of components each `w_b` has (the paper's
     /// `number_of_dims_per_edge`). Every edge vector has this length.
@@ -272,20 +270,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
+        // Persistence goes through the hand-rolled binary codec in
+        // `crate::io`; here we only check that a deep copy of the CSR
+        // arrays still satisfies every structural invariant.
         let g = figure1_graph();
-        let json = serde_json_roundtrip(&g);
-        assert_eq!(json.num_edges(), g.num_edges());
-        json.validate().unwrap();
-    }
-
-    fn serde_json_roundtrip(g: &FactorGraph) -> FactorGraph {
-        // serde_json is not an allowed dependency; use the bincode-free
-        // trick of piping through serde's test-friendly format: we exercise
-        // Serialize/Deserialize with a tiny hand-rolled token check instead.
-        // Here we simply clone — the derive is compile-checked — and verify
-        // validate() still passes on the clone.
-        g.clone()
+        let copy = g.clone();
+        assert_eq!(copy.num_edges(), g.num_edges());
+        copy.validate().unwrap();
     }
 
     #[test]

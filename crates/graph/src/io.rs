@@ -7,12 +7,12 @@
 //! built once, saved, and reloaded instantly — including mid-solve
 //! checkpoints for warm restarts.
 
-use bytes::{Buf, BufMut};
+use crate::byteio::{Buf, BufMut};
 
 use crate::graph::FactorGraph;
+use crate::ids::VarId;
 use crate::params::EdgeParams;
 use crate::store::VarStore;
-use crate::ids::VarId;
 
 const MAGIC: &[u8; 4] = b"PADM";
 const VERSION: u32 = 1;
@@ -130,7 +130,14 @@ pub fn encode_store(store: &VarStore, out: &mut Vec<u8>) {
     out.put_u32_le(store.dims() as u32);
     out.put_u32_le(store.num_edges() as u32);
     out.put_u32_le(store.num_vars() as u32);
-    for arr in [&store.x, &store.m, &store.u, &store.n, &store.z, &store.z_prev] {
+    for arr in [
+        &store.x,
+        &store.m,
+        &store.u,
+        &store.n,
+        &store.z,
+        &store.z_prev,
+    ] {
         for &v in arr.iter() {
             out.put_f64_le(v);
         }

@@ -24,6 +24,7 @@
 //! factor.
 
 pub mod builder;
+pub(crate) mod byteio;
 pub mod graph;
 pub mod ids;
 pub mod io;

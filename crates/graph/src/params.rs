@@ -1,7 +1,5 @@
 //! Per-edge penalty (`ρ`) and over-relaxation (`α`) parameters.
 
-use serde::{Deserialize, Serialize};
-
 use crate::graph::FactorGraph;
 use crate::ids::EdgeId;
 
@@ -11,7 +9,7 @@ use crate::ids::EdgeId;
 /// `initialize_RHOS_APHAS(&graph, rho, alpha)`), but the engine also
 /// supports the three-weight update schemes of Derbinsky et al. (paper
 /// ref [9]), which mutate `ρ` per edge between iterations.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EdgeParams {
     /// Penalty weight per edge.
     pub rho: Vec<f64>,
@@ -25,8 +23,14 @@ impl EdgeParams {
     /// # Panics
     /// If either parameter is not strictly positive and finite.
     pub fn uniform(graph: &FactorGraph, rho: f64, alpha: f64) -> Self {
-        assert!(rho > 0.0 && rho.is_finite(), "rho must be positive and finite");
-        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive and finite");
+        assert!(
+            rho > 0.0 && rho.is_finite(),
+            "rho must be positive and finite"
+        );
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "alpha must be positive and finite"
+        );
         EdgeParams {
             rho: vec![rho; graph.num_edges()],
             alpha: vec![alpha; graph.num_edges()],
@@ -58,10 +62,10 @@ impl EdgeParams {
         if self.rho.len() != graph.num_edges() || self.alpha.len() != graph.num_edges() {
             return Err("parameter arrays sized differently from edge set".into());
         }
-        if self.rho.iter().any(|&r| !(r > 0.0) || !r.is_finite()) {
+        if self.rho.iter().any(|&r| !r.is_finite() || r <= 0.0) {
             return Err("all rho must be positive and finite".into());
         }
-        if self.alpha.iter().any(|&a| !(a > 0.0) || !a.is_finite()) {
+        if self.alpha.iter().any(|&a| !a.is_finite() || a <= 0.0) {
             return Err("all alpha must be positive and finite".into());
         }
         Ok(())

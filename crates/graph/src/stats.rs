@@ -52,8 +52,16 @@ impl GraphStats {
             max_f = max_f.max(d);
             sum_f += d;
         }
-        let mean_v = if nv == 0 { 0.0 } else { sum_v as f64 / nv as f64 };
-        let mean_f = if nf == 0 { 0.0 } else { sum_f as f64 / nf as f64 };
+        let mean_v = if nv == 0 {
+            0.0
+        } else {
+            sum_v as f64 / nv as f64
+        };
+        let mean_f = if nf == 0 {
+            0.0
+        } else {
+            sum_f as f64 / nf as f64
+        };
         GraphStats {
             num_vars: nv,
             num_factors: nf,
@@ -63,8 +71,16 @@ impl GraphStats {
             mean_var_degree: mean_v,
             max_factor_degree: max_f,
             mean_factor_degree: mean_f,
-            var_imbalance: if mean_v > 0.0 { max_v as f64 / mean_v } else { 1.0 },
-            factor_imbalance: if mean_f > 0.0 { max_f as f64 / mean_f } else { 1.0 },
+            var_imbalance: if mean_v > 0.0 {
+                max_v as f64 / mean_v
+            } else {
+                1.0
+            },
+            factor_imbalance: if mean_f > 0.0 {
+                max_f as f64 / mean_f
+            } else {
+                1.0
+            },
         }
     }
 
@@ -88,14 +104,14 @@ impl GraphStats {
     pub fn balanced_var_groups(graph: &FactorGraph, groups: usize) -> Vec<Vec<u32>> {
         assert!(groups > 0);
         let mut order: Vec<u32> = (0..graph.num_vars() as u32).collect();
-        order.sort_by_key(|&b| {
-            std::cmp::Reverse(graph.var_degree(crate::ids::VarId(b)))
-        });
+        order.sort_by_key(|&b| std::cmp::Reverse(graph.var_degree(crate::ids::VarId(b))));
         let mut buckets: Vec<(usize, Vec<u32>)> = vec![(0, Vec::new()); groups];
         for b in order {
             // Place into the currently lightest bucket.
-            let (load, bucket) =
-                buckets.iter_mut().min_by_key(|(load, _)| *load).expect("groups > 0");
+            let (load, bucket) = buckets
+                .iter_mut()
+                .min_by_key(|(load, _)| *load)
+                .expect("groups > 0");
             bucket.push(b);
             *load += graph.var_degree(crate::ids::VarId(b)).max(1);
         }

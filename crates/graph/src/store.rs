@@ -123,7 +123,13 @@ impl VarStore {
     pub fn init_uniform(&mut self, lo: f64, hi: f64, mut next_unit: impl FnMut() -> f64) {
         assert!(hi >= lo, "invalid range");
         let span = hi - lo;
-        for arr in [&mut self.x, &mut self.m, &mut self.u, &mut self.n, &mut self.z] {
+        for arr in [
+            &mut self.x,
+            &mut self.m,
+            &mut self.u,
+            &mut self.n,
+            &mut self.z,
+        ] {
             for v in arr.iter_mut() {
                 *v = lo + span * next_unit();
             }
@@ -133,7 +139,13 @@ impl VarStore {
 
     /// Sets every array to a constant (mostly for tests).
     pub fn fill(&mut self, value: f64) {
-        for arr in [&mut self.x, &mut self.m, &mut self.u, &mut self.n, &mut self.z] {
+        for arr in [
+            &mut self.x,
+            &mut self.m,
+            &mut self.u,
+            &mut self.n,
+            &mut self.z,
+        ] {
             arr.fill(value);
         }
         self.z_prev.fill(value);

@@ -13,10 +13,16 @@ use crate::{Cholesky, LinalgError, Matrix};
 /// Requires `M` to have full row rank; otherwise returns an error.
 pub fn project_affine(m: &Matrix, c: &[f64], x: &[f64]) -> Result<Vec<f64>, LinalgError> {
     if c.len() != m.rows() {
-        return Err(LinalgError::DimensionMismatch { expected: m.rows(), got: c.len() });
+        return Err(LinalgError::DimensionMismatch {
+            expected: m.rows(),
+            got: c.len(),
+        });
     }
     if x.len() != m.cols() {
-        return Err(LinalgError::DimensionMismatch { expected: m.cols(), got: x.len() });
+        return Err(LinalgError::DimensionMismatch {
+            expected: m.cols(),
+            got: x.len(),
+        });
     }
     let mmt = m.aat();
     let ch = Cholesky::factor(&mmt)?;
@@ -45,12 +51,21 @@ pub fn project_affine_weighted(
     w: &[f64],
 ) -> Result<Vec<f64>, LinalgError> {
     if c.len() != m.rows() {
-        return Err(LinalgError::DimensionMismatch { expected: m.rows(), got: c.len() });
+        return Err(LinalgError::DimensionMismatch {
+            expected: m.rows(),
+            got: c.len(),
+        });
     }
     if x.len() != m.cols() || w.len() != m.cols() {
-        return Err(LinalgError::DimensionMismatch { expected: m.cols(), got: x.len() });
+        return Err(LinalgError::DimensionMismatch {
+            expected: m.cols(),
+            got: x.len(),
+        });
     }
-    assert!(w.iter().all(|&v| v > 0.0), "weights must be strictly positive");
+    assert!(
+        w.iter().all(|&v| v > 0.0),
+        "weights must be strictly positive"
+    );
 
     // K = M W⁻¹ Mᵀ
     let rows = m.rows();
@@ -139,7 +154,11 @@ mod tests {
         let x = [0.0, 10.0];
         let p = project_affine_weighted(&m, &[0.0], &x, &[1e6, 1.0]).unwrap();
         assert!((p[0] - p[1]).abs() < 1e-9);
-        assert!(p[0].abs() < 0.01, "heavy-weighted coordinate should barely move, got {}", p[0]);
+        assert!(
+            p[0].abs() < 0.01,
+            "heavy-weighted coordinate should barely move, got {}",
+            p[0]
+        );
     }
 
     #[test]

@@ -124,7 +124,10 @@ mod tests {
         let c = config(k);
         let s = solve_exact(&c, &sys);
         let stage = |q: &[f64], u: f64| -> f64 {
-            q.iter().zip(&c.q_weight).map(|(qi, wi)| wi * qi * qi).sum::<f64>()
+            q.iter()
+                .zip(&c.q_weight)
+                .map(|(qi, wi)| wi * qi * qi)
+                .sum::<f64>()
                 + c.r_weight * u * u
         };
         let mut opt_cost = 0.0;

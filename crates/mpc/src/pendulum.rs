@@ -64,7 +64,10 @@ pub fn inverted_pendulum(m_cart: f64, m_pole: f64, l: f64) -> (Matrix, Matrix) {
 /// `A = A_c·dt`, `B = B_c·dt`.
 pub fn discretize(a_c: &Matrix, b_c: &Matrix, dt: f64) -> LinearSystem {
     assert!(dt > 0.0);
-    LinearSystem { a: a_c.scaled(dt), b: b_c.scaled(dt) }
+    LinearSystem {
+        a: a_c.scaled(dt),
+        b: b_c.scaled(dt),
+    }
 }
 
 /// The paper's plant with standard bench parameters (1 kg cart, 0.1 kg

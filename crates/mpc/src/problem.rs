@@ -1,6 +1,8 @@
 //! Factor-graph construction for MPC (paper Figure 9).
 
-use paradmm_core::{AdmmProblem, ProxOp, Scheduler, Solver, SolverOptions, StoppingCriteria};
+use paradmm_core::{
+    AdmmProblem, ProxOp, Scheduler, Solver, SolverOptions, StoppingCriteria, SweepExecutor,
+};
 use paradmm_graph::{GraphBuilder, VarId, VarStore};
 use paradmm_linalg::Matrix;
 use paradmm_prox::{AffineEqualityProx, QuadraticProx};
@@ -72,11 +74,8 @@ impl Trajectory {
     pub fn max_dynamics_residual(&self, sys: &LinearSystem) -> f64 {
         let mut worst = 0.0_f64;
         for t in 0..self.states.len() - 1 {
-            worst = worst.max(sys.residual(
-                &self.states[t],
-                &[self.inputs[t]],
-                &self.states[t + 1],
-            ));
+            worst =
+                worst.max(sys.residual(&self.states[t], &[self.inputs[t]], &self.states[t + 1]));
         }
         worst
     }
@@ -134,7 +133,15 @@ impl MpcProblem {
         debug_assert_eq!(graph.num_edges(), 3 * k + 2);
         debug_assert_eq!(graph.num_vars(), k + 1);
         let problem = AdmmProblem::new(graph, proxes, config.rho, config.alpha);
-        (MpcProblem { config, sys, step_vars, init_factor }, problem)
+        (
+            MpcProblem {
+                config,
+                sys,
+                step_vars,
+                init_factor,
+            },
+            problem,
+        )
     }
 
     /// The instance parameters.
@@ -203,16 +210,28 @@ impl MpcProblem {
         store.snapshot_z();
     }
 
-    /// Convenience: build and solve for `iters` iterations.
+    /// Convenience: build and solve for `iters` iterations on one of the
+    /// built-in backends.
     pub fn solve(
         config: MpcConfig,
         sys: LinearSystem,
         iters: usize,
         scheduler: Scheduler,
     ) -> (Trajectory, MpcProblem) {
+        Self::solve_with_backend(config, sys, iters, scheduler.to_backend())
+    }
+
+    /// Build and solve for `iters` iterations on any [`SweepExecutor`]
+    /// backend.
+    pub fn solve_with_backend(
+        config: MpcConfig,
+        sys: LinearSystem,
+        iters: usize,
+        backend: Box<dyn SweepExecutor>,
+    ) -> (Trajectory, MpcProblem) {
         let (mpc, admm) = MpcProblem::build(config, sys);
         let options = SolverOptions {
-            scheduler,
+            scheduler: Scheduler::Serial, // ignored by from_problem_with_backend
             rho: mpc.config.rho,
             alpha: mpc.config.alpha,
             stopping: StoppingCriteria {
@@ -222,7 +241,7 @@ impl MpcProblem {
                 check_every: 50,
             },
         };
-        let mut solver = Solver::from_problem(admm, options);
+        let mut solver = Solver::from_problem_with_backend(admm, options, backend);
         solver.run(iters);
         let traj = mpc.extract(solver.store());
         (traj, mpc)
@@ -298,7 +317,8 @@ mod tests {
     #[test]
     fn cost_lower_than_uncontrolled() {
         let config = MpcConfig::new(30);
-        let (traj, mpc) = MpcProblem::solve(config.clone(), paper_plant(), 15_000, Scheduler::Serial);
+        let (traj, mpc) =
+            MpcProblem::solve(config.clone(), paper_plant(), 15_000, Scheduler::Serial);
         // Uncontrolled rollout from the same q0.
         let sys = mpc.system();
         let mut q = config.q0.to_vec();
@@ -307,7 +327,10 @@ mod tests {
             q = sys.step(&q, &[0.0]);
             states.push([q[0], q[1], q[2], q[3]]);
         }
-        let uncontrolled = Trajectory { states, inputs: vec![0.0; 31] };
+        let uncontrolled = Trajectory {
+            states,
+            inputs: vec![0.0; 31],
+        };
         assert!(
             traj.cost(&config) < uncontrolled.cost(&config),
             "MPC {} must beat doing nothing {}",

@@ -43,7 +43,10 @@ impl HalfPlane {
     pub fn new(q: [f64; 2], v: [f64; 2]) -> Self {
         let norm = (q[0] * q[0] + q[1] * q[1]).sqrt();
         assert!(norm > 0.0, "half-plane normal must be non-zero");
-        HalfPlane { q: [q[0] / norm, q[1] / norm], v }
+        HalfPlane {
+            q: [q[0] / norm, q[1] / norm],
+            v,
+        }
     }
 
     /// Signed clearance of a disk: `Qᵀ(c − V) − r`, ≥ 0 when inside.
@@ -136,19 +139,38 @@ mod tests {
 
     #[test]
     fn disk_gap_and_area() {
-        let a = Disk { c: [0.0, 0.0], r: 1.0 };
-        let b = Disk { c: [3.0, 0.0], r: 1.0 };
+        let a = Disk {
+            c: [0.0, 0.0],
+            r: 1.0,
+        };
+        let b = Disk {
+            c: [3.0, 0.0],
+            r: 1.0,
+        };
         assert!((a.gap(&b) - 1.0).abs() < 1e-12);
         assert!((a.area() - std::f64::consts::PI).abs() < 1e-12);
-        assert_eq!(Disk { c: [0.0, 0.0], r: -1.0 }.area(), 0.0);
+        assert_eq!(
+            Disk {
+                c: [0.0, 0.0],
+                r: -1.0
+            }
+            .area(),
+            0.0
+        );
     }
 
     #[test]
     fn halfplane_clearance() {
         // x ≥ 0 half-plane.
         let w = HalfPlane::new([1.0, 0.0], [0.0, 0.0]);
-        let inside = Disk { c: [2.0, 5.0], r: 1.0 };
-        let outside = Disk { c: [0.5, 0.0], r: 1.0 };
+        let inside = Disk {
+            c: [2.0, 5.0],
+            r: 1.0,
+        };
+        let outside = Disk {
+            c: [0.5, 0.0],
+            r: 1.0,
+        };
         assert!((w.clearance(&inside) - 1.0).abs() < 1e-12);
         assert!((w.clearance(&outside) + 0.5).abs() < 1e-12);
     }
@@ -190,8 +212,14 @@ mod tests {
     fn min_clearance_over_disks() {
         let s = Polygon::square(4.0);
         let disks = vec![
-            Disk { c: [2.0, 2.0], r: 1.0 },
-            Disk { c: [0.5, 2.0], r: 1.0 }, // pokes out left wall by 0.5
+            Disk {
+                c: [2.0, 2.0],
+                r: 1.0,
+            },
+            Disk {
+                c: [0.5, 2.0],
+                r: 1.0,
+            }, // pokes out left wall by 0.5
         ];
         assert!((s.min_clearance(&disks) + 0.5).abs() < 1e-12);
     }

@@ -1,6 +1,8 @@
 //! Factor-graph construction for the packing problem (paper Figure 6).
 
-use paradmm_core::{AdmmProblem, ProxOp, Scheduler, Solver, SolverOptions, StoppingCriteria};
+use paradmm_core::{
+    AdmmProblem, ProxOp, Scheduler, Solver, SolverOptions, StoppingCriteria, SweepExecutor,
+};
 use paradmm_graph::{GraphBuilder, VarId, VarStore};
 use paradmm_prox::{HalfspaceProx, QuadraticProx};
 use rand::Rng;
@@ -25,7 +27,12 @@ pub struct PackingConfig {
 impl PackingConfig {
     /// Paper-style defaults: `n` disks in a unit-ish triangle.
     pub fn new(n_disks: usize) -> Self {
-        PackingConfig { n_disks, container: Polygon::triangle(1.0), rho: 2.0, alpha: 1.0 }
+        PackingConfig {
+            n_disks,
+            container: Polygon::triangle(1.0),
+            rho: 2.0,
+            alpha: 1.0,
+        }
     }
 }
 
@@ -73,30 +80,37 @@ impl PackingProblem {
     /// component 0).
     pub fn build(config: PackingConfig) -> (Self, AdmmProblem) {
         assert!(config.n_disks >= 1, "need at least one disk");
-        assert!(config.rho > 1.0, "rho must exceed 1 for the radius operator");
+        assert!(
+            config.rho > 1.0,
+            "rho must exceed 1 for the radius operator"
+        );
         let n = config.n_disks;
         let s = config.container.walls.len();
-        let mut b = GraphBuilder::with_capacity(
-            2,
-            n * (n - 1) / 2 + n + n * s,
-            2 * n * n - n + 2 * n * s,
-        );
+        let mut b =
+            GraphBuilder::with_capacity(2, n * (n - 1) / 2 + n + n * s, 2 * n * n - n + 2 * n * s);
         let center_vars = b.add_vars(n);
         let radius_vars = b.add_vars(n);
-        let mut proxes: Vec<Box<dyn ProxOp>> =
-            Vec::with_capacity(n * (n - 1) / 2 + n + n * s);
+        let mut proxes: Vec<Box<dyn ProxOp>> = Vec::with_capacity(n * (n - 1) / 2 + n + n * s);
 
         // Collision factors (i < j): edges (c_i, r_i, c_j, r_j).
         for i in 0..n {
             for j in i + 1..n {
-                b.add_factor(&[center_vars[i], radius_vars[i], center_vars[j], radius_vars[j]]);
+                b.add_factor(&[
+                    center_vars[i],
+                    radius_vars[i],
+                    center_vars[j],
+                    radius_vars[j],
+                ]);
                 proxes.push(Box::new(CollisionProx));
             }
         }
         // Radius-maximization factors: f(r) = −½ r² on component 0.
         for i in 0..n {
             b.add_factor(&[radius_vars[i]]);
-            proxes.push(Box::new(QuadraticProx::diagonal(vec![-1.0, 0.0], vec![0.0, 0.0])));
+            proxes.push(Box::new(QuadraticProx::diagonal(
+                vec![-1.0, 0.0],
+                vec![0.0, 0.0],
+            )));
         }
         // Wall factors: Qᵀ(c − V) ≥ r ⇔ (Q, −1)·(c, r) ≥ QᵀV, blocks (c_i, r_i).
         for i in 0..n {
@@ -112,7 +126,14 @@ impl PackingProblem {
         debug_assert_eq!(graph.num_edges(), 2 * n * n - n + 2 * n * s);
         debug_assert_eq!(graph.num_vars(), 2 * n);
         let problem = AdmmProblem::new(graph, proxes, config.rho, config.alpha);
-        (PackingProblem { config, center_vars, radius_vars }, problem)
+        (
+            PackingProblem {
+                config,
+                center_vars,
+                radius_vars,
+            },
+            problem,
+        )
     }
 
     /// The instance parameters.
@@ -170,7 +191,10 @@ impl PackingProblem {
             .map(|i| {
                 let zc = store.z_var(self.center_vars[i]);
                 let zr = store.z_var(self.radius_vars[i]);
-                Disk { c: [zc[0], zc[1]], r: zr[0] }
+                Disk {
+                    c: [zc[0], zc[1]],
+                    r: zr[0],
+                }
             })
             .collect();
         PackingSolution { disks }
@@ -183,15 +207,26 @@ impl PackingProblem {
         seed: u64,
         scheduler: Scheduler,
     ) -> (PackingSolution, PackingProblem) {
+        Self::solve_with_backend(config, iters, seed, scheduler.to_backend())
+    }
+
+    /// Build, randomly initialize, and run `iters` iterations on any
+    /// [`SweepExecutor`] backend.
+    pub fn solve_with_backend(
+        config: PackingConfig,
+        iters: usize,
+        seed: u64,
+        backend: Box<dyn SweepExecutor>,
+    ) -> (PackingSolution, PackingProblem) {
         use rand::SeedableRng;
         let (packing, admm) = PackingProblem::build(config);
         let options = SolverOptions {
-            scheduler,
+            scheduler: Scheduler::Serial, // ignored by from_problem_with_backend
             rho: packing.config.rho,
             alpha: packing.config.alpha,
             stopping: StoppingCriteria::fixed_iterations(iters),
         };
-        let mut solver = Solver::from_problem(admm, options);
+        let mut solver = Solver::from_problem_with_backend(admm, options, backend);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         packing.init_store(solver.store_mut(), &mut rng);
         // Split the borrows: broadcast needs the graph (shared) and the
@@ -255,9 +290,16 @@ mod tests {
             alpha: 1.0,
         };
         let (solution, packing) = PackingProblem::solve(config, 4000, 3, Scheduler::Serial);
-        assert!(solution.worst_overlap() > -0.02, "overlap {}", solution.worst_overlap());
+        assert!(
+            solution.worst_overlap() > -0.02,
+            "overlap {}",
+            solution.worst_overlap()
+        );
         assert!(solution.worst_wall_violation(&packing.config().container) > -0.02);
-        assert!(solution.disks.iter().all(|d| d.r > 0.01), "radii should be positive");
+        assert!(
+            solution.disks.iter().all(|d| d.r > 0.01),
+            "radii should be positive"
+        );
     }
 
     #[test]
@@ -272,8 +314,14 @@ mod tests {
         assert!(solution.worst_overlap() > -0.05);
         assert!(solution.worst_wall_violation(&packing.config().container) > -0.05);
         let coverage = solution.covered_area() / packing.config().container.area();
-        assert!(coverage > 0.25, "coverage {coverage} too low — solver not making progress");
-        assert!(coverage < 1.0, "coverage {coverage} impossible — constraints violated");
+        assert!(
+            coverage > 0.25,
+            "coverage {coverage} too low — solver not making progress"
+        );
+        assert!(
+            coverage < 1.0,
+            "coverage {coverage} impossible — constraints violated"
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl ProxOp for CollisionProx {
         }
         // Unit direction from disk 1 to disk 2 (deterministic fallback for
         // exactly coincident centers).
-        let (nx, ny) = if dist > 1e-300 { (dx / dist, dy / dist) } else { (1.0, 0.0) };
+        let (nx, ny) = if dist > 1e-300 {
+            (dx / dist, dy / dist)
+        } else {
+            (1.0, 0.0)
+        };
 
         let w1 = rho2 / (rho1 + rho2); // disk 1 moves ∝ 1/ρ₁
         let w2 = rho1 / (rho1 + rho2);
@@ -130,7 +134,10 @@ mod tests {
         assert!(gap(&x).abs() < 1e-10);
         let move1 = (x[0].powi(2) + x[1].powi(2)).sqrt();
         let move2 = ((x[4] - 2.0).powi(2) + x[5].powi(2)).sqrt();
-        assert!(move1 < 0.2 * move2, "heavy disk 1 moved {move1}, light disk 2 moved {move2}");
+        assert!(
+            move1 < 0.2 * move2,
+            "heavy disk 1 moved {move1}, light disk 2 moved {move2}"
+        );
     }
 
     #[test]

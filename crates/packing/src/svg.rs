@@ -35,7 +35,9 @@ pub fn render_svg(container: &Polygon, disks: &[Disk], width_px: f64) -> String 
         points.join(" ")
     ));
     // Disks, colour-cycled.
-    const PALETTE: [&str; 6] = ["#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948"];
+    const PALETTE: [&str; 6] = [
+        "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
+    ];
     for (i, d) in disks.iter().enumerate() {
         if d.r <= 0.0 {
             continue;
@@ -72,8 +74,14 @@ mod tests {
     fn svg_structure() {
         let container = Polygon::triangle(1.0);
         let disks = vec![
-            Disk { c: [0.5, 0.3], r: 0.2 },
-            Disk { c: [0.3, 0.1], r: 0.08 },
+            Disk {
+                c: [0.5, 0.3],
+                r: 0.2,
+            },
+            Disk {
+                c: [0.3, 0.1],
+                r: 0.08,
+            },
         ];
         let svg = render_svg(&container, &disks, 400.0);
         assert!(svg.starts_with("<svg"));
@@ -85,19 +93,18 @@ mod tests {
     #[test]
     fn negative_radius_skipped() {
         let container = Polygon::square(1.0);
-        let disks = vec![Disk { c: [0.5, 0.5], r: -0.1 }];
+        let disks = vec![Disk {
+            c: [0.5, 0.5],
+            r: -0.1,
+        }];
         let svg = render_svg(&container, &disks, 100.0);
         assert_eq!(svg.matches("<circle").count(), 0);
     }
 
     #[test]
     fn aspect_ratio_follows_container() {
-        let container = Polygon::from_vertices(vec![
-            [0.0, 0.0],
-            [2.0, 0.0],
-            [2.0, 1.0],
-            [0.0, 1.0],
-        ]);
+        let container =
+            Polygon::from_vertices(vec![[0.0, 0.0], [2.0, 0.0], [2.0, 1.0], [0.0, 1.0]]);
         let svg = render_svg(&container, &[], 200.0);
         assert!(svg.contains("width=\"200\""));
         assert!(svg.contains("height=\"100\""));

@@ -108,7 +108,7 @@ mod tests {
     fn consensus_two_blocks_matches_paper_eq11() {
         let (r1, r2) = (2.0, 3.0);
         let x = run(&ConsensusEqualityProx, &[4.0, -1.0], &[r1, r2], 1);
-        let expect = (r1 * 4.0 + r2 * (-1.0)) / (r1 + r2);
+        let expect = (r1 * 4.0 + -r2) / (r1 + r2);
         assert!((x[0] - expect).abs() < 1e-12);
         assert_eq!(x[0], x[1]);
     }

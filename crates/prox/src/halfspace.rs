@@ -22,7 +22,10 @@ pub struct HalfspaceProx {
 impl HalfspaceProx {
     /// Creates the operator; `a` must be non-zero.
     pub fn new(a: Vec<f64>, b: f64) -> Self {
-        assert!(a.iter().any(|&v| v != 0.0), "half-space normal must be non-zero");
+        assert!(
+            a.iter().any(|&v| v != 0.0),
+            "half-space normal must be non-zero"
+        );
         HalfspaceProx { a, b }
     }
 
@@ -87,7 +90,10 @@ impl HingeProx {
         }
         a[dims] = y; // b block, component 0
         a[2 * dims] = 1.0; // ξ block, component 0
-        HingeProx { inner: HalfspaceProx::new(a, 1.0), data_dim: x.len() }
+        HingeProx {
+            inner: HalfspaceProx::new(a, 1.0),
+            data_dim: x.len(),
+        }
     }
 
     /// Dimension of the stored data point.
@@ -189,7 +195,10 @@ mod tests {
         let margin = y * (n1[0] * xdata[0] + n1[1] * xdata[1] + n2) + n3 - 1.0;
         let xnorm2 = xdata[0] * xdata[0] + xdata[1] * xdata[1];
         let alpha = (-margin).max(0.0) / (xnorm2 / r1 + 1.0 / r2 + 1.0 / r3);
-        let expect_w = [n1[0] + alpha / r1 * y * xdata[0], n1[1] + alpha / r1 * y * xdata[1]];
+        let expect_w = [
+            n1[0] + alpha / r1 * y * xdata[0],
+            n1[1] + alpha / r1 * y * xdata[1],
+        ];
         let expect_b = n2 + alpha / r2 * y;
         let expect_xi = n3 + alpha / r3;
         assert!((got[0] - expect_w[0]).abs() < 1e-12);

@@ -30,7 +30,9 @@ pub use ctx::ProxCtx;
 pub use equality::{AffineEqualityProx, ConsensusEqualityProx};
 pub use halfspace::{HalfspaceProx, HingeProx};
 pub use numeric::NumericProx;
-pub use projections::{max_assignment, project_simplex, NormBallProx, PermutationProx, SimplexProx};
+pub use projections::{
+    max_assignment, project_simplex, NormBallProx, PermutationProx, SimplexProx,
+};
 pub use simple::{BoxProx, L1Prox, LinearProx, QuadraticProx, SemiLassoProx, ZeroProx};
 
 /// A proximal operator: the serial kernel executed by one GPU thread / CPU

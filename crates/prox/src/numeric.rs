@@ -26,7 +26,12 @@ impl NumericProx {
     /// Wraps `f` with default solver settings (500 iterations, tolerance
     /// `1e-10` on the gradient norm).
     pub fn new(f: impl Fn(&[f64]) -> f64 + Send + Sync + 'static) -> Self {
-        NumericProx { f: Box::new(f), max_iters: 500, grad_eps: 1e-7, tol: 1e-10 }
+        NumericProx {
+            f: Box::new(f),
+            max_iters: 500,
+            grad_eps: 1e-7,
+            tol: 1e-10,
+        }
     }
 
     /// Overrides iteration and tolerance settings.

@@ -80,7 +80,9 @@ impl ProxOp for NormBallProx {
         assert_eq!(self.center.len(), ctx.n.len(), "center length mismatch");
         let first = ctx.rho[0];
         assert!(
-            ctx.rho.iter().all(|&r| (r - first).abs() <= 1e-9 * first.abs().max(1.0)),
+            ctx.rho
+                .iter()
+                .all(|&r| (r - first).abs() <= 1e-9 * first.abs().max(1.0)),
             "norm-ball projection requires uniform rho across the factor"
         );
         let mut dist2 = 0.0;
@@ -120,7 +122,7 @@ pub struct PermutationProx {
 impl PermutationProx {
     /// Creates a projector for `n × n` permutation matrices.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 1 && n <= 64, "assignment size out of range");
+        assert!((1..=64).contains(&n), "assignment size out of range");
         PermutationProx { n }
     }
 

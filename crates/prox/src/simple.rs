@@ -231,14 +231,7 @@ mod tests {
         let n = [0.2, -1.0];
         let rho = [1.5, 0.8];
         let x = run(&op, &n, &rho, 1);
-        assert_is_minimizer(
-            |s| 0.7 * s[0] - 0.3 * s[1],
-            &n,
-            &rho,
-            1,
-            &x,
-            1e-7,
-        );
+        assert_is_minimizer(|s| 0.7 * s[0] - 0.3 * s[1], &n, &rho, 1, &x, 1e-7);
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub fn assert_is_minimizer(
     // here; this module is also used from doctests).
     let mut state = 0x9e3779b97f4a7c15_u64;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 11) as f64) / ((1_u64 << 53) as f64) * 2.0 - 1.0
     };
     let mut probe = vec![0.0; x.len()];

@@ -18,13 +18,7 @@ fn run(op: &dyn ProxOp, n: &[f64], rho: &[f64], dims: usize) -> Vec<f64> {
 }
 
 /// Probes a handful of perturbations; returns the best objective found.
-fn probe_best(
-    f: &dyn Fn(&[f64]) -> f64,
-    n: &[f64],
-    rho: &[f64],
-    dims: usize,
-    x: &[f64],
-) -> f64 {
+fn probe_best(f: &dyn Fn(&[f64]) -> f64, n: &[f64], rho: &[f64], dims: usize, x: &[f64]) -> f64 {
     let mut best = f64::INFINITY;
     let mut probe = x.to_vec();
     let mut state = 0xabcdef12345_u64;

@@ -42,7 +42,10 @@ impl Grid {
     pub fn new(box_side: usize, cells: Vec<u8>) -> Self {
         let n = box_side * box_side;
         assert_eq!(cells.len(), n * n, "grid must have n² cells");
-        assert!(cells.iter().all(|&c| (c as usize) <= n), "cell value out of range");
+        assert!(
+            cells.iter().all(|&c| (c as usize) <= n),
+            "cell value out of range"
+        );
         Grid { box_side, cells }
     }
 
@@ -73,7 +76,7 @@ impl Grid {
     /// column and box all-different constraints.
     pub fn is_solved(&self) -> bool {
         let n = self.side();
-        if self.cells.iter().any(|&c| c == 0) {
+        if self.cells.contains(&0) {
             return false;
         }
         let groups = group_indices(self.box_side);
@@ -136,7 +139,12 @@ pub struct SudokuConfig {
 
 impl Default for SudokuConfig {
     fn default() -> Self {
-        SudokuConfig { rho: 1.0, clue_weight: 50.0, iters_per_attempt: 1500, max_attempts: 8 }
+        SudokuConfig {
+            rho: 1.0,
+            clue_weight: 50.0,
+            iters_per_attempt: 1500,
+            max_attempts: 8,
+        }
     }
 }
 
@@ -176,7 +184,13 @@ impl SudokuProblem {
             }
         }
         let problem = AdmmProblem::new(b.build(), proxes, config.rho, 1.0);
-        (SudokuProblem { givens: givens.clone(), cell_vars }, problem)
+        (
+            SudokuProblem {
+                givens: givens.clone(),
+                cell_vars,
+            },
+            problem,
+        )
     }
 
     /// Rounds the consensus to a grid: per cell, the arg-max digit.
@@ -341,11 +355,12 @@ mod tests {
     #[test]
     fn solves_easy_9x9() {
         let givens = easy9();
-        let mut config = SudokuConfig::default();
-        config.iters_per_attempt = 3000;
-        config.max_attempts = 4;
-        let (grid, _) =
-            SudokuProblem::solve(&givens, &config, 11).expect("easy 9×9 should solve");
+        let config = SudokuConfig {
+            iters_per_attempt: 3000,
+            max_attempts: 4,
+            ..SudokuConfig::default()
+        };
+        let (grid, _) = SudokuProblem::solve(&givens, &config, 11).expect("easy 9×9 should solve");
         assert!(grid.is_solved());
         assert!(grid.is_completion_of(&givens));
     }

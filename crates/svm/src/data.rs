@@ -54,12 +54,7 @@ fn normal(rng: &mut impl Rng) -> f64 {
 /// Draws `n` points from two spherical Gaussians in `R^dim` whose means
 /// sit `separation` apart along the first axis (±separation/2), labels
 /// ±1, balanced halves.
-pub fn gaussian_mixture(
-    n: usize,
-    dim: usize,
-    separation: f64,
-    rng: &mut impl Rng,
-) -> Dataset {
+pub fn gaussian_mixture(n: usize, dim: usize, separation: f64, rng: &mut impl Rng) -> Dataset {
     assert!(dim >= 1 && n >= 2);
     let mut points = Vec::with_capacity(n);
     let mut labels = Vec::with_capacity(n);
@@ -73,7 +68,11 @@ pub fn gaussian_mixture(
         points.push(x);
         labels.push(y);
     }
-    Dataset { points, labels, dim }
+    Dataset {
+        points,
+        labels,
+        dim,
+    }
 }
 
 #[cfg(test)]

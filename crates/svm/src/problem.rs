@@ -1,6 +1,8 @@
 //! Factor-graph construction for soft-margin SVM training (paper Fig. 12).
 
-use paradmm_core::{AdmmProblem, ProxOp, Scheduler, Solver, SolverOptions, StoppingCriteria};
+use paradmm_core::{
+    AdmmProblem, ProxOp, Scheduler, Solver, SolverOptions, StoppingCriteria, SweepExecutor,
+};
 use paradmm_graph::{GraphBuilder, VarId, VarStore};
 use paradmm_prox::{ConsensusEqualityProx, HalfspaceProx, ProxCtx, QuadraticProx};
 
@@ -19,7 +21,11 @@ pub struct SvmConfig {
 
 impl Default for SvmConfig {
     fn default() -> Self {
-        SvmConfig { lambda: 1.0, rho: 1.0, alpha: 1.0 }
+        SvmConfig {
+            lambda: 1.0,
+            rho: 1.0,
+            alpha: 1.0,
+        }
     }
 }
 
@@ -136,10 +142,16 @@ impl SvmProblem {
                     proxes.push(Box::new(QuadraticProx::diagonal(q, vec![0.0; dims])));
                     // Hinge factor over (plane, slack).
                     b.add_factor(&[plane_vars[i], slack_vars[i]]);
-                    proxes.push(Box::new(hinge_halfspace(&data.points[i], data.labels[i], d)));
+                    proxes.push(Box::new(hinge_halfspace(
+                        &data.points[i],
+                        data.labels[i],
+                        d,
+                    )));
                     // Slack factor.
                     b.add_factor(&[slack_vars[i]]);
-                    proxes.push(Box::new(SlackProx { lambda: config.lambda }));
+                    proxes.push(Box::new(SlackProx {
+                        lambda: config.lambda,
+                    }));
                 }
                 // Copy chain (wᵢ, bᵢ) = (wᵢ₊₁, bᵢ₊₁).
                 for i in 0..n - 1 {
@@ -159,9 +171,15 @@ impl SvmProblem {
                 proxes.push(Box::new(QuadraticProx::diagonal(q, vec![0.0; dims])));
                 for i in 0..n {
                     b.add_factor(&[plane, slack_vars[i]]);
-                    proxes.push(Box::new(hinge_halfspace(&data.points[i], data.labels[i], d)));
+                    proxes.push(Box::new(hinge_halfspace(
+                        &data.points[i],
+                        data.labels[i],
+                        d,
+                    )));
                     b.add_factor(&[slack_vars[i]]);
-                    proxes.push(Box::new(SlackProx { lambda: config.lambda }));
+                    proxes.push(Box::new(SlackProx {
+                        lambda: config.lambda,
+                    }));
                 }
                 (vec![plane], b.build())
             }
@@ -169,7 +187,13 @@ impl SvmProblem {
 
         let problem = AdmmProblem::new(graph, proxes, config.rho, config.alpha);
         (
-            SvmProblem { topology, plane_vars, dim: d, config, n_points: n },
+            SvmProblem {
+                topology,
+                plane_vars,
+                dim: d,
+                config,
+                n_points: n,
+            },
             problem,
         )
     }
@@ -207,16 +231,27 @@ impl SvmProblem {
         SvmModel { w, b: b * inv }
     }
 
-    /// Convenience: build (replicated), run `iters`, extract.
+    /// Convenience: build (replicated), run `iters` on a built-in
+    /// backend, extract.
     pub fn train(
         data: &Dataset,
         config: SvmConfig,
         iters: usize,
         scheduler: Scheduler,
     ) -> (SvmModel, SvmProblem) {
+        Self::train_with_backend(data, config, iters, scheduler.to_backend())
+    }
+
+    /// Build, run `iters` on any [`SweepExecutor`] backend, extract.
+    pub fn train_with_backend(
+        data: &Dataset,
+        config: SvmConfig,
+        iters: usize,
+        backend: Box<dyn SweepExecutor>,
+    ) -> (SvmModel, SvmProblem) {
         let (svm, admm) = SvmProblem::build(data, config);
         let options = SolverOptions {
-            scheduler,
+            scheduler: Scheduler::Serial, // ignored by from_problem_with_backend
             rho: svm.config.rho,
             alpha: svm.config.alpha,
             stopping: StoppingCriteria {
@@ -226,7 +261,7 @@ impl SvmProblem {
                 check_every: 50,
             },
         };
-        let mut solver = Solver::from_problem(admm, options);
+        let mut solver = Solver::from_problem_with_backend(admm, options, backend);
         solver.run(iters);
         let model = svm.extract(solver.store());
         (model, svm)
@@ -285,14 +320,17 @@ mod tests {
         let data = small_data(40, 2, 4.0, 2);
         let (_, admm) = SvmProblem::build(&data, SvmConfig::default());
         let stats = paradmm_graph::GraphStats::compute(admm.graph());
-        assert!(stats.max_var_degree <= 4, "max degree {}", stats.max_var_degree);
+        assert!(
+            stats.max_var_degree <= 4,
+            "max degree {}",
+            stats.max_var_degree
+        );
     }
 
     #[test]
     fn trains_separable_data_accurately() {
         let data = small_data(60, 2, 6.0, 3);
-        let (model, _) =
-            SvmProblem::train(&data, SvmConfig::default(), 3000, Scheduler::Serial);
+        let (model, _) = SvmProblem::train(&data, SvmConfig::default(), 3000, Scheduler::Serial);
         let acc = data.accuracy(&model.w, model.b);
         assert!(acc > 0.95, "ADMM SVM accuracy {acc}");
     }
@@ -301,7 +339,11 @@ mod tests {
     fn admm_objective_close_to_pegasos() {
         let data = small_data(80, 2, 4.0, 4);
         let lambda = 1.0;
-        let config = SvmConfig { lambda, rho: 1.0, alpha: 1.0 };
+        let config = SvmConfig {
+            lambda,
+            rho: 1.0,
+            alpha: 1.0,
+        };
         let (admm_model, _) = SvmProblem::train(&data, config, 4000, Scheduler::Serial);
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let (pw, pb) = pegasos_train(&data, lambda / data.len() as f64, 40, &mut rng);
@@ -318,8 +360,7 @@ mod tests {
     fn star_and_replicated_agree() {
         let data = small_data(30, 2, 5.0, 5);
         let config = SvmConfig::default();
-        let (rep_model, _) =
-            SvmProblem::train(&data, config.clone(), 4000, Scheduler::Serial);
+        let (rep_model, _) = SvmProblem::train(&data, config.clone(), 4000, Scheduler::Serial);
 
         let (star, admm) = SvmProblem::build_star(&data, config.clone());
         let options = SolverOptions {
@@ -333,8 +374,10 @@ mod tests {
         let star_model = star.extract(solver.store());
 
         let lambda = config.lambda;
-        let (or, os) =
-            (rep_model.objective(&data, lambda), star_model.objective(&data, lambda));
+        let (or, os) = (
+            rep_model.objective(&data, lambda),
+            star_model.objective(&data, lambda),
+        );
         assert!(
             (or - os).abs() < 0.15 * or.max(os).max(1e-9),
             "topologies must reach similar objectives: replicated {or} vs star {os}"
@@ -344,8 +387,7 @@ mod tests {
     #[test]
     fn higher_dimensional_training_works() {
         let data = small_data(60, 5, 7.0, 6);
-        let (model, _) =
-            SvmProblem::train(&data, SvmConfig::default(), 3000, Scheduler::Serial);
+        let (model, _) = SvmProblem::train(&data, SvmConfig::default(), 3000, Scheduler::Serial);
         assert!(data.accuracy(&model.w, model.b) > 0.9);
     }
 
@@ -367,6 +409,13 @@ mod tests {
     #[should_panic(expected = "lambda must be positive")]
     fn zero_lambda_rejected() {
         let data = small_data(10, 2, 4.0, 8);
-        let _ = SvmProblem::build(&data, SvmConfig { lambda: 0.0, rho: 1.0, alpha: 1.0 });
+        let _ = SvmProblem::build(
+            &data,
+            SvmConfig {
+                lambda: 0.0,
+                rho: 1.0,
+                alpha: 1.0,
+            },
+        );
     }
 }

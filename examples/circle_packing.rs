@@ -4,13 +4,34 @@
 //! Packs N disks into an equilateral triangle by ADMM, prints coverage
 //! and constraint violations, and renders the layout as ASCII art.
 //!
-//! Run: `cargo run --release --example circle_packing [N]`
+//! Run: `cargo run --release --example circle_packing [N] [serial|rayon|barrier]`
 
+use paradmm::core::{BarrierBackend, RayonBackend, SerialBackend, SweepExecutor};
 use paradmm::packing::{PackingConfig, PackingProblem, Polygon};
-use paradmm::prelude::Scheduler;
+
+/// Picks an execution backend by name — any [`SweepExecutor`] drops in.
+fn backend_by_name(name: &str) -> Box<dyn SweepExecutor> {
+    match name {
+        "serial" => Box::new(SerialBackend),
+        "rayon" => Box::new(RayonBackend::new(None)),
+        "barrier" => Box::new(BarrierBackend::new(
+            std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1),
+        )),
+        other => {
+            eprintln!("unknown backend {other}; expected serial | rayon | barrier");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let backend = backend_by_name(std::env::args().nth(2).as_deref().unwrap_or("rayon"));
     let config = PackingConfig {
         n_disks: n,
         container: Polygon::triangle(1.0),
@@ -19,14 +40,27 @@ fn main() {
     };
     let container = config.container.clone();
     let iters = 6000;
-    println!("packing {n} disks into a unit triangle, {iters} ADMM iterations…");
+    println!(
+        "packing {n} disks into a unit triangle, {iters} ADMM iterations on the {} backend…",
+        backend.name()
+    );
 
-    let (solution, _) = PackingProblem::solve(config, iters, 2024, Scheduler::Serial);
+    let (solution, _) = PackingProblem::solve_with_backend(config, iters, 2024, backend);
 
     let coverage = solution.covered_area() / container.area();
-    println!("covered area:        {:.4} ({:.1}% of the triangle)", solution.covered_area(), 100.0 * coverage);
-    println!("worst pair overlap:  {:+.5} (≥ ~0 means disjoint)", solution.worst_overlap());
-    println!("worst wall distance: {:+.5} (≥ ~0 means inside)", solution.worst_wall_violation(&container));
+    println!(
+        "covered area:        {:.4} ({:.1}% of the triangle)",
+        solution.covered_area(),
+        100.0 * coverage
+    );
+    println!(
+        "worst pair overlap:  {:+.5} (≥ ~0 means disjoint)",
+        solution.worst_overlap()
+    );
+    println!(
+        "worst wall distance: {:+.5} (≥ ~0 means inside)",
+        solution.worst_wall_violation(&container)
+    );
 
     // ASCII render: 60×30 grid over the bounding box.
     let (w, h) = (60usize, 30usize);

@@ -21,7 +21,10 @@ struct LeastSquaresProx {
 
 impl LeastSquaresProx {
     fn new(a: &Matrix, y: &[f64]) -> Self {
-        LeastSquaresProx { ata: a.transpose().matmul(a), aty: a.matvec_t(y) }
+        LeastSquaresProx {
+            ata: a.transpose().matmul(a),
+            aty: a.matvec_t(y),
+        }
     }
 }
 
@@ -52,7 +55,9 @@ fn main() {
     let mut a_data = Vec::with_capacity(rows * d);
     let mut state = 1234567_u64;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 11) as f64 / (1_u64 << 53) as f64) * 2.0 - 1.0
     };
     for _ in 0..rows * d {
@@ -78,20 +83,35 @@ fn main() {
         scheduler: Scheduler::Serial,
         rho: 1.0,
         alpha: 1.0,
-        stopping: StoppingCriteria { max_iters: 5000, eps_abs: 1e-10, eps_rel: 1e-9, check_every: 20 },
+        stopping: StoppingCriteria {
+            max_iters: 5000,
+            eps_abs: 1e-10,
+            eps_rel: 1e-9,
+            check_every: 20,
+        },
     };
     let mut solver = Solver::new(graph, proxes, options);
     let report = solver.run_default();
     let w_hat = solver.store().z_var(VarId(0));
 
-    println!("lasso via custom prox, stopped after {} iterations ({:?})", report.iterations, report.stop_reason);
+    println!(
+        "lasso via custom prox, stopped after {} iterations ({:?})",
+        report.iterations, report.stop_reason
+    );
     println!("w_true = {w_true:?}");
     println!(
         "w_hat  = [{}]",
-        w_hat.iter().map(|v| format!("{v:+.4}")).collect::<Vec<_>>().join(", ")
+        w_hat
+            .iter()
+            .map(|v| format!("{v:+.4}"))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     // The ℓ₁ penalty biases magnitudes down but must recover the support.
-    assert!(w_hat[0] > 1.5 && w_hat[2] < -1.0, "support components recovered");
+    assert!(
+        w_hat[0] > 1.5 && w_hat[2] < -1.0,
+        "support components recovered"
+    );
     assert!(w_hat[1].abs() < 0.3 && w_hat[3].abs() < 0.3 && w_hat[4].abs() < 0.3);
     println!("sparse support recovered ✓");
 }

@@ -38,12 +38,20 @@ fn main() {
     let b = gpu.iteration_breakdown();
     println!("simulated iteration time: {:.3} µs", b.total() * 1e6);
     for kind in UpdateKind::ALL {
-        println!("  {}-update: {:.1}%", kind.label(), 100.0 * b.fraction(kind));
+        println!(
+            "  {}-update: {:.1}%",
+            kind.label(),
+            100.0 * b.fraction(kind)
+        );
     }
 
     // Run real numerics against the simulated clock.
     gpu.run(100);
-    println!("\nafter {} iterations: simulated device time {:.3} ms", gpu.iterations(), gpu.simulated_seconds() * 1e3);
+    println!(
+        "\nafter {} iterations: simulated device time {:.3} ms",
+        gpu.iterations(),
+        gpu.simulated_seconds() * 1e3
+    );
 
     let link = PcieLink::pcie3_x16();
     println!(

@@ -5,16 +5,24 @@
 //!
 //! Run: `cargo run --release --example pendulum_mpc`
 
-use paradmm::core::{Scheduler, Solver, SolverOptions, StoppingCriteria};
+use paradmm::core::{Scheduler, SerialBackend, Solver, SolverOptions, StoppingCriteria};
 use paradmm::mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
 
 fn main() {
     // One-shot plan: horizon K = 60 from a tilted start.
     let config = MpcConfig::new(60);
-    let (traj, mpc) = MpcProblem::solve(config.clone(), paper_plant(), 15_000, Scheduler::Serial);
+    let (traj, mpc) = MpcProblem::solve_with_backend(
+        config.clone(),
+        paper_plant(),
+        15_000,
+        Box::new(SerialBackend),
+    );
     println!("open-loop plan over K = 60 steps (2.4 s):");
     println!("  cost                    {:.5}", traj.cost(&config));
-    println!("  max dynamics residual   {:.2e}", traj.max_dynamics_residual(mpc.system()));
+    println!(
+        "  max dynamics residual   {:.2e}",
+        traj.max_dynamics_residual(mpc.system())
+    );
     println!("  q(0)  = {:?}", traj.states[0]);
     println!("  q(30) = {:?}", traj.states[30]);
 
@@ -43,11 +51,18 @@ fn main() {
         // Apply the first input to the "real" plant and advance.
         let next = sys.step(&q, &[u]);
         q = [next[0], next[1], next[2], next[3]];
-        let stage: f64 = q.iter().zip(&c.q_weight).map(|(qi, wi)| wi * qi * qi).sum::<f64>()
+        let stage: f64 = q
+            .iter()
+            .zip(&c.q_weight)
+            .map(|(qi, wi)| wi * qi * qi)
+            .sum::<f64>()
             + c.r_weight * u * u;
         total_cost += stage;
         if cycle % 5 == 0 {
-            println!("  cycle {cycle:2}: u = {u:+.4}, pole angle θ = {:+.5}", q[2]);
+            println!(
+                "  cycle {cycle:2}: u = {u:+.4}, pole angle θ = {:+.5}",
+                q[2]
+            );
         }
         // Warm-start the next cycle: shift plan, pin measured state.
         let (problem, store) = solver.parts_mut();
@@ -55,5 +70,8 @@ fn main() {
         solver.run(2500);
     }
     println!("closed-loop cost over 20 cycles: {total_cost:.5}");
-    println!("final pole angle: {:+.5} rad (started at +0.08; uncontrolled it would exceed 0.6)", q[2]);
+    println!(
+        "final pole angle: {:+.5} rad (started at +0.08; uncontrolled it would exceed 0.6)",
+        q[2]
+    );
 }

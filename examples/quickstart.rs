@@ -32,13 +32,21 @@ fn main() {
         scheduler: Scheduler::Serial,
         rho: 1.0,
         alpha: 1.0,
-        stopping: StoppingCriteria { max_iters: 2000, eps_abs: 1e-10, eps_rel: 1e-8, check_every: 10 },
+        stopping: StoppingCriteria {
+            max_iters: 2000,
+            eps_abs: 1e-10,
+            eps_rel: 1e-8,
+            check_every: 10,
+        },
     };
     let mut solver = Solver::new(graph, proxes, options);
     let report = solver.run_default();
 
     let z = solver.store().z_var(VarId(0))[0];
-    println!("stopped after {} iterations ({:?})", report.iterations, report.stop_reason);
+    println!(
+        "stopped after {} iterations ({:?})",
+        report.iterations, report.stop_reason
+    );
     println!("update-time breakdown: {}", report.timings.breakdown());
     println!("minimizer z = {z:.6}");
     // Analytic optimum: d/ds [(s−1)² + (s−5)² + |s|] = 0 → s = 11/4.

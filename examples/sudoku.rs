@@ -41,8 +41,10 @@ fn main() {
     println!("puzzle:");
     print_grid(&givens);
 
-    let mut config = SudokuConfig::default();
-    config.iters_per_attempt = 4000;
+    let config = SudokuConfig {
+        iters_per_attempt: 4000,
+        ..SudokuConfig::default()
+    };
     match SudokuProblem::solve(&givens, &config, 2024) {
         Some((solution, iters)) => {
             println!("\nsolved after {iters} ADMM iterations:");

@@ -7,8 +7,11 @@
 //!
 //! The ADMM iteration is expressed as five embarrassingly-parallel update
 //! sweeps (x, m, z, u, n) over a bipartite factor-graph; users write only
-//! *serial* proximal operators and the engine parallelizes the sweeps —
-//! with rayon on multi-core CPUs, or on a simulated SIMT GPU device.
+//! *serial* proximal operators and the engine parallelizes the sweeps.
+//! Execution strategies are pluggable [`core::SweepExecutor`] backends:
+//! serial, rayon data-parallel, persistent barrier workers, asynchronous
+//! activations, or a simulated SIMT GPU device — all driven by the same
+//! [`core::Solver`] loop.
 //!
 //! ## Quick start
 //!
@@ -50,15 +53,17 @@ pub use paradmm_svm as svm;
 /// Convenient glob-import of the most common types.
 pub mod prelude {
     pub use paradmm_core::{
-        AdmmProblem, ProxCtx, ProxOp, Residuals, Scheduler, Solver, SolverOptions,
-        SolverReport, StopReason, StoppingCriteria, UpdateKind, UpdateTimings,
+        AdmmProblem, AsyncBackend, BarrierBackend, ProxCtx, ProxOp, RayonBackend, Residuals,
+        Scheduler, SerialBackend, Solver, SolverOptions, SolverReport, StopReason,
+        StoppingCriteria, SweepExecutor, UpdateKind, UpdateTimings,
     };
+    pub use paradmm_gpusim::GpuSimBackend;
     pub use paradmm_graph::{
         EdgeId, EdgeParams, FactorGraph, FactorId, GraphBuilder, GraphStats, VarId, VarStore,
     };
     pub use paradmm_prox::{
-        AffineEqualityProx, BoxProx, ConsensusEqualityProx, HalfspaceProx, HingeProx,
-        L1Prox, NormBallProx, NumericProx, PermutationProx, QuadraticProx, SemiLassoProx,
-        SimplexProx, ZeroProx,
+        AffineEqualityProx, BoxProx, ConsensusEqualityProx, HalfspaceProx, HingeProx, L1Prox,
+        NormBallProx, NumericProx, PermutationProx, QuadraticProx, SemiLassoProx, SimplexProx,
+        ZeroProx,
     };
 }

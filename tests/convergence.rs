@@ -2,8 +2,8 @@
 //! three-weight propagation, and warm starting.
 
 use paradmm::core::{
-    AdmmProblem, ResidualBalancing, Scheduler, Solver, SolverOptions, StopReason,
-    StoppingCriteria, TwaWeights, UpdateTimings, WeightClass,
+    AdmmProblem, ResidualBalancing, Scheduler, SerialBackend, Solver, SolverOptions, StopReason,
+    StoppingCriteria, SweepExecutor, TwaWeights, UpdateTimings, WeightClass,
 };
 use paradmm::graph::{EdgeId, EdgeParams, GraphBuilder, VarId, VarStore};
 use paradmm::prox::{ProxOp, QuadraticProx};
@@ -31,7 +31,12 @@ fn residuals_shrink_monotonically_ish() {
         scheduler: Scheduler::Serial,
         rho: 1.0,
         alpha: 1.0,
-        stopping: StoppingCriteria { max_iters: 10_000, eps_abs: 1e-10, eps_rel: 1e-8, check_every: 1 },
+        stopping: StoppingCriteria {
+            max_iters: 10_000,
+            eps_abs: 1e-10,
+            eps_rel: 1e-8,
+            check_every: 1,
+        },
     };
     let mut solver = Solver::from_problem(problem, options);
     let mut history = Vec::new();
@@ -57,7 +62,12 @@ fn chain_consensus_converges_to_global_mean() {
         scheduler: Scheduler::Serial,
         rho: 1.0,
         alpha: 1.0,
-        stopping: StoppingCriteria { max_iters: 50_000, eps_abs: 1e-11, eps_rel: 1e-10, check_every: 50 },
+        stopping: StoppingCriteria {
+            max_iters: 50_000,
+            eps_abs: 1e-11,
+            eps_rel: 1e-10,
+            check_every: 50,
+        },
     };
     let mut solver = Solver::from_problem(problem, options);
     let report = solver.run_default();
@@ -87,7 +97,7 @@ fn adaptive_rho_accelerates_badly_scaled_problem() {
         let mut acc = 1.0;
         let mut t = UpdateTimings::new();
         for outer in 0..200 {
-            Scheduler::Serial.run_block(&problem, &mut store, 10, &mut t, None);
+            SerialBackend.run_block(&problem, &mut store, 10, &mut t);
             let r = paradmm::core::Residuals::compute(problem.graph(), problem.params(), &store);
             let n_comp = problem.graph().num_edges();
             if r.converged(n_comp, 1e-8, 1e-6) {
@@ -139,13 +149,16 @@ fn twa_infinite_weight_pins_variable() {
     let run = |problem: &AdmmProblem, iters: usize| {
         let mut store = VarStore::zeros(problem.graph());
         let mut t = UpdateTimings::new();
-        Scheduler::Serial.run_block(problem, &mut store, iters, &mut t, None);
+        SerialBackend.run_block(problem, &mut store, iters, &mut t);
         store.z_var(VarId(0))[0]
     };
     let z_twa = run(&build(true), 5);
     let z_std = run(&build(false), 5);
     let (err_twa, err_std) = ((z_twa - 7.0).abs(), (z_std - 7.0).abs());
-    assert!(err_twa < 0.01, "TWA must pin z to 7 within a few iterations, z = {z_twa}");
+    assert!(
+        err_twa < 0.01,
+        "TWA must pin z to 7 within a few iterations, z = {z_twa}"
+    );
     assert!(
         err_std > 10.0 * err_twa,
         "standard weights should still be compromising after 5 iterations: twa {z_twa} vs std {z_std}"
@@ -159,7 +172,12 @@ fn warm_start_converges_faster_than_cold() {
         scheduler: Scheduler::Serial,
         rho: 1.0,
         alpha: 1.0,
-        stopping: StoppingCriteria { max_iters: 100_000, eps_abs: 1e-10, eps_rel: 1e-9, check_every: 5 },
+        stopping: StoppingCriteria {
+            max_iters: 100_000,
+            eps_abs: 1e-10,
+            eps_rel: 1e-9,
+            check_every: 5,
+        },
     };
     let mut solver = Solver::from_problem(problem, options);
     let cold = solver.run_default();

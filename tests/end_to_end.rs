@@ -2,7 +2,9 @@
 //! → engine → extraction) for all three paper domains, across all
 //! schedulers and the simulated GPU.
 
-use paradmm::core::{Scheduler, Solver, SolverOptions, StoppingCriteria, UpdateTimings};
+use paradmm::core::{
+    Scheduler, SerialBackend, Solver, SolverOptions, StoppingCriteria, SweepExecutor, UpdateTimings,
+};
 use paradmm::gpusim::{GpuAdmmEngine, SimtDevice};
 use paradmm::graph::VarStore;
 use paradmm::mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
@@ -36,7 +38,7 @@ fn gpu_engine_matches_serial_on_mpc() {
     let (_, admm_b) = MpcProblem::build(MpcConfig::new(12), paper_plant());
     let mut store = VarStore::zeros(admm_b.graph());
     let mut t = UpdateTimings::new();
-    Scheduler::Serial.run_block(&admm_b, &mut store, 100, &mut t, None);
+    SerialBackend.run_block(&admm_b, &mut store, 100, &mut t);
 
     assert_eq!(gpu.store().z, store.z);
     assert!(gpu.simulated_seconds() > 0.0);
@@ -60,7 +62,11 @@ fn packing_respects_constraints_in_square() {
     };
     let container = config.container.clone();
     let (sol, _) = PackingProblem::solve(config, 5000, 5, Scheduler::Serial);
-    assert!(sol.worst_overlap() > -0.03, "overlap {}", sol.worst_overlap());
+    assert!(
+        sol.worst_overlap() > -0.03,
+        "overlap {}",
+        sol.worst_overlap()
+    );
     assert!(sol.worst_wall_violation(&container) > -0.03);
     let coverage = sol.covered_area() / container.area();
     assert!(coverage > 0.3 && coverage < 1.0, "coverage {coverage}");
@@ -93,8 +99,15 @@ fn mpc_receding_horizon_keeps_pole_up() {
         q = [next[0], next[1], next[2], next[3]];
         max_theta = max_theta.max(q[2].abs());
     }
-    assert!(max_theta < 0.1, "pole must stay near upright, max |θ| = {max_theta}");
-    assert!(q[2].abs() < 0.06, "final tilt {} should be controlled", q[2]);
+    assert!(
+        max_theta < 0.1,
+        "pole must stay near upright, max |θ| = {max_theta}"
+    );
+    assert!(
+        q[2].abs() < 0.06,
+        "final tilt {} should be controlled",
+        q[2]
+    );
 }
 
 #[test]

@@ -2,9 +2,11 @@
 //! scheduling, multi-device partitioning, serialization round-trips
 //! through the full pipeline, and the Sudoku combinatorial domain.
 
-use paradmm::core::{run_async, Scheduler, Solver, SolverOptions, StoppingCriteria};
-use paradmm::graph::{io, Partition, VarStore};
+use paradmm::core::{
+    AsyncBackend, Scheduler, Solver, SolverOptions, StoppingCriteria, SweepExecutor, UpdateTimings,
+};
 use paradmm::gpusim::{MultiDevice, WorkloadProfile};
+use paradmm::graph::{io, Partition, VarStore};
 use paradmm::mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
 use paradmm::packing::{PackingConfig, PackingProblem};
 use paradmm::sudoku::{Grid, SudokuConfig, SudokuProblem};
@@ -27,7 +29,8 @@ fn async_solves_mpc() {
 
     let (mpc2, admm_async) = MpcProblem::build(config, paper_plant());
     let mut store = VarStore::zeros(admm_async.graph());
-    run_async(&admm_async, &mut store, 15_000, 2);
+    let mut t = UpdateTimings::new();
+    AsyncBackend::new(2).run_block(&admm_async, &mut store, 15_000, &mut t);
     let async_traj = mpc2.extract(&store);
 
     for t in 0..=6 {
@@ -94,7 +97,10 @@ fn partition_multi_gpu_consistency() {
 
     let part2 = Partition::grow(admm.graph(), 2);
     let speedup = MultiDevice::k40s(2).speedup(admm.graph(), &profile, &part2);
-    assert!(speedup > 1.3, "2 GPUs should beat 1 on a chain, got {speedup:.2}");
+    assert!(
+        speedup > 1.3,
+        "2 GPUs should beat 1 on a chain, got {speedup:.2}"
+    );
 }
 
 #[test]

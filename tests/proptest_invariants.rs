@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use paradmm::core::{AdmmProblem, Residuals, Scheduler, UpdateTimings};
+use paradmm::core::{
+    AdmmProblem, Residuals, Scheduler, SerialBackend, SweepExecutor, UpdateTimings,
+};
 use paradmm::graph::{EdgeParams, FactorGraph, GraphBuilder, GraphStats, VarId, VarStore};
 use paradmm::prox::{ConsensusEqualityProx, ProxCtx, ProxOp, QuadraticProx, ZeroProx};
 
@@ -26,8 +28,9 @@ fn arb_graph(max_vars: usize, max_factors: usize) -> impl Strategy<Value = Facto
 }
 
 fn zero_problem(graph: FactorGraph) -> AdmmProblem {
-    let proxes: Vec<Box<dyn ProxOp>> =
-        (0..graph.num_factors()).map(|_| Box::new(ZeroProx) as Box<dyn ProxOp>).collect();
+    let proxes: Vec<Box<dyn ProxOp>> = (0..graph.num_factors())
+        .map(|_| Box::new(ZeroProx) as Box<dyn ProxOp>)
+        .collect();
     AdmmProblem::new(graph, proxes, 1.0, 1.0)
 }
 
@@ -90,8 +93,7 @@ proptest! {
         let run = |p: &AdmmProblem, s: Scheduler| {
             let mut store = VarStore::zeros(p.graph());
             let mut t = UpdateTimings::new();
-            let pool = s.build_pool();
-            s.run_block(p, &mut store, 7, &mut t, pool.as_ref());
+            s.to_backend().run_block(p, &mut store, 7, &mut t);
             store.z
         };
         let pa = make();
@@ -118,7 +120,7 @@ proptest! {
         // A consensus state is a fixed point only with zero duals.
         store.u.fill(0.0);
         let mut t = UpdateTimings::new();
-        Scheduler::Serial.run_block(&p, &mut store, 5, &mut t, None);
+        SerialBackend.run_block(&p, &mut store, 5, &mut t);
         // f = 0 and uniform init is a fixed point: z stays at init.
         for &z in &store.z {
             prop_assert!((z - init).abs() < 1e-9);

@@ -1,0 +1,278 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the *exact* data-parallel subset parADMM uses and
+//! implements it on `std::thread::scope`:
+//!
+//! * [`prelude`] — `into_par_iter()` on `Vec<T>`, `par_chunks_mut()` on
+//!   slices, with `enumerate` / `with_min_len` / `for_each` on the result,
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — a *logical* pool:
+//!   it pins the worker count used by parallel iterators inside
+//!   `install`, spawning scoped threads per call rather than keeping
+//!   persistent workers.
+//!
+//! Semantics match rayon where parADMM can observe them: items are
+//! processed exactly once, `for_each` returns only after every item is
+//! done, and worker count respects the installed pool. Scheduling is
+//! static (contiguous batches) rather than work-stealing; the
+//! work-stealing upgrade is exactly what the `Backend` trait exists to
+//! make a drop-in replacement.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Worker count pinned by [`ThreadPool::install`]; 0 = use the host's
+    /// available parallelism.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+/// Number of worker threads parallel iterators will use on this thread.
+pub fn current_num_threads() -> usize {
+    let pinned = INSTALLED_THREADS.with(|c| c.get());
+    if pinned == 0 {
+        host_threads()
+    } else {
+        pinned
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this shim;
+/// kept for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder with the default (host) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; 0 means the host's available parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the logical pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            host_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A logical thread pool: fixes the worker count for parallel iterators
+/// run inside [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+/// Restores the previously-pinned thread count even on panic.
+struct InstallGuard {
+    prev: usize,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED_THREADS.with(|c| c.set(self.prev));
+    }
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count pinned for any parallel
+    /// iterators it executes.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let guard = InstallGuard {
+            prev: INSTALLED_THREADS.with(|c| c.replace(self.threads)),
+        };
+        let out = op();
+        drop(guard);
+        out
+    }
+
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// An indexed parallel iterator over an owned list of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+    min_len: usize,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs every item with its index, like `Iterator::enumerate`.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+            min_len: self.min_len,
+        }
+    }
+
+    /// Lower-bounds the number of items a single worker processes,
+    /// limiting how many threads small inputs fan out to.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = self.min_len.max(min.max(1));
+        self
+    }
+
+    /// Applies `f` to every item, distributing contiguous batches across
+    /// scoped worker threads; returns when all items are processed.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let n = self.items.len();
+        if n == 0 {
+            return;
+        }
+        let threads = current_num_threads().min(n.div_ceil(self.min_len)).max(1);
+        if threads == 1 {
+            for item in self.items {
+                f(item);
+            }
+            return;
+        }
+        let mut items = self.items;
+        let per_batch = n.div_ceil(threads);
+        let f = &f;
+        std::thread::scope(|scope| {
+            while !items.is_empty() {
+                let take = per_batch.min(items.len());
+                let batch: Vec<T> = items.drain(..take).collect();
+                scope.spawn(move || {
+                    for item in batch {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// `into_par_iter()` for owned collections.
+pub trait IntoParallelIterator {
+    /// Item type produced by the parallel iterator.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self,
+            min_len: 1,
+        }
+    }
+}
+
+/// `par_chunks_mut()` for mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of
+    /// `chunk_size` elements (the last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+            min_len: 1,
+        }
+    }
+}
+
+/// The traits parADMM imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let hits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..10_000).collect();
+        items.into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_chunks() {
+        let mut data = vec![0.0f64; 1000];
+        data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as f64;
+            }
+        });
+        assert_eq!(data[0], 0.0);
+        assert_eq!(data[7], 1.0);
+        assert_eq!(data[999], (999 / 7) as f64);
+    }
+
+    #[test]
+    fn enumerate_preserves_order_indices() {
+        let items: Vec<u32> = (0..100).collect();
+        let sum = AtomicUsize::new(0);
+        items
+            .into_par_iter()
+            .enumerate()
+            .with_min_len(8)
+            .for_each(|(i, v)| {
+                assert_eq!(i as u32, v);
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+        assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn empty_input_is_a_noop() {
+        Vec::<usize>::new()
+            .into_par_iter()
+            .for_each(|_| panic!("no items expected"));
+    }
+}
