@@ -2,18 +2,21 @@
 //! five sweeps.
 //!
 //! Every strategy for executing an ADMM iteration — serial loops, rayon
-//! data-parallel loops, persistent barrier-synchronized workers, the
+//! data-parallel loops, persistent barrier-synchronized workers, atomic
+//! work-stealing workers, probe-and-lock auto selection, the
 //! asynchronous activation engine, the simulated GPU in `paradmm-gpusim`,
-//! and any future backend (work-stealing scheduler, sharded multi-GPU,
-//! real CUDA) — implements [`SweepExecutor`]. The [`crate::Solver`] drives
-//! whichever backend it is given through the same convergence loop, so a
-//! new backend is a drop-in `impl`, not another enum arm.
+//! and any future backend (sharded multi-GPU, real CUDA) — implements
+//! [`SweepExecutor`]. The [`crate::Solver`] drives whichever backend it
+//! is given through the same convergence loop, so a new backend is a
+//! drop-in `impl`, not another enum arm.
 //!
-//! The three synchronous backends are *bit-identical* to each other by
+//! The synchronous backends (serial, rayon, barrier, work-stealing, and
+//! auto, which locks in one of them) are *bit-identical* to each other by
 //! construction (the z-average is deterministic per variable regardless of
 //! scheduling); [`AsyncBackend`] is not, and converges instead — see its
 //! docs.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
 
@@ -33,10 +36,40 @@ use crate::timing::UpdateTimings;
 /// pools, device handles, simulated clocks); the [`crate::Solver`] owns
 /// one backend and calls [`SweepExecutor::run_block`] between residual
 /// checks.
+///
+/// # Scheduling contract (chunk size and fairness)
+///
+/// Algorithm 2 is a Jacobi-style schedule: within one sweep every task
+/// reads only arrays the sweep does not write, so *any* partition of a
+/// sweep's tasks into chunks, claimed by any worker in any order,
+/// produces bit-identical iterates. Implementations are therefore free
+/// to choose chunk size and assignment policy purely for throughput:
+///
+/// * **chunk size** trades claim overhead against load balance — a chunk
+///   is the unit of work a worker acquires at once, so larger chunks
+///   amortize coordination while smaller chunks let slow/unlucky workers
+///   shed load (see [`WorkStealingBackend::with_chunk`]);
+/// * **fairness** is not required — a backend may give one worker all
+///   the work (as [`SerialBackend`] trivially does) or rebalance every
+///   sweep; correctness never depends on who executed which chunk;
+/// * the only hard rules are that every task of a sweep is executed
+///   **exactly once** per iteration, sweeps execute in x→m→z→u→n data
+///   order (u and n may fuse: see [`kernels::un_update_edge`]), and all
+///   writes of a sweep are visible before the next sweep reads them.
 pub trait SweepExecutor: Send {
     /// Short stable label for reports and bench tables (e.g. `"serial"`,
     /// `"rayon"`).
     fn name(&self) -> &'static str;
+
+    /// Whether this backend can execute `problem` at all. Defaults to
+    /// `true`; backends priced or compiled for one specific problem
+    /// (e.g. `paradmm-gpusim`'s adapter, whose kernel prices come from a
+    /// profiled workload) return `false` on a mismatch so probing
+    /// drivers like [`AutoBackend`] can fall through to a general
+    /// backend instead of panicking mid-probe.
+    fn supports(&self, _problem: &AdmmProblem) -> bool {
+        true
+    }
 
     /// Runs exactly `iters` complete iterations on `store`, adding
     /// per-update-kind durations into `timings`. Implementations must not
@@ -304,15 +337,20 @@ impl SweepExecutor for BarrierBackend {
     }
 }
 
-/// Raw shared view of an `f64` array, handed to barrier workers.
+/// Raw shared view of an `f64` array, handed to barrier / work-stealing
+/// workers.
 ///
 /// # Safety contract
-/// Each phase writes a set of per-thread ranges that are pairwise disjoint
-/// (static partition via [`assign_range`]), and never reads an array that
-/// the same phase writes (verified against Algorithm 2's data flow: X
-/// reads n/writes x; M reads x,u/writes m; Z reads m/writes z,z_prev;
-/// U reads x,z/writes u; N reads z,u/writes n). Barriers separate phases,
-/// establishing happens-before edges for all cross-thread visibility.
+/// Each phase writes a set of per-worker ranges that are pairwise disjoint
+/// (static partition via [`assign_range`] for the barrier backend; unique
+/// atomically-claimed chunks for the work-stealing backend), and never
+/// reads data that another worker writes in the same phase (verified
+/// against Algorithm 2's data flow: X reads n/writes x; M reads x,u/writes
+/// m; Z reads m/writes z,z_prev; U reads x,z/writes u; N reads z,u/writes
+/// n; the fused U+N phase writes u,n but each `n_e` reads only `z` — not
+/// written that phase — and the same edge's `u_e`, written by the same
+/// worker within the same chunk). Barriers separate phases, establishing
+/// happens-before edges for all cross-thread visibility.
 #[derive(Clone, Copy)]
 struct RawArray {
     ptr: *mut f64,
@@ -347,6 +385,190 @@ impl RawArray {
     }
 }
 
+/// The shared state a persistent-worker backend hands every worker: raw
+/// views of all six ADMM arrays plus the problem context, with one method
+/// per sweep phase executing an element *range*. The barrier backend
+/// calls these with its static per-thread ranges, the work-stealing
+/// backend with atomically claimed chunks — the unsafe bodies (and their
+/// aliasing reasoning, see [`RawArray`]) exist exactly once.
+struct SweepArrays<'a> {
+    problem: &'a AdmmProblem,
+    g: &'a paradmm_graph::FactorGraph,
+    params: &'a paradmm_graph::EdgeParams,
+    d: usize,
+    nf: usize,
+    ne: usize,
+    x: RawArray,
+    m: RawArray,
+    u: RawArray,
+    n: RawArray,
+    z: RawArray,
+    z_prev: RawArray,
+}
+
+impl<'a> SweepArrays<'a> {
+    fn new(problem: &'a AdmmProblem, store: &mut VarStore) -> Self {
+        let g = problem.graph();
+        SweepArrays {
+            problem,
+            g,
+            params: problem.params(),
+            d: g.dims(),
+            nf: g.num_factors(),
+            ne: g.num_edges(),
+            x: RawArray::new(&mut store.x),
+            m: RawArray::new(&mut store.m),
+            u: RawArray::new(&mut store.u),
+            n: RawArray::new(&mut store.n),
+            z: RawArray::new(&mut store.z),
+            z_prev: RawArray::new(&mut store.z_prev),
+        }
+    }
+
+    /// X sweep over factors `[f_lo, f_hi)` (their x-block is contiguous
+    /// because factor edge ranges are contiguous and ordered).
+    ///
+    /// # Safety
+    /// Writes x for exactly these factors; reads n, not written this
+    /// phase. No other worker may execute an overlapping factor range in
+    /// the same phase, and a barrier must separate this phase from any
+    /// phase writing n or reading x.
+    unsafe fn x_phase(&self, f_lo: usize, f_hi: usize) {
+        let d = self.d;
+        let flat = |f: usize| {
+            if f < self.nf {
+                self.g.factor_edge_range(FactorId::from_usize(f)).start * d
+            } else {
+                self.ne * d
+            }
+        };
+        let x_block = self.x.range_mut(flat(f_lo), flat(f_hi));
+        let n_all = self.n.whole();
+        let mut offset = 0usize;
+        for a in f_lo..f_hi {
+            let fa = FactorId::from_usize(a);
+            let len = self.g.factor_degree(fa) * d;
+            x_update_factor(
+                self.g,
+                self.problem.prox(fa),
+                self.params,
+                n_all,
+                &mut x_block[offset..offset + len],
+                fa,
+            );
+            offset += len;
+        }
+    }
+
+    /// M sweep (`m = x + u`) over edges `[e_lo, e_hi)`.
+    ///
+    /// # Safety
+    /// Writes m for exactly these edges; reads x, u. Same disjointness
+    /// and barrier-separation obligations as [`SweepArrays::x_phase`].
+    unsafe fn m_phase(&self, e_lo: usize, e_hi: usize) {
+        let d = self.d;
+        let m_block = self.m.range_mut(e_lo * d, e_hi * d);
+        let x_all = self.x.whole();
+        let u_all = self.u.whole();
+        for (j, mv) in m_block.iter_mut().enumerate() {
+            let idx = e_lo * d + j;
+            *mv = x_all[idx] + u_all[idx];
+        }
+    }
+
+    /// Z sweep (z_prev snapshot + weighted average) over variables
+    /// `[v_lo, v_hi)`.
+    ///
+    /// # Safety
+    /// Writes z and z_prev for exactly these variables; reads m and its
+    /// own z before overwriting. Same obligations as
+    /// [`SweepArrays::x_phase`].
+    unsafe fn z_phase(&self, v_lo: usize, v_hi: usize) {
+        let d = self.d;
+        let z_block = self.z.range_mut(v_lo * d, v_hi * d);
+        let zp_block = self.z_prev.range_mut(v_lo * d, v_hi * d);
+        zp_block.copy_from_slice(z_block);
+        let m_all = self.m.whole();
+        for b in v_lo..v_hi {
+            let zb = &mut z_block[(b - v_lo) * d..(b - v_lo + 1) * d];
+            kernels::z_update_var(self.g, self.params, m_all, zb, VarId::from_usize(b));
+        }
+    }
+
+    /// U sweep (dual ascent) over edges `[e_lo, e_hi)`.
+    ///
+    /// # Safety
+    /// Writes u for exactly these edges; reads x, z. Same obligations as
+    /// [`SweepArrays::x_phase`].
+    unsafe fn u_phase(&self, e_lo: usize, e_hi: usize) {
+        let d = self.d;
+        let u_block = self.u.range_mut(e_lo * d, e_hi * d);
+        let x_all = self.x.whole();
+        let z_all = self.z.whole();
+        for e in e_lo..e_hi {
+            let ue = &mut u_block[(e - e_lo) * d..(e - e_lo + 1) * d];
+            kernels::u_update_edge(
+                self.g,
+                self.params,
+                x_all,
+                z_all,
+                ue,
+                paradmm_graph::EdgeId::from_usize(e),
+            );
+        }
+    }
+
+    /// N sweep (`n = z − u`) over edges `[e_lo, e_hi)`.
+    ///
+    /// # Safety
+    /// Writes n for exactly these edges; reads z, u. Same obligations as
+    /// [`SweepArrays::x_phase`].
+    unsafe fn n_phase(&self, e_lo: usize, e_hi: usize) {
+        let d = self.d;
+        let n_block = self.n.range_mut(e_lo * d, e_hi * d);
+        let z_all = self.z.whole();
+        let u_all = self.u.whole();
+        for e in e_lo..e_hi {
+            let nb = &mut n_block[(e - e_lo) * d..(e - e_lo + 1) * d];
+            kernels::n_update_edge(
+                self.g,
+                z_all,
+                u_all,
+                nb,
+                paradmm_graph::EdgeId::from_usize(e),
+            );
+        }
+    }
+
+    /// Fused u+n sweep over edges `[e_lo, e_hi)` — see
+    /// [`kernels::un_update_edge`] for why fusion is bit-identical.
+    ///
+    /// # Safety
+    /// Writes u and n for exactly these edges; reads x, z, and each
+    /// edge's own freshly written u (same worker, same call) — see
+    /// [`RawArray`]'s contract on the fused phase. Same obligations as
+    /// [`SweepArrays::x_phase`].
+    unsafe fn un_phase(&self, e_lo: usize, e_hi: usize) {
+        let d = self.d;
+        let u_block = self.u.range_mut(e_lo * d, e_hi * d);
+        let n_block = self.n.range_mut(e_lo * d, e_hi * d);
+        let x_all = self.x.whole();
+        let z_all = self.z.whole();
+        for e in e_lo..e_hi {
+            let off = (e - e_lo) * d;
+            kernels::un_update_edge(
+                self.g,
+                self.params,
+                x_all,
+                z_all,
+                &mut u_block[off..off + d],
+                &mut n_block[off..off + d],
+                paradmm_graph::EdgeId::from_usize(e),
+            );
+        }
+    }
+}
+
 fn run_barrier(
     problem: &AdmmProblem,
     store: &mut VarStore,
@@ -356,19 +578,11 @@ fn run_barrier(
 ) {
     assert!(threads >= 1, "barrier backend needs at least one thread");
     let g = problem.graph();
-    let params = problem.params();
-    let d = g.dims();
     let nf = g.num_factors();
     let nv = g.num_vars();
     let ne = g.num_edges();
 
-    let x = RawArray::new(&mut store.x);
-    let m = RawArray::new(&mut store.m);
-    let u = RawArray::new(&mut store.u);
-    let n = RawArray::new(&mut store.n);
-    let z = RawArray::new(&mut store.z);
-    let z_prev = RawArray::new(&mut store.z_prev);
-
+    let arrays = SweepArrays::new(problem, store);
     let barrier = Barrier::new(threads);
     let mut collected = UpdateTimings::new();
 
@@ -376,119 +590,36 @@ fn run_barrier(
         let mut handles = Vec::new();
         for tid in 0..threads {
             let barrier = &barrier;
+            let arrays = &arrays;
             handles.push(scope.spawn(move || {
                 let mut local = UpdateTimings::new();
                 // Static partitions, fixed for the whole run (the paper's
-                // AssignThreads).
+                // AssignThreads). SAFETY (all phases): assign_range tiles
+                // each sweep into pairwise-disjoint per-thread ranges, and
+                // a barrier separates consecutive phases — exactly the
+                // obligations the SweepArrays phase methods state.
                 let (f_lo, f_hi) = assign_range(nf, tid, threads);
                 let (v_lo, v_hi) = assign_range(nv, tid, threads);
                 let (e_lo, e_hi) = assign_range(ne, tid, threads);
-                // The x-block owned by this thread is contiguous because
-                // factor edge ranges are contiguous and ordered.
-                let xf_lo = if f_lo < nf {
-                    g.factor_edge_range(FactorId::from_usize(f_lo)).start * d
-                } else {
-                    ne * d
-                };
-                let xf_hi = if f_hi < nf {
-                    g.factor_edge_range(FactorId::from_usize(f_hi)).start * d
-                } else {
-                    ne * d
-                };
                 for _ in 0..iters {
-                    // --- X phase ---
                     let t0 = Instant::now();
-                    {
-                        // SAFETY: writes x[xf_lo..xf_hi], disjoint across
-                        // threads; reads n, not written this phase.
-                        let x_block = unsafe { x.range_mut(xf_lo, xf_hi) };
-                        let n_all = unsafe { n.whole() };
-                        let mut offset = 0usize;
-                        for a in f_lo..f_hi {
-                            let fa = FactorId::from_usize(a);
-                            let len = g.factor_degree(fa) * d;
-                            x_update_factor(
-                                g,
-                                problem.prox(fa),
-                                params,
-                                n_all,
-                                &mut x_block[offset..offset + len],
-                                fa,
-                            );
-                            offset += len;
-                        }
-                    }
+                    unsafe { arrays.x_phase(f_lo, f_hi) };
                     barrier.wait();
                     let t1 = Instant::now();
 
-                    // --- M phase ---
-                    {
-                        // SAFETY: writes m for own edge range; reads x, u.
-                        let m_block = unsafe { m.range_mut(e_lo * d, e_hi * d) };
-                        let x_all = unsafe { x.whole() };
-                        let u_all = unsafe { u.whole() };
-                        for (j, mv) in m_block.iter_mut().enumerate() {
-                            let idx = e_lo * d + j;
-                            *mv = x_all[idx] + u_all[idx];
-                        }
-                    }
+                    unsafe { arrays.m_phase(e_lo, e_hi) };
                     barrier.wait();
                     let t2 = Instant::now();
 
-                    // --- Z phase (snapshot + average) ---
-                    {
-                        // SAFETY: writes z and z_prev for own variable
-                        // range; reads m and own z (before overwriting).
-                        let z_block = unsafe { z.range_mut(v_lo * d, v_hi * d) };
-                        let zp_block = unsafe { z_prev.range_mut(v_lo * d, v_hi * d) };
-                        zp_block.copy_from_slice(z_block);
-                        let m_all = unsafe { m.whole() };
-                        for b in v_lo..v_hi {
-                            let zb = &mut z_block[(b - v_lo) * d..(b - v_lo + 1) * d];
-                            kernels::z_update_var(g, params, m_all, zb, VarId::from_usize(b));
-                        }
-                    }
+                    unsafe { arrays.z_phase(v_lo, v_hi) };
                     barrier.wait();
                     let t3 = Instant::now();
 
-                    // --- U phase ---
-                    {
-                        // SAFETY: writes u for own edge range; reads x, z.
-                        let u_block = unsafe { u.range_mut(e_lo * d, e_hi * d) };
-                        let x_all = unsafe { x.whole() };
-                        let z_all = unsafe { z.whole() };
-                        for e in e_lo..e_hi {
-                            let ue = &mut u_block[(e - e_lo) * d..(e - e_lo + 1) * d];
-                            kernels::u_update_edge(
-                                g,
-                                params,
-                                x_all,
-                                z_all,
-                                ue,
-                                paradmm_graph::EdgeId::from_usize(e),
-                            );
-                        }
-                    }
+                    unsafe { arrays.u_phase(e_lo, e_hi) };
                     barrier.wait();
                     let t4 = Instant::now();
 
-                    // --- N phase ---
-                    {
-                        // SAFETY: writes n for own edge range; reads z, u.
-                        let n_block = unsafe { n.range_mut(e_lo * d, e_hi * d) };
-                        let z_all = unsafe { z.whole() };
-                        let u_all = unsafe { u.whole() };
-                        for e in e_lo..e_hi {
-                            let nb = &mut n_block[(e - e_lo) * d..(e - e_lo + 1) * d];
-                            kernels::n_update_edge(
-                                g,
-                                z_all,
-                                u_all,
-                                nb,
-                                paradmm_graph::EdgeId::from_usize(e),
-                            );
-                        }
-                    }
+                    unsafe { arrays.n_phase(e_lo, e_hi) };
                     barrier.wait();
                     if tid == 0 {
                         local.add(UpdateKind::X, t1 - t0);
@@ -503,6 +634,192 @@ fn run_barrier(
         }
         for h in handles {
             let local = h.join().expect("barrier worker panicked");
+            collected.merge(&local);
+        }
+    });
+    collected.iterations = 0; // accounted centrally by run_block
+    t.merge(&collected);
+}
+
+/// Default chunk size (graph elements per claim) for
+/// [`WorkStealingBackend`] — small enough that a straggling worker sheds
+/// load mid-sweep, large enough that the claim `fetch_add` is noise.
+pub const DEFAULT_STEAL_CHUNK: usize = 64;
+
+/// Persistent workers that *claim* fixed-size chunks of every sweep from
+/// a shared atomic work index instead of owning a static range — the
+/// dynamic-scheduling answer to the straggler problem the paper pins on
+/// approach #2 (static per-thread ranges leave cores idle whenever the
+/// factor graph's degree distribution is lumpy).
+///
+/// Each iteration runs four phases (x, m, z, and a *fused* u+n edge sweep
+/// via [`kernels::un_update_edge`] — one synchronization point fewer than
+/// the barrier backend's five). Within a phase, every worker repeatedly
+/// `fetch_add`s a shared chunk counter and executes the claimed chunk of
+/// factors / edges / variables, so a worker stuck on a heavy chunk simply
+/// claims fewer chunks while the others drain the rest — the atomic
+/// work-index idiom of work-assisting runtimes, applied per sweep.
+///
+/// Iterates are **bit-identical** to [`SerialBackend`]: chunks partition
+/// each sweep exactly, every task runs exactly once, and Algorithm 2's
+/// Jacobi data flow makes the result independent of which worker ran
+/// which chunk (see the trait-level scheduling contract).
+///
+/// The fused u+n phase is accounted under [`UpdateKind::U`] in the
+/// timings ([`UpdateKind::N`] receives zero) since the two sweeps are no
+/// longer separable.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkStealingBackend {
+    threads: usize,
+    chunk: usize,
+}
+
+impl WorkStealingBackend {
+    /// Backend with `threads` workers claiming
+    /// [`DEFAULT_STEAL_CHUNK`]-sized chunks.
+    ///
+    /// # Panics
+    /// If `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        Self::with_chunk(threads, DEFAULT_STEAL_CHUNK)
+    }
+
+    /// Backend with an explicit chunk size (graph elements per claim).
+    /// Smaller chunks rebalance harder; larger chunks claim less often.
+    ///
+    /// # Panics
+    /// If `threads == 0` or `chunk == 0`.
+    pub fn with_chunk(threads: usize, chunk: usize) -> Self {
+        assert!(
+            threads >= 1,
+            "work-stealing backend needs at least one thread"
+        );
+        assert!(chunk >= 1, "chunk size must be positive");
+        WorkStealingBackend { threads, chunk }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Graph elements claimed per atomic increment.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+}
+
+impl SweepExecutor for WorkStealingBackend {
+    fn name(&self) -> &'static str {
+        "worksteal"
+    }
+
+    fn execute(
+        &mut self,
+        problem: &AdmmProblem,
+        store: &mut VarStore,
+        iters: usize,
+        t: &mut UpdateTimings,
+    ) {
+        run_worksteal(problem, store, iters, self.threads, self.chunk, t);
+    }
+}
+
+fn run_worksteal(
+    problem: &AdmmProblem,
+    store: &mut VarStore,
+    iters: usize,
+    threads: usize,
+    chunk: usize,
+    t: &mut UpdateTimings,
+) {
+    let g = problem.graph();
+    let nf = g.num_factors();
+    let nv = g.num_vars();
+    let ne = g.num_edges();
+
+    let arrays = SweepArrays::new(problem, store);
+    let barrier = Barrier::new(threads);
+    // One claim counter per phase, double-buffered by iteration parity:
+    // iteration k claims from buffer `k & 1` while the barrier leader
+    // zeroes buffer `k+1 & 1` for the next iteration. The buffer being
+    // reset was last claimed from in iteration k−1, and its next use (in
+    // k+1) is separated from the reset by at least one full barrier, so
+    // the reset never races a claim.
+    let counters: [[AtomicUsize; 2]; 4] = Default::default();
+    let mut collected = UpdateTimings::new();
+
+    // Claims chunk after chunk of `n_items` from `counter` and runs
+    // `body(lo, hi)` on each; the unique `fetch_add` ticket makes claimed
+    // ranges pairwise disjoint across workers — the disjointness the
+    // SweepArrays phase methods require.
+    let steal = |counter: &AtomicUsize, n_items: usize, body: &dyn Fn(usize, usize)| loop {
+        let c = counter.fetch_add(1, Ordering::Relaxed);
+        let lo = c * chunk;
+        if lo >= n_items {
+            break;
+        }
+        body(lo, (lo + chunk).min(n_items));
+    };
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let barrier = &barrier;
+            let counters = &counters;
+            let arrays = &arrays;
+            let steal = &steal;
+            handles.push(scope.spawn(move || {
+                let mut local = UpdateTimings::new();
+                for k in 0..iters {
+                    let buf = k & 1;
+                    // SAFETY (all phases): chunk claims are disjoint (see
+                    // `steal`), every element of a sweep is claimed exactly
+                    // once per iteration, and a barrier separates phases.
+                    let t0 = Instant::now();
+                    steal(&counters[0][buf], nf, &|lo, hi| unsafe {
+                        arrays.x_phase(lo, hi)
+                    });
+                    if barrier.wait().is_leader() {
+                        counters[0][buf ^ 1].store(0, Ordering::Relaxed);
+                    }
+                    let t1 = Instant::now();
+
+                    steal(&counters[1][buf], ne, &|lo, hi| unsafe {
+                        arrays.m_phase(lo, hi)
+                    });
+                    if barrier.wait().is_leader() {
+                        counters[1][buf ^ 1].store(0, Ordering::Relaxed);
+                    }
+                    let t2 = Instant::now();
+
+                    steal(&counters[2][buf], nv, &|lo, hi| unsafe {
+                        arrays.z_phase(lo, hi)
+                    });
+                    if barrier.wait().is_leader() {
+                        counters[2][buf ^ 1].store(0, Ordering::Relaxed);
+                    }
+                    let t3 = Instant::now();
+
+                    steal(&counters[3][buf], ne, &|lo, hi| unsafe {
+                        arrays.un_phase(lo, hi)
+                    });
+                    if barrier.wait().is_leader() {
+                        counters[3][buf ^ 1].store(0, Ordering::Relaxed);
+                    }
+                    if tid == 0 {
+                        local.add(UpdateKind::X, t1 - t0);
+                        local.add(UpdateKind::M, t2 - t1);
+                        local.add(UpdateKind::Z, t3 - t2);
+                        // Fused u+n: inseparable, accounted under U.
+                        local.add(UpdateKind::U, t3.elapsed());
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            let local = h.join().expect("work-stealing worker panicked");
             collected.merge(&local);
         }
     });
@@ -570,6 +887,139 @@ impl SweepExecutor for AsyncBackend {
         kernels::z_update_range(g, problem.params(), &store.m, &mut store.z, 0, g.num_vars());
         run_async(problem, store, iters, self.threads);
         t.add(UpdateKind::X, t0.elapsed());
+    }
+}
+
+/// Self-tuning backend: probes every candidate on a short warmup of the
+/// *actual* problem, locks in the fastest, and runs it from then on —
+/// the paper's "automatic per-operator tuning" future-work item made
+/// concrete for backend selection.
+///
+/// The first [`SweepExecutor::run_block`] call triggers the probe: each
+/// candidate that [`SweepExecutor::supports`] the problem runs a few
+/// iterations on a **clone** of the state (so probing never perturbs the
+/// caller's iterates) through the standard [`UpdateTimings`]-accounted
+/// block path, ranked by **wall-clock** seconds per iteration — the cost
+/// the caller will actually pay on subsequent blocks. (Ranking on each
+/// backend's own [`UpdateTimings`] would compare incommensurable clocks:
+/// a simulated-device candidate like `paradmm-gpusim`'s reports device
+/// time there, which says nothing about its real host cost.) The fastest
+/// candidate wins and owns all subsequent blocks; the choice is
+/// permanent for the backend's lifetime. If no candidate supports the
+/// problem, the probe falls through to [`SerialBackend`], which supports
+/// everything.
+///
+/// The default candidate set ([`AutoBackend::new`]) is the four
+/// synchronous CPU backends — Serial, Rayon, Barrier, WorkStealing — all
+/// bit-identical by construction, so whichever one wins, the iterates
+/// match [`SerialBackend`] exactly. Custom candidate sets
+/// ([`AutoBackend::with_candidates`]) carry whatever equivalence their
+/// members guarantee.
+pub struct AutoBackend {
+    probe_iters: usize,
+    candidates: Vec<Box<dyn SweepExecutor>>,
+    chosen: Option<Box<dyn SweepExecutor>>,
+    probe_report: Vec<(&'static str, f64)>,
+}
+
+impl AutoBackend {
+    /// Auto-selection over the four synchronous CPU backends, each
+    /// configured for `threads` workers.
+    ///
+    /// # Panics
+    /// If `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        Self::with_candidates(vec![
+            Box::new(SerialBackend),
+            Box::new(RayonBackend::new(Some(threads))),
+            Box::new(BarrierBackend::new(threads)),
+            Box::new(WorkStealingBackend::new(threads)),
+        ])
+    }
+
+    /// Auto-selection over an arbitrary candidate set. Candidates that
+    /// don't [`SweepExecutor::supports`] the probed problem are skipped;
+    /// an empty or fully-unsupported set falls through to
+    /// [`SerialBackend`].
+    pub fn with_candidates(candidates: Vec<Box<dyn SweepExecutor>>) -> Self {
+        AutoBackend {
+            probe_iters: 6,
+            candidates,
+            chosen: None,
+            probe_report: Vec::new(),
+        }
+    }
+
+    /// Sets how many iterations each candidate runs during the probe.
+    ///
+    /// # Panics
+    /// If `iters == 0`.
+    pub fn set_probe_iters(&mut self, iters: usize) {
+        assert!(iters >= 1, "probe needs at least one iteration");
+        self.probe_iters = iters;
+    }
+
+    /// Name of the backend the probe locked in, or `None` before the
+    /// first block runs.
+    pub fn selected(&self) -> Option<&'static str> {
+        self.chosen.as_ref().map(|b| b.name())
+    }
+
+    /// Probe measurements as `(backend name, wall-clock seconds per
+    /// iteration)`, in candidate order (skipped candidates absent). Empty
+    /// until the first block runs.
+    pub fn probe_report(&self) -> &[(&'static str, f64)] {
+        &self.probe_report
+    }
+
+    fn probe(&mut self, problem: &AdmmProblem, store: &VarStore) {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, cand) in self.candidates.iter_mut().enumerate() {
+            if !cand.supports(problem) {
+                continue;
+            }
+            // Probe on a clone: candidate iterations must not advance (or
+            // corrupt, for non-bit-identical candidates) the real state.
+            let mut scratch = store.clone();
+            let mut timings = UpdateTimings::new();
+            let wall = Instant::now();
+            cand.run_block(problem, &mut scratch, self.probe_iters, &mut timings);
+            // Rank by wall clock — the cost the caller pays — never by the
+            // candidate's own accounting, which for simulated-device
+            // backends reports a different clock entirely.
+            let s_per_iter = wall.elapsed().as_secs_f64() / self.probe_iters as f64;
+            self.probe_report.push((cand.name(), s_per_iter));
+            if best.is_none_or(|(_, b)| s_per_iter < b) {
+                best = Some((i, s_per_iter));
+            }
+        }
+        self.chosen = Some(match best {
+            Some((i, _)) => self.candidates.swap_remove(i),
+            None => Box::new(SerialBackend),
+        });
+        self.candidates.clear(); // losing candidates release their pools
+    }
+}
+
+impl SweepExecutor for AutoBackend {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+
+    fn execute(
+        &mut self,
+        problem: &AdmmProblem,
+        store: &mut VarStore,
+        iters: usize,
+        t: &mut UpdateTimings,
+    ) {
+        if self.chosen.is_none() {
+            self.probe(problem, store);
+        }
+        self.chosen
+            .as_mut()
+            .expect("probe always locks in a backend")
+            .execute(problem, store, iters, t);
     }
 }
 
@@ -644,6 +1094,141 @@ mod tests {
     }
 
     #[test]
+    fn worksteal_matches_serial_exactly() {
+        for threads in [1, 2, 3, 5] {
+            let a = solve_with(&mut SerialBackend, 50);
+            let b = solve_with(&mut WorkStealingBackend::new(threads), 50);
+            assert_eq!(a, b, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn worksteal_tiny_chunks_force_real_stealing() {
+        // chunk = 1 on a 3-factor problem with more threads than work:
+        // every chunk is contended, empty claims abound, and iterates must
+        // still be bit-identical to serial.
+        let a = solve_with(&mut SerialBackend, 50);
+        let b = solve_with(&mut WorkStealingBackend::with_chunk(8, 1), 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worksteal_odd_iteration_counts_reset_counters_correctly() {
+        // Blocks of odd length exercise the double-buffered claim
+        // counters across run_block boundaries (parity restarts at 0 each
+        // block).
+        let problem = consensus_problem(&[1.0, 5.0, 9.0]);
+        let mut serial_store = VarStore::zeros(problem.graph());
+        let mut ws_store = VarStore::zeros(problem.graph());
+        let mut t = UpdateTimings::new();
+        let mut ws = WorkStealingBackend::with_chunk(3, 1);
+        for block in [1usize, 3, 7, 2, 5] {
+            SerialBackend.run_block(&problem, &mut serial_store, block, &mut t);
+            ws.run_block(&problem, &mut ws_store, block, &mut t);
+            assert_eq!(serial_store.z, ws_store.z, "after block {block}");
+            assert_eq!(serial_store.u, ws_store.u, "after block {block}");
+            assert_eq!(serial_store.n, ws_store.n, "after block {block}");
+        }
+    }
+
+    #[test]
+    fn auto_backend_locks_in_a_candidate_and_matches_serial() {
+        let mut auto = AutoBackend::new(2);
+        assert_eq!(auto.selected(), None);
+        let a = solve_with(&mut SerialBackend, 50);
+        let b = solve_with(&mut auto, 50);
+        assert_eq!(a, b);
+        let name = auto.selected().expect("probe must lock in");
+        assert!(["serial", "rayon", "barrier", "worksteal"].contains(&name));
+        assert!(!auto.probe_report().is_empty());
+        assert!(auto.probe_report().iter().all(|&(_, s)| s > 0.0));
+        // The probe picks the argmin of its own report.
+        let best = auto
+            .probe_report()
+            .iter()
+            .fold(f64::INFINITY, |acc, &(_, s)| acc.min(s));
+        let sel = auto
+            .probe_report()
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, s)| s)
+            .unwrap();
+        assert_eq!(sel, best, "selected candidate must be the fastest probed");
+    }
+
+    #[test]
+    fn auto_backend_probe_does_not_perturb_state() {
+        // Two identical stores, one driven by auto and one by serial:
+        // after the same number of iterations the iterates agree, i.e.
+        // the probe's warmup iterations ran on clones, not on the state.
+        let problem = consensus_problem(&[2.0, 4.0]);
+        let mut auto_store = VarStore::zeros(problem.graph());
+        let mut serial_store = VarStore::zeros(problem.graph());
+        let mut t = UpdateTimings::new();
+        AutoBackend::new(2).run_block(&problem, &mut auto_store, 13, &mut t);
+        SerialBackend.run_block(&problem, &mut serial_store, 13, &mut t);
+        assert_eq!(auto_store.z, serial_store.z);
+        assert_eq!(auto_store.u, serial_store.u);
+    }
+
+    #[test]
+    fn auto_backend_empty_candidates_falls_back_to_serial() {
+        let mut auto = AutoBackend::with_candidates(Vec::new());
+        let a = solve_with(&mut SerialBackend, 50);
+        let b = solve_with(&mut auto, 50);
+        assert_eq!(a, b);
+        assert_eq!(auto.selected(), Some("serial"));
+        assert!(auto.probe_report().is_empty());
+    }
+
+    /// A backend that supports nothing — exercises the probe's skip path.
+    struct UnsupportedBackend;
+
+    impl SweepExecutor for UnsupportedBackend {
+        fn name(&self) -> &'static str {
+            "unsupported"
+        }
+
+        fn supports(&self, _problem: &AdmmProblem) -> bool {
+            false
+        }
+
+        fn execute(
+            &mut self,
+            _problem: &AdmmProblem,
+            _store: &mut VarStore,
+            _iters: usize,
+            _timings: &mut UpdateTimings,
+        ) {
+            panic!("unsupported backend must never execute");
+        }
+    }
+
+    #[test]
+    fn auto_backend_skips_unsupported_candidates() {
+        let mut auto = AutoBackend::with_candidates(vec![
+            Box::new(UnsupportedBackend),
+            Box::new(SerialBackend),
+        ]);
+        let a = solve_with(&mut SerialBackend, 50);
+        let b = solve_with(&mut auto, 50);
+        assert_eq!(a, b);
+        assert_eq!(auto.selected(), Some("serial"));
+        assert!(auto
+            .probe_report()
+            .iter()
+            .all(|&(name, _)| name != "unsupported"));
+    }
+
+    #[test]
+    fn auto_backend_all_unsupported_falls_back_to_serial() {
+        let mut auto = AutoBackend::with_candidates(vec![Box::new(UnsupportedBackend)]);
+        let z = solve_with(&mut auto, 300);
+        assert!((z - 5.0).abs() < 1e-6, "z = {z}");
+        assert_eq!(auto.selected(), Some("serial"));
+    }
+
+    #[test]
     fn async_backend_converges_to_mean() {
         let z = solve_with(&mut AsyncBackend::new(2), 800);
         assert!((z - 5.0).abs() < 1e-4, "z = {z}");
@@ -692,5 +1277,15 @@ mod tests {
         assert_eq!(RayonBackend::new(None).name(), "rayon");
         assert_eq!(BarrierBackend::new(2).name(), "barrier");
         assert_eq!(AsyncBackend::new(2).name(), "async");
+        assert_eq!(WorkStealingBackend::new(2).name(), "worksteal");
+        assert_eq!(AutoBackend::new(2).name(), "auto");
+    }
+
+    #[test]
+    fn worksteal_accessors() {
+        let b = WorkStealingBackend::with_chunk(3, 17);
+        assert_eq!(b.threads(), 3);
+        assert_eq!(b.chunk(), 17);
+        assert_eq!(WorkStealingBackend::new(2).chunk(), DEFAULT_STEAL_CHUNK);
     }
 }

@@ -201,6 +201,65 @@ pub fn u_update_range(
     }
 }
 
+/// Fused u+n body for a single edge `e`: the dual ascent
+/// `u_e ← u_e + α_e (x_e − z_{var(e)})` immediately followed by
+/// `n_e = z_{var(e)} − u_e` on the freshly written dual.
+///
+/// `n_e` depends only on `z` (read-only in both sweeps) and on `u_e` of
+/// the *same* edge, so fusing the two edge sweeps into one pass is
+/// bit-identical to running [`u_update_edge`] over all edges and then
+/// [`n_update_edge`] over all edges — while costing one less
+/// synchronization point per iteration in barrier-style backends and one
+/// less pass over the `u` array everywhere.
+#[inline]
+pub fn un_update_edge(
+    graph: &FactorGraph,
+    params: &EdgeParams,
+    x_all: &[f64],
+    z_all: &[f64],
+    u_e_out: &mut [f64],
+    n_e_out: &mut [f64],
+    e: paradmm_graph::EdgeId,
+) {
+    let d = graph.dims();
+    let alpha = params.alpha(e);
+    let b = graph.edge_var(e);
+    let xe = &x_all[e.idx() * d..(e.idx() + 1) * d];
+    let zb = &z_all[b.idx() * d..(b.idx() + 1) * d];
+    for c in 0..d {
+        u_e_out[c] += alpha * (xe[c] - zb[c]);
+        n_e_out[c] = zb[c] - u_e_out[c];
+    }
+}
+
+/// Fused u+n update over a contiguous edge range `[e_lo, e_hi)`; `u_all`
+/// and `n_all` are the full global arrays.
+#[allow(clippy::too_many_arguments)] // mirrors the sweep signature family
+pub fn un_update_range(
+    graph: &FactorGraph,
+    params: &EdgeParams,
+    x_all: &[f64],
+    z_all: &[f64],
+    u_all: &mut [f64],
+    n_all: &mut [f64],
+    e_lo: usize,
+    e_hi: usize,
+) {
+    let d = graph.dims();
+    for e in e_lo..e_hi {
+        let lo = e * d;
+        un_update_edge(
+            graph,
+            params,
+            x_all,
+            z_all,
+            &mut u_all[lo..lo + d],
+            &mut n_all[lo..lo + d],
+            paradmm_graph::EdgeId::from_usize(e),
+        );
+    }
+}
+
 /// n-update body for a single edge `e`: `n_e = z_{var(e)} − u_e`.
 #[inline]
 pub fn n_update_edge(
@@ -258,16 +317,23 @@ pub fn split_factor_blocks<'a>(graph: &FactorGraph, mut data: &'a mut [f64]) -> 
 }
 
 /// Evenly partitions `n_items` across `n_parts`, mirroring the paper's
-/// `AssignThreads`: part `i` gets `[i·n/p, (i+1)·n/p)`, the last part
-/// absorbing the remainder.
+/// `AssignThreads`: the first `n_items % n_parts` parts get
+/// `⌈n/p⌉` items, the rest `⌊n/p⌋`, so sizes differ by at most one and
+/// work is front-loaded.
+///
+/// When `n_parts > n_items`, each of the first `n_items` parts gets
+/// exactly one item and every trailing part is the empty range
+/// `(n_items, n_items)`. The old `i·n/p` formula instead scattered the
+/// items over arbitrary middle parts, leaving leading Barrier workers
+/// spinning at every phase barrier with no work while loaded workers sat
+/// further down the thread list.
 #[inline]
 pub fn assign_range(n_items: usize, part: usize, n_parts: usize) -> (usize, usize) {
-    let lo = part * n_items / n_parts;
-    let hi = if part == n_parts - 1 {
-        n_items
-    } else {
-        (part + 1) * n_items / n_parts
-    };
+    debug_assert!(part < n_parts, "part {part} out of range for {n_parts}");
+    let base = n_items / n_parts;
+    let rem = n_items % n_parts;
+    let lo = part * base + part.min(rem);
+    let hi = lo + base + usize::from(part < rem);
     (lo, hi)
 }
 
@@ -379,6 +445,28 @@ mod tests {
     }
 
     #[test]
+    fn fused_un_matches_separate_sweeps_bitwise() {
+        let (g, mut p) = chain(2);
+        p.alpha = vec![0.3, 0.7, 1.1, 0.9];
+        p.rho = vec![1.0, 2.0, 0.5, 3.0];
+        let x: Vec<f64> = (0..8).map(|i| (i as f64 * 0.9).sin()).collect();
+        let z: Vec<f64> = (0..6).map(|i| (i as f64 * 0.4).cos()).collect();
+        let u0: Vec<f64> = (0..8).map(|i| i as f64 * 0.25 - 1.0).collect();
+
+        let mut u_sep = u0.clone();
+        let mut n_sep = vec![0.0; 8];
+        u_update_range(&g, &p, &x, &z, &mut u_sep, 0, 4);
+        n_update_range(&g, &z, &u_sep, &mut n_sep, 0, 4);
+
+        let mut u_fused = u0;
+        let mut n_fused = vec![0.0; 8];
+        un_update_range(&g, &p, &x, &z, &mut u_fused, &mut n_fused, 0, 4);
+
+        assert_eq!(u_sep, u_fused);
+        assert_eq!(n_sep, n_fused);
+    }
+
+    #[test]
     fn assign_range_covers_exactly() {
         for n in [0usize, 1, 7, 100] {
             for p in [1usize, 2, 3, 8] {
@@ -392,6 +480,42 @@ mod tests {
                 }
                 assert_eq!(covered, n, "n={n} p={p}");
                 assert_eq!(prev_hi, n);
+            }
+        }
+    }
+
+    #[test]
+    fn assign_range_sizes_differ_by_at_most_one() {
+        for n in [1usize, 5, 17, 100, 101] {
+            for p in [1usize, 2, 3, 7, 16] {
+                let sizes: Vec<usize> = (0..p)
+                    .map(|i| {
+                        let (lo, hi) = assign_range(n, i, p);
+                        hi - lo
+                    })
+                    .collect();
+                let max = *sizes.iter().max().unwrap();
+                let min = *sizes.iter().min().unwrap();
+                assert!(max - min <= 1, "n={n} p={p} sizes={sizes:?}");
+            }
+        }
+    }
+
+    /// Regression: with more parts than items, the first `n_items` parts
+    /// must each own exactly one item and every trailing part must be
+    /// empty — the old `i·n/p` split scattered the items across middle
+    /// parts, so Barrier workers at the front of the thread list spun on
+    /// empty ranges while the work sat elsewhere.
+    #[test]
+    fn assign_range_more_parts_than_items_front_loads() {
+        for (n, p) in [(0usize, 4usize), (1, 8), (3, 8), (5, 7)] {
+            for i in 0..p {
+                let (lo, hi) = assign_range(n, i, p);
+                if i < n {
+                    assert_eq!((lo, hi), (i, i + 1), "n={n} p={p} part={i}");
+                } else {
+                    assert_eq!((lo, hi), (n, n), "n={n} p={p} part={i}");
+                }
             }
         }
     }

@@ -23,6 +23,12 @@
 //!   implemented to reproduce the paper's finding that it is slower),
 //! * [`AsyncBackend`] — asynchronous activation workers (the paper's
 //!   future-work item 1; converges rather than matching bit-for-bit),
+//! * [`WorkStealingBackend`] — persistent workers claiming chunks from a
+//!   shared atomic work index, with a fused u+n sweep (one barrier fewer
+//!   per iteration; fixes approach #2's static-range straggler problem),
+//! * [`AutoBackend`] — probes the synchronous backends on the actual
+//!   problem and locks in the fastest (the paper's "automatic tuning"
+//!   future-work made concrete),
 //! * `paradmm-gpusim`'s adapter — the same numerics against a simulated
 //!   SIMT device clock.
 //!
@@ -49,7 +55,10 @@ pub mod twa;
 
 pub use adaptive::ResidualBalancing;
 pub use asynchronous::run_async;
-pub use backend::{AsyncBackend, BarrierBackend, RayonBackend, SerialBackend, SweepExecutor};
+pub use backend::{
+    AsyncBackend, AutoBackend, BarrierBackend, RayonBackend, SerialBackend, SweepExecutor,
+    WorkStealingBackend, DEFAULT_STEAL_CHUNK,
+};
 pub use diagnostics::{Trace, TracePoint};
 pub use kernels::UpdateKind;
 pub use paradmm_prox::{ProxCtx, ProxOp};

@@ -10,7 +10,10 @@
 
 use paradmm_graph::VarStore;
 
-use crate::backend::{AsyncBackend, BarrierBackend, RayonBackend, SerialBackend, SweepExecutor};
+use crate::backend::{
+    AsyncBackend, AutoBackend, BarrierBackend, RayonBackend, SerialBackend, SweepExecutor,
+    WorkStealingBackend,
+};
 use crate::problem::AdmmProblem;
 use crate::timing::UpdateTimings;
 
@@ -40,6 +43,20 @@ pub enum Scheduler {
         /// Number of asynchronous workers.
         threads: usize,
     },
+    /// Persistent workers claiming chunks from a shared atomic work index,
+    /// with a fused u+n sweep — [`WorkStealingBackend`]. Bit-identical to
+    /// [`SerialBackend`].
+    WorkSteal {
+        /// Number of persistent workers.
+        threads: usize,
+    },
+    /// Probe-and-lock auto-selection over the four synchronous CPU
+    /// backends — [`AutoBackend`]. Bit-identical to [`SerialBackend`]
+    /// (every default candidate is).
+    Auto {
+        /// Worker count handed to the parallel candidates.
+        threads: usize,
+    },
 }
 
 impl Scheduler {
@@ -51,6 +68,8 @@ impl Scheduler {
             Scheduler::Rayon { threads } => Box::new(RayonBackend::new(threads)),
             Scheduler::Barrier { threads } => Box::new(BarrierBackend::new(threads)),
             Scheduler::Async { threads } => Box::new(AsyncBackend::new(threads)),
+            Scheduler::WorkSteal { threads } => Box::new(WorkStealingBackend::new(threads)),
+            Scheduler::Auto { threads } => Box::new(AutoBackend::new(threads)),
         }
     }
 
@@ -140,6 +159,8 @@ mod tests {
         );
         assert_eq!(solve_with(Scheduler::Rayon { threads: None }, 100), serial);
         assert_eq!(solve_with(Scheduler::Barrier { threads: 3 }, 100), serial);
+        assert_eq!(solve_with(Scheduler::WorkSteal { threads: 3 }, 100), serial);
+        assert_eq!(solve_with(Scheduler::Auto { threads: 2 }, 100), serial);
     }
 
     #[test]
@@ -154,6 +175,11 @@ mod tests {
             "barrier"
         );
         assert_eq!(Scheduler::Async { threads: 2 }.to_backend().name(), "async");
+        assert_eq!(
+            Scheduler::WorkSteal { threads: 2 }.to_backend().name(),
+            "worksteal"
+        );
+        assert_eq!(Scheduler::Auto { threads: 2 }.to_backend().name(), "auto");
     }
 
     #[test]

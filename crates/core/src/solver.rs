@@ -447,5 +447,49 @@ mod tests {
         let serial = run_with(Scheduler::Serial);
         assert_eq!(serial, run_with(Scheduler::Rayon { threads: Some(2) }));
         assert_eq!(serial, run_with(Scheduler::Barrier { threads: 2 }));
+        assert_eq!(serial, run_with(Scheduler::WorkSteal { threads: 2 }));
+        assert_eq!(serial, run_with(Scheduler::Auto { threads: 2 }));
+    }
+
+    #[test]
+    fn auto_backend_typed_access_reports_selection() {
+        use crate::backend::AutoBackend;
+        let (g, p) = two_quadratics();
+        let problem = AdmmProblem::new(g, p, 1.0, 1.0);
+        let mut solver =
+            Solver::with_backend(problem, SolverOptions::default(), AutoBackend::new(2));
+        assert_eq!(solver.backend().selected(), None);
+        let report = solver.run(500);
+        assert_eq!(report.stop_reason, StopReason::Converged);
+        let selected = solver.backend().selected().expect("probe ran");
+        assert!(["serial", "rayon", "barrier", "worksteal"].contains(&selected));
+        assert!(!solver.backend().probe_report().is_empty());
+    }
+
+    #[test]
+    fn worksteal_solver_converges_and_checkpoints() {
+        use crate::backend::WorkStealingBackend;
+        let (g, p) = two_quadratics();
+        let problem = AdmmProblem::new(g, p, 1.0, 1.0);
+        let mut solver = Solver::with_backend(
+            problem,
+            SolverOptions::default(),
+            WorkStealingBackend::new(3),
+        );
+        solver.run(25);
+        let snapshot = solver.save_checkpoint();
+        solver.run(25);
+        let z_final = solver.store().z.clone();
+
+        let (g2, p2) = two_quadratics();
+        let problem2 = AdmmProblem::new(g2, p2, 1.0, 1.0);
+        let mut resumed = Solver::with_backend(
+            problem2,
+            SolverOptions::default(),
+            WorkStealingBackend::new(3),
+        );
+        resumed.load_checkpoint(&snapshot).unwrap();
+        resumed.run(25);
+        assert_eq!(resumed.store().z, z_final);
     }
 }

@@ -129,11 +129,38 @@ impl GpuSimBackend {
     pub fn ntb(&self) -> [usize; 5] {
         self.ntb
     }
+
+    /// Cheap O(1) shape gate: factor/variable/edge counts match the
+    /// profiled problem. Guards every `execute` block; the full per-task
+    /// comparison lives in [`SweepExecutor::supports`].
+    fn shape_matches(&self, problem: &AdmmProblem) -> bool {
+        let g = problem.graph();
+        self.profile.sweeps[UpdateKind::X.index()].tasks.len() == g.num_factors()
+            && self.profile.sweeps[UpdateKind::Z.index()].tasks.len() == g.num_vars()
+            && self.profile.sweeps[UpdateKind::M.index()].tasks.len() == g.num_edges()
+    }
 }
 
 impl SweepExecutor for GpuSimBackend {
     fn name(&self) -> &'static str {
         "gpusim"
+    }
+
+    /// `true` only for workloads identical to the one this backend was
+    /// profiled for: after the O(1) shape gate, every sweep's per-task
+    /// cost vector is compared against a fresh profile of `problem`
+    /// (an O(|E|) pass — probing is rare, so exactness beats speed here;
+    /// a same-shape graph with different factor degrees or proximal
+    /// operators is rejected, not silently mispriced). Probing drivers
+    /// ([`paradmm_core::AutoBackend`]) use this to fall through to a
+    /// general backend instead of tripping the shape assert in
+    /// [`SweepExecutor::execute`].
+    fn supports(&self, problem: &AdmmProblem) -> bool {
+        if !self.shape_matches(problem) {
+            return false;
+        }
+        let fresh = WorkloadProfile::from_problem(problem);
+        (0..5).all(|i| self.profile.sweeps[i].tasks == fresh.sweeps[i].tasks)
     }
 
     fn execute(
@@ -145,12 +172,10 @@ impl SweepExecutor for GpuSimBackend {
     ) {
         // The kernel prices were computed from the problem this backend
         // was built for; running a different problem would silently report
-        // the wrong simulated times.
-        let g = problem.graph();
+        // the wrong simulated times. (Shape gate only — the O(|E|) deep
+        // comparison in supports() would tax every block.)
         assert!(
-            self.profile.sweeps[UpdateKind::X.index()].tasks.len() == g.num_factors()
-                && self.profile.sweeps[UpdateKind::Z.index()].tasks.len() == g.num_vars()
-                && self.profile.sweeps[UpdateKind::M.index()].tasks.len() == g.num_edges(),
+            self.shape_matches(problem),
             "GpuSimBackend was profiled for a different problem (factors/vars/edges mismatch)"
         );
 
@@ -206,6 +231,110 @@ mod tests {
             "gpusim must be bit-identical to serial"
         );
         assert_eq!(gpu_store.u, cpu_store.u);
+    }
+
+    #[test]
+    fn supports_only_the_profiled_problem() {
+        let problem = consensus_problem();
+        let backend = GpuSimBackend::new(&problem, SimtDevice::tesla_k40());
+        assert!(backend.supports(&problem));
+
+        let mut b = paradmm_graph::GraphBuilder::new(1);
+        let v = b.add_var();
+        b.add_factor(&[v]);
+        let other = AdmmProblem::new(
+            b.build(),
+            vec![Box::new(QuadraticProx::isotropic(1, 1.0, &[0.0])) as Box<dyn ProxOp>],
+            1.0,
+            1.0,
+        );
+        assert!(!backend.supports(&other));
+    }
+
+    #[test]
+    fn supports_rejects_same_counts_different_work() {
+        // Same factor/var/edge counts as the profiled problem, but the
+        // per-task work differs (heavier prox): the shape gate passes,
+        // the deep per-task comparison must not.
+        let problem = consensus_problem();
+        let backend = GpuSimBackend::new(&problem, SimtDevice::tesla_k40());
+
+        let mut b = paradmm_graph::GraphBuilder::new(1);
+        let v = b.add_var();
+        b.add_factor(&[v]);
+        b.add_factor(&[v]);
+        let same_shape_heavier = AdmmProblem::new(
+            b.build(),
+            vec![
+                Box::new(QuadraticProx::isotropic(1, 1.0, &[1.0])) as Box<dyn ProxOp>,
+                Box::new(paradmm_prox::NumericProx::new(|x: &[f64]| {
+                    x.iter().map(|v| v.powi(4)).sum()
+                })) as Box<dyn ProxOp>,
+            ],
+            1.0,
+            1.0,
+        );
+        assert!(backend.shape_matches(&same_shape_heavier));
+        assert!(!backend.supports(&same_shape_heavier));
+    }
+
+    #[test]
+    fn auto_backend_falls_through_mismatched_gpusim_cleanly() {
+        use paradmm_core::AutoBackend;
+        // A gpusim candidate profiled for a *different* problem must be
+        // skipped by the probe (supports() = false) rather than tripping
+        // its shape assert, and the run must land on a CPU backend.
+        let probe_problem = consensus_problem();
+        let mut b = paradmm_graph::GraphBuilder::new(1);
+        let v = b.add_var();
+        b.add_factor(&[v]);
+        b.add_factor(&[v]);
+        b.add_factor(&[v]);
+        let other = AdmmProblem::new(
+            b.build(),
+            (0..3)
+                .map(|i| Box::new(QuadraticProx::isotropic(1, 1.0, &[i as f64])) as Box<dyn ProxOp>)
+                .collect(),
+            1.0,
+            1.0,
+        );
+        let mismatched = GpuSimBackend::new(&other, SimtDevice::tesla_k40());
+        let mut auto =
+            AutoBackend::with_candidates(vec![Box::new(mismatched), Box::new(SerialBackend)]);
+
+        let mut auto_store = VarStore::zeros(probe_problem.graph());
+        let mut serial_store = VarStore::zeros(probe_problem.graph());
+        let mut t = UpdateTimings::new();
+        auto.run_block(&probe_problem, &mut auto_store, 30, &mut t);
+        let mut ts = UpdateTimings::new();
+        SerialBackend.run_block(&probe_problem, &mut serial_store, 30, &mut ts);
+
+        assert_eq!(auto.selected(), Some("serial"));
+        assert!(auto
+            .probe_report()
+            .iter()
+            .all(|&(name, _)| name != "gpusim"));
+        assert_eq!(auto_store.z, serial_store.z);
+    }
+
+    #[test]
+    fn auto_backend_probes_matching_gpusim_by_wall_clock() {
+        use paradmm_core::AutoBackend;
+        // A *matching* gpusim candidate enters the probe, ranked by its
+        // real host cost (serial numerics + simulation bookkeeping) — not
+        // by the simulated device seconds it reports through
+        // UpdateTimings, which would let a fictitious K40 clock beat real
+        // CPU backends. The probe completes and locks in some backend
+        // without panicking.
+        let problem = consensus_problem();
+        let gpusim = GpuSimBackend::new(&problem, SimtDevice::tesla_k40());
+        let mut auto =
+            AutoBackend::with_candidates(vec![Box::new(gpusim), Box::new(SerialBackend)]);
+        let mut store = VarStore::zeros(problem.graph());
+        let mut t = UpdateTimings::new();
+        auto.run_block(&problem, &mut store, 20, &mut t);
+        assert!(auto.selected().is_some());
+        assert_eq!(auto.probe_report().len(), 2);
     }
 
     #[test]

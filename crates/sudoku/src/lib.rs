@@ -216,13 +216,27 @@ impl SudokuProblem {
     /// Solves with random restarts; returns the solved grid and the total
     /// iterations spent, or `None` if every attempt failed.
     pub fn solve(givens: &Grid, config: &SudokuConfig, seed: u64) -> Option<(Grid, usize)> {
+        Self::solve_with_scheduler(givens, config, seed, Scheduler::Serial)
+    }
+
+    /// [`SudokuProblem::solve`] on a chosen execution backend. All
+    /// synchronous backends are bit-identical, so the solved grid *and*
+    /// the iteration count are independent of the scheduler (pinned by
+    /// `tests/sudoku_golden.rs`); the knob exists to run the restarts on
+    /// whatever hardware mapping is fastest.
+    pub fn solve_with_scheduler(
+        givens: &Grid,
+        config: &SudokuConfig,
+        seed: u64,
+        scheduler: Scheduler,
+    ) -> Option<(Grid, usize)> {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut total_iters = 0usize;
         for _attempt in 0..config.max_attempts {
             let (sudoku, admm) = SudokuProblem::build(givens, config);
             let options = SolverOptions {
-                scheduler: Scheduler::Serial,
+                scheduler,
                 rho: config.rho,
                 alpha: 1.0,
                 stopping: StoppingCriteria::fixed_iterations(config.iters_per_attempt),

@@ -4,23 +4,33 @@
 //! Packs N disks into an equilateral triangle by ADMM, prints coverage
 //! and constraint violations, and renders the layout as ASCII art.
 //!
-//! Run: `cargo run --release --example circle_packing [N] [serial|rayon|barrier]`
+//! Run: `cargo run --release --example circle_packing [N]
+//! [serial|rayon|barrier|worksteal|auto]`
+//!
+//! `worksteal` claims chunks of every sweep from a shared atomic work
+//! index; `auto` probes all four synchronous backends on the actual
+//! problem for a few iterations and locks in the fastest.
 
-use paradmm::core::{BarrierBackend, RayonBackend, SerialBackend, SweepExecutor};
+use paradmm::core::{
+    AutoBackend, BarrierBackend, RayonBackend, SerialBackend, SweepExecutor, WorkStealingBackend,
+};
 use paradmm::packing::{PackingConfig, PackingProblem, Polygon};
 
 /// Picks an execution backend by name — any [`SweepExecutor`] drops in.
 fn backend_by_name(name: &str) -> Box<dyn SweepExecutor> {
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
     match name {
         "serial" => Box::new(SerialBackend),
         "rayon" => Box::new(RayonBackend::new(None)),
-        "barrier" => Box::new(BarrierBackend::new(
-            std::thread::available_parallelism()
-                .map(|v| v.get())
-                .unwrap_or(1),
-        )),
+        "barrier" => Box::new(BarrierBackend::new(threads)),
+        "worksteal" => Box::new(WorkStealingBackend::new(threads)),
+        "auto" => Box::new(AutoBackend::new(threads)),
         other => {
-            eprintln!("unknown backend {other}; expected serial | rayon | barrier");
+            eprintln!(
+                "unknown backend {other}; expected serial | rayon | barrier | worksteal | auto"
+            );
             std::process::exit(2);
         }
     }

@@ -53,9 +53,9 @@ pub use paradmm_svm as svm;
 /// Convenient glob-import of the most common types.
 pub mod prelude {
     pub use paradmm_core::{
-        AdmmProblem, AsyncBackend, BarrierBackend, ProxCtx, ProxOp, RayonBackend, Residuals,
-        Scheduler, SerialBackend, Solver, SolverOptions, SolverReport, StopReason,
-        StoppingCriteria, SweepExecutor, UpdateKind, UpdateTimings,
+        AdmmProblem, AsyncBackend, AutoBackend, BarrierBackend, ProxCtx, ProxOp, RayonBackend,
+        Residuals, Scheduler, SerialBackend, Solver, SolverOptions, SolverReport, StopReason,
+        StoppingCriteria, SweepExecutor, UpdateKind, UpdateTimings, WorkStealingBackend,
     };
     pub use paradmm_gpusim::GpuSimBackend;
     pub use paradmm_graph::{

@@ -1,17 +1,21 @@
 //! Backend-equivalence suite.
 //!
-//! The synchronous backends (serial, rayon, barrier) implement the same
+//! The synchronous backends (serial, rayon, barrier, work-stealing, and
+//! auto — which locks in one of the former four) implement the same
 //! Jacobi-style Algorithm 2 schedule, so their iterates must be
 //! **bit-identical** on every problem — the z-average per variable is
-//! deterministic regardless of how the sweeps are scheduled. This suite
-//! pins that contract on all three paper problem generators (packing,
-//! MPC, SVM). [`AsyncBackend`] deliberately breaks the schedule (workers
-//! see bounded-stale `z`), so for it the contract is convergence to the
-//! same fixed point on a convex instance, not bitwise equality.
+//! deterministic regardless of how the sweeps are scheduled, and the
+//! work-stealing backend's fused u+n sweep is edge-local, so fusion
+//! cannot change results either. This suite pins that contract on all
+//! three paper problem generators (packing, MPC, SVM) and on a
+//! degree-imbalanced hub graph whose static range splits straggle.
+//! [`AsyncBackend`] deliberately breaks the schedule (workers see
+//! bounded-stale `z`), so for it the contract is convergence to the same
+//! fixed point on a convex instance, not bitwise equality.
 
 use paradmm::core::{
-    AdmmProblem, AsyncBackend, BarrierBackend, RayonBackend, SerialBackend, SweepExecutor,
-    UpdateTimings,
+    AdmmProblem, AsyncBackend, AutoBackend, BarrierBackend, RayonBackend, SerialBackend,
+    SweepExecutor, UpdateTimings, WorkStealingBackend,
 };
 use paradmm::graph::VarStore;
 use paradmm::mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
@@ -43,26 +47,36 @@ fn run_from_seeded_state(
 
 fn assert_bit_identical_across_sync_backends(problem: &AdmmProblem, iters: usize, label: &str) {
     let serial = run_from_seeded_state(problem, &mut SerialBackend, iters);
+    let assert_matches = |got: &VarStore, which: &str| {
+        assert_eq!(serial.z, got.z, "{label}: {which} z diverged");
+        assert_eq!(serial.x, got.x, "{label}: {which} x diverged");
+        assert_eq!(serial.u, got.u, "{label}: {which} u diverged");
+        assert_eq!(serial.n, got.n, "{label}: {which} n diverged");
+    };
     for threads in [1usize, 2, 3] {
         let rayon = run_from_seeded_state(problem, &mut RayonBackend::new(Some(threads)), iters);
-        assert_eq!(serial.z, rayon.z, "{label}: rayon({threads}) z diverged");
-        assert_eq!(serial.x, rayon.x, "{label}: rayon({threads}) x diverged");
-        assert_eq!(serial.u, rayon.u, "{label}: rayon({threads}) u diverged");
+        assert_matches(&rayon, &format!("rayon({threads})"));
 
         let barrier = run_from_seeded_state(problem, &mut BarrierBackend::new(threads), iters);
-        assert_eq!(
-            serial.z, barrier.z,
-            "{label}: barrier({threads}) z diverged"
+        assert_matches(&barrier, &format!("barrier({threads})"));
+
+        let ws = run_from_seeded_state(problem, &mut WorkStealingBackend::new(threads), iters);
+        assert_matches(&ws, &format!("worksteal({threads})"));
+
+        // Tiny chunks force real chunk contention on every sweep.
+        let ws_tiny = run_from_seeded_state(
+            problem,
+            &mut WorkStealingBackend::with_chunk(threads, 2),
+            iters,
         );
-        assert_eq!(
-            serial.x, barrier.x,
-            "{label}: barrier({threads}) x diverged"
-        );
-        assert_eq!(
-            serial.u, barrier.u,
-            "{label}: barrier({threads}) u diverged"
-        );
+        assert_matches(&ws_tiny, &format!("worksteal({threads}, chunk=2)"));
     }
+    // AutoBackend probes all four sync candidates on a clone and locks in
+    // one of them — whichever wins, iterates must match serial bitwise.
+    let mut auto = AutoBackend::new(2);
+    let auto_store = run_from_seeded_state(problem, &mut auto, iters);
+    let selected = auto.selected().expect("auto probe must run");
+    assert_matches(&auto_store, &format!("auto→{selected}"));
 }
 
 #[test]
@@ -83,6 +97,19 @@ fn svm_generator_bit_identical() {
     let data = gaussian_mixture(60, 2, 4.0, &mut rng);
     let (_, problem) = SvmProblem::build(&data, SvmConfig::default());
     assert_bit_identical_across_sync_backends(&problem, 60, "svm");
+}
+
+#[test]
+fn imbalanced_degree_graph_bit_identical() {
+    // The hub-heavy generator the ablation benches: all hub variables sit
+    // at the front of the variable order, so a contiguous static
+    // z-partition hands one worker every hub's heavy weighted average.
+    // Chunk-claiming backends must still be bit-identical — scheduling
+    // may never leak into iterates. 7 hubs of degree 23: indivisible
+    // heavy z-tasks, plus leaf counts that don't divide evenly into
+    // chunks or thread counts.
+    let problem = paradmm_bench::imbalanced_problem(7, 23);
+    assert_bit_identical_across_sync_backends(&problem, 60, "imbalanced");
 }
 
 #[test]

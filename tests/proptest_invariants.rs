@@ -99,11 +99,14 @@ proptest! {
         let pa = make();
         let pb = make();
         let pc = make();
+        let pd = make();
         let z_serial = run(&pa, Scheduler::Serial);
         let z_rayon = run(&pb, Scheduler::Rayon { threads: Some(threads) });
         let z_barrier = run(&pc, Scheduler::Barrier { threads });
+        let z_worksteal = run(&pd, Scheduler::WorkSteal { threads });
         prop_assert_eq!(&z_serial, &z_rayon);
         prop_assert_eq!(&z_serial, &z_barrier);
+        prop_assert_eq!(&z_serial, &z_worksteal);
     }
 
     /// With f ≡ 0, the consensus z equals the ρ-weighted average of
@@ -158,5 +161,100 @@ proptest! {
         prop_assert!(p.validate(&g).is_ok());
         p.scale_rho(s);
         prop_assert!(p.validate(&g).is_ok());
+    }
+
+    /// The binary graph codec round-trips every generated topology to
+    /// structural equality: same shape, same factor edge ranges, same
+    /// edge→variable map.
+    #[test]
+    fn graph_codec_roundtrip(g in arb_graph(10, 14)) {
+        use paradmm::graph::io::{decode_graph, encode_graph};
+        let mut buf = Vec::new();
+        encode_graph(&g, &mut buf);
+        let back = decode_graph(&buf).unwrap();
+        prop_assert!(back.validate().is_ok());
+        prop_assert_eq!(back.dims(), g.dims());
+        prop_assert_eq!(back.num_vars(), g.num_vars());
+        prop_assert_eq!(back.num_factors(), g.num_factors());
+        prop_assert_eq!(back.num_edges(), g.num_edges());
+        for a in g.factors() {
+            prop_assert_eq!(back.factor_edge_range(a), g.factor_edge_range(a));
+        }
+        for e in g.edges() {
+            prop_assert_eq!(back.edge_var(e), g.edge_var(e));
+        }
+        for b in g.vars() {
+            prop_assert_eq!(back.var_edges(b), g.var_edges(b));
+        }
+    }
+
+    /// Per-edge ρ/α survive the codec bit-for-bit against the decoded
+    /// graph's own validation.
+    #[test]
+    fn params_codec_roundtrip(
+        g in arb_graph(8, 10),
+        seed in 0u64..1000,
+    ) {
+        use paradmm::graph::io::{decode_params, encode_params};
+        let mut p = EdgeParams::uniform(&g, 1.0, 1.0);
+        for (i, r) in p.rho.iter_mut().enumerate() {
+            *r = 0.01 + (seed as f64 + i as f64 * 0.7).sin().abs() * 10.0;
+        }
+        for (i, a) in p.alpha.iter_mut().enumerate() {
+            *a = 0.01 + (seed as f64 + i as f64 * 1.3).cos().abs() * 2.0;
+        }
+        let mut buf = Vec::new();
+        encode_params(&p, &mut buf);
+        let back = decode_params(&buf, &g).unwrap();
+        prop_assert_eq!(&back.rho, &p.rho);
+        prop_assert_eq!(&back.alpha, &p.alpha);
+    }
+
+    /// A full ADMM state checkpoint round-trips bit-for-bit (including
+    /// z_prev, negative zeros and all), so warm restarts resume on
+    /// exactly the iterate that was saved.
+    #[test]
+    fn store_codec_roundtrip(
+        g in arb_graph(8, 10),
+        seed in 0u64..1000,
+    ) {
+        use paradmm::graph::io::{decode_store, encode_store};
+        let mut store = VarStore::zeros(&g);
+        let mut k = 0usize;
+        for arr in [&mut store.x, &mut store.m, &mut store.u, &mut store.n, &mut store.z] {
+            for v in arr.iter_mut() {
+                *v = (seed as f64 * 0.11 + k as f64 * 0.37).sin() * 1e3;
+                k += 1;
+            }
+        }
+        store.snapshot_z();
+        store.z_prev[0] = -0.0; // sign-of-zero must survive
+        let mut buf = Vec::new();
+        encode_store(&store, &mut buf);
+        let back = decode_store(&buf, &g).unwrap();
+        prop_assert_eq!(&back.x, &store.x);
+        prop_assert_eq!(&back.m, &store.m);
+        prop_assert_eq!(&back.u, &store.u);
+        prop_assert_eq!(&back.n, &store.n);
+        prop_assert_eq!(&back.z, &store.z);
+        for (a, b) in back.z_prev.iter().zip(&store.z_prev) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Truncating an encoded graph anywhere must error, never panic or
+    /// yield a structurally invalid graph. `frac` spans the whole buffer,
+    /// so cut lengths from 0 through `len − 1` (dropping only the final
+    /// byte) are all generated.
+    #[test]
+    fn graph_codec_rejects_truncation(g in arb_graph(6, 8), frac in 0.0f64..1.0) {
+        use paradmm::graph::io::{decode_graph, encode_graph};
+        let mut buf = Vec::new();
+        encode_graph(&g, &mut buf);
+        let cut = (buf.len() as f64 * frac) as usize;
+        prop_assert!(decode_graph(&buf[..cut]).is_err());
+        // The single-byte truncation must always be exercised: the last
+        // byte is load-bearing (it ends the edge-target array).
+        prop_assert!(decode_graph(&buf[..buf.len() - 1]).is_err());
     }
 }
