@@ -19,11 +19,11 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use paradmm_core::{
-    AdmmProblem, AutoBackend, BarrierBackend, RayonBackend, SerialBackend, SweepExecutor,
-    UpdateKind, UpdateTimings, WorkStealingBackend,
+    AdmmProblem, AutoBackend, BarrierBackend, RayonBackend, SerialBackend, ShardedBackend,
+    SweepExecutor, UpdateKind, UpdateTimings, WorkStealingBackend,
 };
-use paradmm_gpusim::{CpuModel, GpuAdmmEngine, SimtDevice, WorkloadProfile};
-use paradmm_graph::VarStore;
+use paradmm_gpusim::{CpuModel, GpuAdmmEngine, MultiDevice, SimtDevice, WorkloadProfile};
+use paradmm_graph::{Partition, PartitionStats, VarStore};
 
 /// One row of a GPU-vs-serial-CPU figure.
 #[derive(Debug, Clone)]
@@ -313,14 +313,37 @@ pub fn write_bench_json(
     figure: &str,
     rows: &[BenchJsonRow],
 ) -> std::io::Result<std::path::PathBuf> {
+    write_bench_json_with_meta(figure, rows, &[])
+}
+
+/// Like [`write_bench_json`], but with an extra flat `"meta"` object of
+/// named scalars (partition quality metrics, exchange volumes, …) so
+/// regressions in quantities that aren't seconds-per-iteration still
+/// show up in the `BENCH_*` trajectory.
+pub fn write_bench_json_with_meta(
+    figure: &str,
+    rows: &[BenchJsonRow],
+    meta: &[(String, f64)],
+) -> std::io::Result<std::path::PathBuf> {
     let path = std::path::PathBuf::from(format!("BENCH_{figure}.json"));
     let mut f = std::fs::File::create(&path)?;
-    f.write_all(bench_json_string(figure, rows).as_bytes())?;
+    f.write_all(bench_json_string_with_meta(figure, rows, meta).as_bytes())?;
     Ok(path)
 }
 
 /// The JSON document [`write_bench_json`] emits, as a string.
 pub fn bench_json_string(figure: &str, rows: &[BenchJsonRow]) -> String {
+    bench_json_string_with_meta(figure, rows, &[])
+}
+
+/// The JSON document [`write_bench_json_with_meta`] emits, as a string.
+/// An empty `meta` omits the `"meta"` key entirely, so the PR 1 format
+/// is preserved byte-for-byte for the existing figures.
+pub fn bench_json_string_with_meta(
+    figure: &str,
+    rows: &[BenchJsonRow],
+    meta: &[(String, f64)],
+) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{{\n  \"figure\": \"{}\",\n  \"rows\": [\n",
@@ -336,7 +359,20 @@ pub fn bench_json_string(figure: &str, rows: &[BenchJsonRow]) -> String {
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    if meta.is_empty() {
+        out.push_str("  ]\n}\n");
+    } else {
+        out.push_str("  ],\n  \"meta\": {\n");
+        for (i, (k, v)) in meta.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {:e}{}\n",
+                json_escape(k),
+                v,
+                if i + 1 == meta.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  }\n}\n");
+    }
     out
 }
 
@@ -474,6 +510,146 @@ pub fn worksteal_ablation(
     }
 }
 
+/// Builds an MPC-like chain of `n` pairwise quadratic factors — the
+/// graph family that splits across shards with an O(1) halo.
+pub fn chain_problem(n: usize) -> AdmmProblem {
+    use paradmm_graph::GraphBuilder;
+    use paradmm_prox::{ProxOp, QuadraticProx};
+    let mut b = GraphBuilder::new(4);
+    let vs = b.add_vars(n + 1);
+    let mut proxes: Vec<Box<dyn ProxOp>> = Vec::new();
+    for i in 0..n {
+        b.add_factor(&[vs[i], vs[i + 1]]);
+        let t = (i as f64 * 0.19).sin();
+        proxes.push(Box::new(QuadraticProx::isotropic(8, 1.0, &[t; 8])));
+    }
+    AdmmProblem::new(b.build(), proxes, 1.0, 1.0)
+}
+
+/// Builds a packing-like all-pairs problem over `n` variables — the
+/// graph family whose halo is essentially every variable, the worst case
+/// for sharding.
+pub fn all_pairs_problem(n: usize) -> AdmmProblem {
+    use paradmm_graph::GraphBuilder;
+    use paradmm_prox::{ProxOp, QuadraticProx};
+    let mut b = GraphBuilder::new(2);
+    let vs = b.add_vars(n);
+    let mut proxes: Vec<Box<dyn ProxOp>> = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            b.add_factor(&[vs[i], vs[j]]);
+            proxes.push(Box::new(QuadraticProx::isotropic(
+                4,
+                1.0,
+                &[i as f64 * 0.01, 0.0, j as f64 * 0.01, 0.0],
+            )));
+        }
+    }
+    AdmmProblem::new(b.build(), proxes, 1.0, 1.0)
+}
+
+/// One shard count's measurements in a [`ShardedAblation`].
+#[derive(Debug, Clone)]
+pub struct ShardedPoint {
+    /// Number of shards (and of barrier-backend threads it is compared
+    /// against).
+    pub parts: usize,
+    /// Measured sharded seconds per iteration (min of repeats).
+    pub sharded_s: f64,
+    /// Measured barrier seconds per iteration at the same thread count.
+    pub barrier_s: f64,
+    /// Halo bytes per iteration the backend actually moved.
+    pub measured_bytes: f64,
+    /// Halo bytes per iteration [`MultiDevice`] predicts from the shared
+    /// exchange plan on the same partition.
+    pub predicted_bytes: f64,
+    /// Partition quality metrics for the grown partition.
+    pub stats: PartitionStats,
+}
+
+/// Result of one [`sharded_ablation`] problem: JSON rows, partition-
+/// quality meta entries, and the per-shard-count numbers the acceptance
+/// checks read.
+#[derive(Debug, Clone)]
+pub struct ShardedAblation {
+    /// One row per `(backend, shard count)` pair.
+    pub rows: Vec<BenchJsonRow>,
+    /// Flat meta scalars (`<label>/parts=<p>/<metric>`) for the bench
+    /// JSON: halo variables, cut edges, edge balance, measured and
+    /// predicted exchange bytes.
+    pub meta: Vec<(String, f64)>,
+    /// Measurements per shard count, in the order requested.
+    pub points: Vec<ShardedPoint>,
+}
+
+/// Measures [`ShardedBackend`] against [`BarrierBackend`] on `problem`
+/// at every shard count in `shard_counts`, comparing the exchange volume
+/// the sharded run actually moves against the [`MultiDevice`] model's
+/// prediction on the *same* grown partition. Min-of-`REPEATS`
+/// measurements, like [`worksteal_ablation`].
+pub fn sharded_ablation(
+    problem: &AdmmProblem,
+    label: &str,
+    size: usize,
+    shard_counts: &[usize],
+    min_seconds: f64,
+) -> ShardedAblation {
+    const REPEATS: usize = 3;
+    let min_of_repeats = |b: &mut dyn SweepExecutor| {
+        (0..REPEATS)
+            .map(|_| measure_backend_s_per_iter(problem, b, min_seconds))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let g = problem.graph();
+    let edges = g.num_edges();
+    let mut rows = Vec::new();
+    let mut meta = Vec::new();
+    let mut points = Vec::new();
+    for &parts in shard_counts {
+        let partition = Partition::grow(g, parts);
+        let stats = PartitionStats::compute(g, &partition);
+        let predicted = MultiDevice::k40s(parts.max(1)).predicted_exchange_bytes(g, &partition);
+
+        let mut sharded = ShardedBackend::with_partition(partition);
+        let sharded_s = min_of_repeats(&mut sharded);
+        let measured = if sharded.iterations() > 0 {
+            sharded.measured_halo_bytes() as f64 / sharded.iterations() as f64
+        } else {
+            0.0
+        };
+        let mut barrier = BarrierBackend::new(parts);
+        let barrier_s = min_of_repeats(&mut barrier);
+
+        rows.push(BenchJsonRow {
+            size,
+            edges,
+            backend: format!("{label}/sharded[{parts}]"),
+            seconds_per_iteration: sharded_s,
+        });
+        rows.push(BenchJsonRow {
+            size,
+            edges,
+            backend: format!("{label}/barrier[{parts}]"),
+            seconds_per_iteration: barrier_s,
+        });
+        let key = |metric: &str| format!("{label}/parts={parts}/{metric}");
+        meta.push((key("halo_vars"), stats.halo_vars as f64));
+        meta.push((key("cut_edges"), stats.cut_edges as f64));
+        meta.push((key("edge_balance"), stats.edge_balance));
+        meta.push((key("measured_halo_bytes"), measured));
+        meta.push((key("predicted_halo_bytes"), predicted as f64));
+        points.push(ShardedPoint {
+            parts,
+            sharded_s,
+            barrier_s,
+            measured_bytes: measured,
+            predicted_bytes: predicted as f64,
+            stats,
+        });
+    }
+    ShardedAblation { rows, meta, points }
+}
+
 /// Names of the five update kinds in order, for table headers.
 pub const KIND_LABELS: [&str; 5] = ["x", "m", "z", "u", "n"];
 
@@ -571,7 +747,8 @@ mod tests {
         assert!(r.rows.iter().all(|x| x.seconds_per_iteration > 0.0));
         assert!(r.barrier_s > 0.0 && r.worksteal_s > 0.0);
         assert!(
-            ["serial", "rayon", "barrier", "worksteal"].contains(&r.auto_selected.as_str()),
+            ["serial", "rayon", "barrier", "worksteal", "sharded"]
+                .contains(&r.auto_selected.as_str()),
             "auto selected {}",
             r.auto_selected
         );
@@ -590,6 +767,52 @@ mod tests {
         let doc = bench_json_string("worksteal_smoke", &r.rows);
         assert!(doc.contains("\"backend\": \"worksteal\""));
         assert!(doc.contains("auto:"));
+    }
+
+    /// Tiny-size smoke of the sharded ablation — the same code path
+    /// `ablation_sharded` runs at full size, so the bin can't bit-rot.
+    /// CI runs this under `cargo test --release`.
+    #[test]
+    fn sharded_ablation_smoke() {
+        let p = chain_problem(24);
+        let r = sharded_ablation(&p, "mpc_chain", 24, &[1, 2], 0.002);
+        assert_eq!(r.rows.len(), 4, "sharded+barrier at two shard counts");
+        assert!(r.rows.iter().all(|x| x.seconds_per_iteration > 0.0));
+        assert_eq!(r.points.len(), 2);
+        for pt in &r.points {
+            assert!(pt.sharded_s > 0.0 && pt.barrier_s > 0.0);
+            if pt.parts == 1 {
+                assert_eq!(pt.measured_bytes, 0.0);
+                assert_eq!(pt.predicted_bytes, 0.0);
+            } else {
+                // Executed exchange volume must track the model's
+                // prediction from the shared plan (10% acceptance bound;
+                // exact equality is expected).
+                assert!(pt.predicted_bytes > 0.0);
+                assert!(
+                    (pt.measured_bytes - pt.predicted_bytes).abs() <= 0.1 * pt.predicted_bytes,
+                    "measured {} vs predicted {}",
+                    pt.measured_bytes,
+                    pt.predicted_bytes
+                );
+                assert!(pt.stats.halo_vars > 0);
+                assert!(pt.stats.cut_edges >= pt.stats.halo_vars);
+            }
+        }
+        let doc = bench_json_string_with_meta("sharded_smoke", &r.rows, &r.meta);
+        assert!(doc.contains("\"mpc_chain/sharded[2]\""));
+        assert!(doc.contains("\"meta\""));
+        assert!(doc.contains("mpc_chain/parts=2/halo_vars"));
+    }
+
+    #[test]
+    fn problem_generators_have_expected_shape() {
+        let chain = chain_problem(10);
+        assert_eq!(chain.graph().num_factors(), 10);
+        assert_eq!(chain.graph().num_edges(), 20);
+        let dense = all_pairs_problem(6);
+        assert_eq!(dense.graph().num_factors(), 15);
+        assert_eq!(dense.graph().num_vars(), 6);
     }
 
     #[test]

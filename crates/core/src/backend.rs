@@ -3,15 +3,17 @@
 //!
 //! Every strategy for executing an ADMM iteration — serial loops, rayon
 //! data-parallel loops, persistent barrier-synchronized workers, atomic
-//! work-stealing workers, probe-and-lock auto selection, the
-//! asynchronous activation engine, the simulated GPU in `paradmm-gpusim`,
-//! and any future backend (sharded multi-GPU, real CUDA) — implements
+//! work-stealing workers, partition-local sharded workers with halo
+//! exchange ([`crate::ShardedBackend`]), probe-and-lock auto selection,
+//! the asynchronous activation engine, the simulated GPU in
+//! `paradmm-gpusim`, and any future backend (real CUDA) — implements
 //! [`SweepExecutor`]. The [`crate::Solver`] drives whichever backend it
 //! is given through the same convergence loop, so a new backend is a
 //! drop-in `impl`, not another enum arm.
 //!
-//! The synchronous backends (serial, rayon, barrier, work-stealing, and
-//! auto, which locks in one of them) are *bit-identical* to each other by
+//! The synchronous backends (serial, rayon, barrier, work-stealing,
+//! sharded, and auto, which locks in one of them) are *bit-identical* to
+//! each other by
 //! construction (the z-average is deterministic per variable regardless of
 //! scheduling); [`AsyncBackend`] is not, and converges instead — see its
 //! docs.
@@ -909,10 +911,10 @@ impl SweepExecutor for AsyncBackend {
 /// problem, the probe falls through to [`SerialBackend`], which supports
 /// everything.
 ///
-/// The default candidate set ([`AutoBackend::new`]) is the four
-/// synchronous CPU backends — Serial, Rayon, Barrier, WorkStealing — all
-/// bit-identical by construction, so whichever one wins, the iterates
-/// match [`SerialBackend`] exactly. Custom candidate sets
+/// The default candidate set ([`AutoBackend::new`]) is the five
+/// synchronous CPU backends — Serial, Rayon, Barrier, WorkStealing, and
+/// Sharded — all bit-identical by construction, so whichever one wins,
+/// the iterates match [`SerialBackend`] exactly. Custom candidate sets
 /// ([`AutoBackend::with_candidates`]) carry whatever equivalence their
 /// members guarantee.
 pub struct AutoBackend {
@@ -923,8 +925,9 @@ pub struct AutoBackend {
 }
 
 impl AutoBackend {
-    /// Auto-selection over the four synchronous CPU backends, each
-    /// configured for `threads` workers.
+    /// Auto-selection over the five synchronous CPU backends, each
+    /// configured for `threads` workers (the sharded candidate runs one
+    /// shard per worker).
     ///
     /// # Panics
     /// If `threads == 0`.
@@ -934,6 +937,7 @@ impl AutoBackend {
             Box::new(RayonBackend::new(Some(threads))),
             Box::new(BarrierBackend::new(threads)),
             Box::new(WorkStealingBackend::new(threads)),
+            Box::new(crate::sharded::ShardedBackend::new(threads)),
         ])
     }
 
@@ -1139,7 +1143,7 @@ mod tests {
         let b = solve_with(&mut auto, 50);
         assert_eq!(a, b);
         let name = auto.selected().expect("probe must lock in");
-        assert!(["serial", "rayon", "barrier", "worksteal"].contains(&name));
+        assert!(["serial", "rayon", "barrier", "worksteal", "sharded"].contains(&name));
         assert!(!auto.probe_report().is_empty());
         assert!(auto.probe_report().iter().all(|&(_, s)| s > 0.0));
         // The probe picks the argmin of its own report.
@@ -1279,6 +1283,7 @@ mod tests {
         assert_eq!(AsyncBackend::new(2).name(), "async");
         assert_eq!(WorkStealingBackend::new(2).name(), "worksteal");
         assert_eq!(AutoBackend::new(2).name(), "auto");
+        assert_eq!(crate::sharded::ShardedBackend::new(2).name(), "sharded");
     }
 
     #[test]

@@ -327,6 +327,13 @@ pub fn split_factor_blocks<'a>(graph: &FactorGraph, mut data: &'a mut [f64]) -> 
 /// items over arbitrary middle parts, leaving leading Barrier workers
 /// spinning at every phase barrier with no work while loaded workers sat
 /// further down the thread list.
+///
+/// This is the single balanced-split helper shared by every static
+/// partitioner: the barrier backend's per-thread sweep ranges and the
+/// sharded backend's halo-reduce tiling both call it, so the
+/// front-loading regression tests below guard both call sites (the
+/// sharded one additionally via
+/// `sharded::tests::more_shards_than_halo_vars_front_loads_reduce`).
 #[inline]
 pub fn assign_range(n_items: usize, part: usize, n_parts: usize) -> (usize, usize) {
     debug_assert!(part < n_parts, "part {part} out of range for {n_parts}");

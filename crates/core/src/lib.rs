@@ -26,6 +26,9 @@
 //! * [`WorkStealingBackend`] — persistent workers claiming chunks from a
 //!   shared atomic work index, with a fused u+n sweep (one barrier fewer
 //!   per iteration; fixes approach #2's static-range straggler problem),
+//! * [`ShardedBackend`] — partition-local stores with one worker per
+//!   shard and a real per-iteration halo exchange (the paper's
+//!   multi-device future-work item 3, executed instead of priced),
 //! * [`AutoBackend`] — probes the synchronous backends on the actual
 //!   problem and locks in the fastest (the paper's "automatic tuning"
 //!   future-work made concrete),
@@ -49,6 +52,7 @@ pub mod naive;
 pub mod problem;
 pub mod residuals;
 pub mod scheduler;
+pub mod sharded;
 pub mod solver;
 pub mod timing;
 pub mod twa;
@@ -65,6 +69,7 @@ pub use paradmm_prox::{ProxCtx, ProxOp};
 pub use problem::AdmmProblem;
 pub use residuals::{Residuals, StoppingCriteria};
 pub use scheduler::Scheduler;
+pub use sharded::ShardedBackend;
 pub use solver::{Solver, SolverOptions, SolverReport, StopReason};
 pub use timing::UpdateTimings;
 pub use twa::{TwaWeights, WeightClass};

@@ -50,7 +50,15 @@ pub enum Scheduler {
         /// Number of persistent workers.
         threads: usize,
     },
-    /// Probe-and-lock auto-selection over the four synchronous CPU
+    /// Partition-local shard workers with a real per-iteration halo
+    /// exchange (the paper's multi-device future-work item 3) —
+    /// [`crate::ShardedBackend`]. Bit-identical to [`SerialBackend`].
+    Sharded {
+        /// Number of shards (= worker threads); the factor graph is
+        /// split by BFS region growing on first use.
+        parts: usize,
+    },
+    /// Probe-and-lock auto-selection over the five synchronous CPU
     /// backends — [`AutoBackend`]. Bit-identical to [`SerialBackend`]
     /// (every default candidate is).
     Auto {
@@ -69,6 +77,7 @@ impl Scheduler {
             Scheduler::Barrier { threads } => Box::new(BarrierBackend::new(threads)),
             Scheduler::Async { threads } => Box::new(AsyncBackend::new(threads)),
             Scheduler::WorkSteal { threads } => Box::new(WorkStealingBackend::new(threads)),
+            Scheduler::Sharded { parts } => Box::new(crate::sharded::ShardedBackend::new(parts)),
             Scheduler::Auto { threads } => Box::new(AutoBackend::new(threads)),
         }
     }
@@ -160,6 +169,7 @@ mod tests {
         assert_eq!(solve_with(Scheduler::Rayon { threads: None }, 100), serial);
         assert_eq!(solve_with(Scheduler::Barrier { threads: 3 }, 100), serial);
         assert_eq!(solve_with(Scheduler::WorkSteal { threads: 3 }, 100), serial);
+        assert_eq!(solve_with(Scheduler::Sharded { parts: 2 }, 100), serial);
         assert_eq!(solve_with(Scheduler::Auto { threads: 2 }, 100), serial);
     }
 
@@ -178,6 +188,10 @@ mod tests {
         assert_eq!(
             Scheduler::WorkSteal { threads: 2 }.to_backend().name(),
             "worksteal"
+        );
+        assert_eq!(
+            Scheduler::Sharded { parts: 2 }.to_backend().name(),
+            "sharded"
         );
         assert_eq!(Scheduler::Auto { threads: 2 }.to_backend().name(), "auto");
     }

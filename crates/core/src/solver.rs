@@ -448,7 +448,37 @@ mod tests {
         assert_eq!(serial, run_with(Scheduler::Rayon { threads: Some(2) }));
         assert_eq!(serial, run_with(Scheduler::Barrier { threads: 2 }));
         assert_eq!(serial, run_with(Scheduler::WorkSteal { threads: 2 }));
+        assert_eq!(serial, run_with(Scheduler::Sharded { parts: 2 }));
         assert_eq!(serial, run_with(Scheduler::Auto { threads: 2 }));
+    }
+
+    #[test]
+    fn sharded_solver_converges_with_residual_checks() {
+        // Residuals are computed from the global store between blocks;
+        // the sharded backend's scatter/gather must keep that store (and
+        // z_prev, which the dual residual reads) exact.
+        use crate::sharded::ShardedBackend;
+        let (g, p) = two_quadratics();
+        let problem = AdmmProblem::new(g, p, 1.0, 1.0);
+        let mut solver =
+            Solver::with_backend(problem, SolverOptions::default(), ShardedBackend::new(2));
+        let report = solver.run(1000);
+        assert_eq!(report.stop_reason, StopReason::Converged);
+        assert!(report.final_residuals.is_some());
+        let z = solver.store().z_var(VarId(0));
+        assert!((z[0] - 3.0).abs() < 1e-5, "z = {}", z[0]);
+
+        // Block-by-block residuals must match a serial solve exactly.
+        let (g2, p2) = two_quadratics();
+        let mut serial = Solver::new(g2, p2, SolverOptions::default());
+        let serial_report = serial.run(1000);
+        assert_eq!(report.iterations, serial_report.iterations);
+        let (a, b) = (
+            report.final_residuals.unwrap(),
+            serial_report.final_residuals.unwrap(),
+        );
+        assert_eq!(a.primal, b.primal);
+        assert_eq!(a.dual, b.dual);
     }
 
     #[test]
@@ -462,7 +492,7 @@ mod tests {
         let report = solver.run(500);
         assert_eq!(report.stop_reason, StopReason::Converged);
         let selected = solver.backend().selected().expect("probe ran");
-        assert!(["serial", "rayon", "barrier", "worksteal"].contains(&selected));
+        assert!(["serial", "rayon", "barrier", "worksteal", "sharded"].contains(&selected));
         assert!(!solver.backend().probe_report().is_empty());
     }
 

@@ -3,14 +3,19 @@
 //! Prices one ADMM iteration over `count` identical devices: each device
 //! runs the five kernels on its factor partition's tasks, then the
 //! devices exchange the *halo* variables (those touched by more than one
-//! part) over the host link — partial weighted sums gathered and the
-//! combined `z` broadcast back, 2 × |halo| × dims × 8 bytes per
-//! iteration. The model exposes the paper's implicit intuition: chain
-//! graphs (MPC) split almost freely, while dense graphs (packing's
-//! all-pairs collisions) put every variable in the halo and gain little.
+//! part) over the host link — weighted `ρ·(x+u)` messages gathered per
+//! incident edge and the combined `z` broadcast back to every replica.
+//! The exchange volume is computed from the **same**
+//! [`HaloExchangePlan`] the real sharded execution backend
+//! (`paradmm_core::ShardedBackend`) walks, so model-predicted bytes and
+//! executed bytes are directly comparable (the `ablation_sharded` bench
+//! asserts they agree). The model exposes the paper's implicit
+//! intuition: chain graphs (MPC) split almost freely, while dense graphs
+//! (packing's all-pairs collisions) put every variable in the halo and
+//! gain little.
 
 use paradmm_core::UpdateKind;
-use paradmm_graph::{FactorGraph, Partition};
+use paradmm_graph::{FactorGraph, HaloExchangePlan, Partition};
 
 use crate::device::SimtDevice;
 use crate::tasks::{TaskCost, WorkloadProfile};
@@ -36,6 +41,9 @@ pub struct MultiIteration {
     pub exchange_seconds: f64,
     /// Number of halo variables.
     pub halo_vars: usize,
+    /// Predicted exchange bytes per iteration (gather + broadcast),
+    /// derived from the shared [`HaloExchangePlan`].
+    pub exchange_bytes: usize,
     /// Per-part kernel seconds.
     pub per_part: Vec<f64>,
 }
@@ -109,20 +117,33 @@ impl MultiDevice {
             .collect();
         let compute = per_part.iter().cloned().fold(0.0, f64::max);
 
-        let halo = partition.halo_vars(graph);
-        // Gather partial sums from every device owning a halo edge, then
-        // broadcast the combined z: 2 transfers of |halo|·d·8 bytes.
-        let exchange = if self.count > 1 && !halo.is_empty() {
-            2.0 * self.link.transfer_time(halo.len() as f64 * d as f64 * 8.0)
+        // Price the halo exchange from the same plan the real sharded
+        // backend executes: one gathered ρ·(x+u) message per halo-
+        // incident edge, one broadcast z per replica.
+        let plan = HaloExchangePlan::build(graph, partition);
+        let exchange = if self.count > 1 && plan.halo_var_count() > 0 {
+            self.link.transfer_time(plan.gather_doubles() as f64 * 8.0)
+                + self
+                    .link
+                    .transfer_time(plan.broadcast_doubles() as f64 * 8.0)
         } else {
             0.0
         };
+        debug_assert_eq!(d, plan.dims());
         MultiIteration {
             compute_seconds: compute,
             exchange_seconds: exchange,
-            halo_vars: halo.len(),
+            halo_vars: plan.halo_var_count(),
+            exchange_bytes: plan.bytes_per_iteration(),
             per_part,
         }
+    }
+
+    /// Exchange bytes per iteration this model predicts for `partition`
+    /// on `graph` — derived from the same [`HaloExchangePlan`] the real
+    /// sharded backend counts its measured bytes against.
+    pub fn predicted_exchange_bytes(&self, graph: &FactorGraph, partition: &Partition) -> usize {
+        HaloExchangePlan::build(graph, partition).bytes_per_iteration()
     }
 
     /// Speedup of this device group over a single device of the same kind.
@@ -226,6 +247,25 @@ mod tests {
             .map(|s| md.device.kernel_time(&s.tasks, 32).seconds)
             .sum();
         assert!((it.total() - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicted_exchange_bytes_come_from_the_shared_plan() {
+        let p = chain_problem(5_000);
+        let g = p.graph();
+        let profile = WorkloadProfile::from_problem(&p);
+        let part = Partition::grow(g, 2);
+        let md = MultiDevice::k40s(2);
+        let plan = HaloExchangePlan::build(g, &part);
+        let predicted = md.predicted_exchange_bytes(g, &part);
+        assert_eq!(predicted, plan.bytes_per_iteration());
+        let it = md.iteration_time(g, &profile, &part);
+        assert_eq!(it.exchange_bytes, predicted);
+        assert!(it.exchange_seconds > 0.0);
+        // Gather ships one message per halo-incident edge, broadcast one
+        // z per replica — strictly more than the old 2·|halo| floor
+        // whenever a halo variable has degree > 1.
+        assert!(predicted >= 2 * it.halo_vars * g.dims() * 8);
     }
 
     #[test]

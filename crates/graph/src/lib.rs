@@ -30,6 +30,7 @@ pub mod ids;
 pub mod io;
 pub mod params;
 pub mod partition;
+pub mod shard;
 pub mod stats;
 pub mod store;
 
@@ -38,5 +39,6 @@ pub use graph::FactorGraph;
 pub use ids::{EdgeId, FactorId, VarId};
 pub use params::EdgeParams;
 pub use partition::Partition;
-pub use stats::GraphStats;
+pub use shard::{HaloExchangePlan, HaloReduceTask, HaloVarPlan, Shard, ShardedStore};
+pub use stats::{GraphStats, PartitionStats};
 pub use store::VarStore;

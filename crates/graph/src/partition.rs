@@ -127,6 +127,26 @@ impl Partition {
         halo
     }
 
+    /// Structural validity against `graph` (e.g. after deserialization):
+    /// one assignment per factor, every part index in range, at least one
+    /// part.
+    pub fn validate(&self, graph: &FactorGraph) -> Result<(), String> {
+        if self.parts == 0 {
+            return Err("partition must have at least one part".into());
+        }
+        if self.assignment.len() != graph.num_factors() {
+            return Err("assignment length disagrees with factor count".into());
+        }
+        if let Some(bad) = self
+            .assignment
+            .iter()
+            .position(|&p| p as usize >= self.parts)
+        {
+            return Err(format!("factor {bad} assigned to out-of-range part"));
+        }
+        Ok(())
+    }
+
     /// Load imbalance: max part edge-load over mean.
     pub fn imbalance(&self, graph: &FactorGraph) -> f64 {
         let loads = self.edge_loads(graph);
@@ -226,5 +246,23 @@ mod tests {
     #[should_panic(expected = "at least one part")]
     fn zero_parts_rejected() {
         let _ = Partition::grow(&chain(5), 0);
+    }
+
+    #[test]
+    fn validate_accepts_grow_and_rejects_corruption() {
+        let g = chain(20);
+        let p = Partition::grow(&g, 3);
+        assert!(p.validate(&g).is_ok());
+        let mut bad = p.clone();
+        bad.assignment[0] = 99;
+        assert!(bad.validate(&g).is_err());
+        let mut short = p.clone();
+        short.assignment.pop();
+        assert!(short.validate(&g).is_err());
+        let zero = Partition {
+            assignment: Vec::new(),
+            parts: 0,
+        };
+        assert!(zero.validate(&GraphBuilder::new(1).build()).is_err());
     }
 }

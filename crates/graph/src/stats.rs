@@ -8,6 +8,61 @@
 //! degree-grouped z-update scheduler.
 
 use crate::graph::FactorGraph;
+use crate::partition::Partition;
+
+/// Quality metrics of a factor partition — the numbers that decide
+/// whether a sharded run can beat a monolithic one: how many variables
+/// need an inter-shard exchange every iteration, how many edges feed
+/// those variables, and how evenly the compute is spread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionStats {
+    /// Number of parts.
+    pub parts: usize,
+    /// Variables touched by more than one part (each costs a per-
+    /// iteration halo exchange).
+    pub halo_vars: usize,
+    /// Edges whose target variable is a halo variable — every one ships
+    /// a weighted message in the gather phase.
+    pub cut_edges: usize,
+    /// Max per-part edge load over the ideal mean (1.0 = perfectly
+    /// balanced).
+    pub edge_balance: f64,
+    /// Per-part edge loads.
+    pub edge_loads: Vec<usize>,
+}
+
+impl PartitionStats {
+    /// Computes the metrics of `partition` over `graph`.
+    ///
+    /// # Panics
+    /// If the partition does not cover this graph's factors.
+    pub fn compute(graph: &FactorGraph, partition: &Partition) -> Self {
+        assert_eq!(
+            partition.assignment.len(),
+            graph.num_factors(),
+            "partition does not cover this graph's factors"
+        );
+        // Partition::halo_vars is the canonical halo definition — the
+        // same one the exchange plan and the sharded store build on.
+        let halo = partition.halo_vars(graph);
+        let mut is_halo = vec![false; graph.num_vars()];
+        for &b in &halo {
+            is_halo[b.idx()] = true;
+        }
+        let cut_edges = graph
+            .edges()
+            .filter(|&e| is_halo[graph.edge_var(e).idx()])
+            .count();
+        let halo_vars = halo.len();
+        PartitionStats {
+            parts: partition.parts,
+            halo_vars,
+            cut_edges,
+            edge_balance: partition.imbalance(graph),
+            edge_loads: partition.edge_loads(graph),
+        }
+    }
+}
 
 /// Summary statistics of a factor graph's shape.
 #[derive(Debug, Clone, PartialEq)]
@@ -198,5 +253,36 @@ mod tests {
         let groups = GraphStats::balanced_var_groups(&g, 1);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].len(), 4);
+    }
+
+    #[test]
+    fn partition_stats_on_chain() {
+        use crate::partition::Partition;
+        // 10 pairwise factors in a chain: a 2-way split has exactly one
+        // halo variable (the seam), whose two incident edges are cut.
+        let mut b = GraphBuilder::new(1);
+        let vs = b.add_vars(11);
+        for i in 0..10 {
+            b.add_factor(&[vs[i], vs[i + 1]]);
+        }
+        let g = b.build();
+        let p = Partition::grow(&g, 2);
+        let s = PartitionStats::compute(&g, &p);
+        assert_eq!(s.parts, 2);
+        assert_eq!(s.halo_vars, 1);
+        assert_eq!(s.cut_edges, 2);
+        assert_eq!(s.edge_loads.iter().sum::<usize>(), g.num_edges());
+        assert!((s.edge_balance - p.imbalance(&g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_stats_single_part_has_no_cut() {
+        use crate::partition::Partition;
+        let g = star(5);
+        let p = Partition::grow(&g, 1);
+        let s = PartitionStats::compute(&g, &p);
+        assert_eq!(s.halo_vars, 0);
+        assert_eq!(s.cut_edges, 0);
+        assert_eq!(s.edge_loads, vec![g.num_edges()]);
     }
 }

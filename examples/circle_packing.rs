@@ -5,14 +5,19 @@
 //! and constraint violations, and renders the layout as ASCII art.
 //!
 //! Run: `cargo run --release --example circle_packing [N]
-//! [serial|rayon|barrier|worksteal|auto]`
+//! [serial|rayon|barrier|worksteal|sharded|auto]`
 //!
 //! `worksteal` claims chunks of every sweep from a shared atomic work
-//! index; `auto` probes all four synchronous backends on the actual
-//! problem for a few iterations and locks in the fastest.
+//! index; `sharded` splits the factor graph into partition-local stores
+//! (one worker per shard) with a real halo exchange per iteration —
+//! note packing's all-pairs collision factors put nearly every variable
+//! in the halo, the worst case for sharding; `auto` probes all five
+//! synchronous backends on the actual problem for a few iterations and
+//! locks in the fastest.
 
 use paradmm::core::{
-    AutoBackend, BarrierBackend, RayonBackend, SerialBackend, SweepExecutor, WorkStealingBackend,
+    AutoBackend, BarrierBackend, RayonBackend, SerialBackend, ShardedBackend, SweepExecutor,
+    WorkStealingBackend,
 };
 use paradmm::packing::{PackingConfig, PackingProblem, Polygon};
 
@@ -26,10 +31,11 @@ fn backend_by_name(name: &str) -> Box<dyn SweepExecutor> {
         "rayon" => Box::new(RayonBackend::new(None)),
         "barrier" => Box::new(BarrierBackend::new(threads)),
         "worksteal" => Box::new(WorkStealingBackend::new(threads)),
+        "sharded" => Box::new(ShardedBackend::new(threads)),
         "auto" => Box::new(AutoBackend::new(threads)),
         other => {
             eprintln!(
-                "unknown backend {other}; expected serial | rayon | barrier | worksteal | auto"
+                "unknown backend {other}; expected serial | rayon | barrier | worksteal | sharded | auto"
             );
             std::process::exit(2);
         }

@@ -1,12 +1,14 @@
 //! Backend-equivalence suite.
 //!
-//! The synchronous backends (serial, rayon, barrier, work-stealing, and
-//! auto — which locks in one of the former four) implement the same
-//! Jacobi-style Algorithm 2 schedule, so their iterates must be
+//! The synchronous backends (serial, rayon, barrier, work-stealing,
+//! sharded, and auto — which locks in one of the former five) implement
+//! the same Jacobi-style Algorithm 2 schedule, so their iterates must be
 //! **bit-identical** on every problem — the z-average per variable is
-//! deterministic regardless of how the sweeps are scheduled, and the
+//! deterministic regardless of how the sweeps are scheduled, the
 //! work-stealing backend's fused u+n sweep is edge-local, so fusion
-//! cannot change results either. This suite pins that contract on all
+//! cannot change results, and the sharded backend's halo exchange folds
+//! staged messages in ascending global edge order, replaying the serial
+//! z-update's exact floating-point association. This suite pins that contract on all
 //! three paper problem generators (packing, MPC, SVM) and on a
 //! degree-imbalanced hub graph whose static range splits straggle.
 //! [`AsyncBackend`] deliberately breaks the schedule (workers see
@@ -15,9 +17,9 @@
 
 use paradmm::core::{
     AdmmProblem, AsyncBackend, AutoBackend, BarrierBackend, RayonBackend, SerialBackend,
-    SweepExecutor, UpdateTimings, WorkStealingBackend,
+    ShardedBackend, SweepExecutor, UpdateTimings, WorkStealingBackend,
 };
-use paradmm::graph::VarStore;
+use paradmm::graph::{Partition, VarStore};
 use paradmm::mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
 use paradmm::packing::{PackingConfig, PackingProblem};
 use paradmm::svm::{gaussian_mixture, SvmConfig, SvmProblem};
@@ -71,7 +73,24 @@ fn assert_bit_identical_across_sync_backends(problem: &AdmmProblem, iters: usize
         );
         assert_matches(&ws_tiny, &format!("worksteal({threads}, chunk=2)"));
     }
-    // AutoBackend probes all four sync candidates on a clone and locks in
+    // Sharded execution: partition-local stores with a real halo
+    // exchange per iteration must replay the serial fold exactly, for
+    // both the BFS-grown partition and a contiguous one (whose halo
+    // variables interleave their edges across shards — the hard case
+    // for an ordered reduce).
+    for parts in [1usize, 2, 4] {
+        let sharded = run_from_seeded_state(problem, &mut ShardedBackend::new(parts), iters);
+        assert_matches(&sharded, &format!("sharded({parts})"));
+
+        let contiguous = Partition::contiguous(problem.graph(), parts);
+        let sharded_cont = run_from_seeded_state(
+            problem,
+            &mut ShardedBackend::with_partition(contiguous),
+            iters,
+        );
+        assert_matches(&sharded_cont, &format!("sharded({parts}, contiguous)"));
+    }
+    // AutoBackend probes all five sync candidates on a clone and locks in
     // one of them — whichever wins, iterates must match serial bitwise.
     let mut auto = AutoBackend::new(2);
     let auto_store = run_from_seeded_state(problem, &mut auto, iters);

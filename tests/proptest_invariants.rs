@@ -6,7 +6,9 @@ use proptest::prelude::*;
 use paradmm::core::{
     AdmmProblem, Residuals, Scheduler, SerialBackend, SweepExecutor, UpdateTimings,
 };
-use paradmm::graph::{EdgeParams, FactorGraph, GraphBuilder, GraphStats, VarId, VarStore};
+use paradmm::graph::{
+    EdgeParams, FactorGraph, GraphBuilder, GraphStats, Partition, PartitionStats, VarId, VarStore,
+};
 use paradmm::prox::{ConsensusEqualityProx, ProxCtx, ProxOp, QuadraticProx, ZeroProx};
 
 /// Strategy: a random factor graph with `dims`, up to `max_vars` variables
@@ -104,9 +106,72 @@ proptest! {
         let z_rayon = run(&pb, Scheduler::Rayon { threads: Some(threads) });
         let z_barrier = run(&pc, Scheduler::Barrier { threads });
         let z_worksteal = run(&pd, Scheduler::WorkSteal { threads });
+        let z_sharded = run(&make(), Scheduler::Sharded { parts: threads });
         prop_assert_eq!(&z_serial, &z_rayon);
         prop_assert_eq!(&z_serial, &z_barrier);
         prop_assert_eq!(&z_serial, &z_worksteal);
+        prop_assert_eq!(&z_serial, &z_sharded);
+    }
+
+    /// `Partition::grow` invariants on arbitrary (frequently
+    /// disconnected) topologies: every factor assigned exactly once to
+    /// an in-range part, per-part edge loads within 2× of the ideal
+    /// budget (or of the largest indivisible factor), and `parts == 1`
+    /// always yields the single part 0 — the guard on the
+    /// `queue.clear()` frontier-discard path.
+    #[test]
+    fn partition_grow_invariants(g in arb_graph(10, 14), parts in 1usize..6) {
+        let p = Partition::grow(&g, parts);
+        prop_assert_eq!(p.parts, parts);
+        prop_assert_eq!(p.assignment.len(), g.num_factors());
+        prop_assert!(p.assignment.iter().all(|&a| (a as usize) < parts));
+        prop_assert!(p.validate(&g).is_ok());
+
+        let loads = p.edge_loads(&g);
+        prop_assert_eq!(loads.iter().sum::<usize>(), g.num_edges());
+        let budget = g.num_edges().div_ceil(parts).max(1);
+        let max_degree = g.factors().map(|a| g.factor_degree(a)).max().unwrap_or(0);
+        for (i, &load) in loads.iter().enumerate() {
+            prop_assert!(
+                load <= 2 * budget.max(max_degree),
+                "part {} load {} exceeds 2x budget {} (max factor degree {})",
+                i, load, budget, max_degree
+            );
+        }
+
+        if parts == 1 {
+            prop_assert!(p.assignment.iter().all(|&a| a == 0));
+            prop_assert!(p.halo_vars(&g).is_empty());
+        }
+
+        // Quality metrics agree with the partition's own accounting.
+        let stats = PartitionStats::compute(&g, &p);
+        prop_assert_eq!(stats.halo_vars, p.halo_vars(&g).len());
+        prop_assert_eq!(stats.edge_loads, loads);
+        prop_assert!(stats.cut_edges >= stats.halo_vars);
+    }
+
+    /// The partition codec round-trips every grown partition against its
+    /// graph and rejects truncation at every cut point.
+    #[test]
+    fn partition_codec_roundtrip_and_truncation(
+        g in arb_graph(8, 10),
+        parts in 1usize..5,
+        frac in 0.0f64..1.0,
+    ) {
+        use paradmm::graph::io::{decode_partition, encode_partition};
+        let p = Partition::grow(&g, parts);
+        let mut buf = Vec::new();
+        encode_partition(&p, &mut buf);
+        let back = decode_partition(&buf, &g).unwrap();
+        prop_assert_eq!(back.parts, p.parts);
+        prop_assert_eq!(&back.assignment, &p.assignment);
+
+        let cut = (buf.len() as f64 * frac) as usize;
+        if cut < buf.len() {
+            prop_assert!(decode_partition(&buf[..cut], &g).is_err());
+        }
+        prop_assert!(decode_partition(&buf[..buf.len() - 1], &g).is_err());
     }
 
     /// With f ≡ 0, the consensus z equals the ρ-weighted average of
