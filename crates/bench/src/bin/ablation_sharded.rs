@@ -21,26 +21,32 @@
 //! 10% of the model prediction everywhere.
 
 use paradmm_bench::{
-    all_pairs_problem, chain_problem, print_table, sharded_ablation, write_bench_json_with_meta,
-    ShardedAblation,
+    all_pairs_problem, chain_problem, parse_out_value, print_table, sharded_ablation,
+    write_bench_json_with_meta_to, ShardedAblation,
 };
 
 struct Args {
     smoke: bool,
     paper_scale: bool,
+    out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
         paper_scale: false,
+        out: None,
     };
-    for arg in std::env::args().skip(1) {
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => args.smoke = true,
             "--paper-scale" => args.paper_scale = true,
+            "--out" => args.out = Some(parse_out_value(&mut it)),
             "--help" | "-h" => {
-                println!("flags: --smoke (tiny sizes for CI), --paper-scale (larger sweeps)");
+                println!(
+                    "flags: --smoke (tiny sizes for CI), --paper-scale (larger sweeps), --out <path> (BENCH json destination)"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -136,7 +142,7 @@ fn main() {
         all_pass &= *pass;
     }
 
-    match write_bench_json_with_meta("sharded", &json_rows, &meta) {
+    match write_bench_json_with_meta_to(args.out.as_deref(), "sharded", &json_rows, &meta) {
         Ok(path) => println!("# machine-readable series written to {}", path.display()),
         Err(e) => eprintln!("# failed to write BENCH json: {e}"),
     }

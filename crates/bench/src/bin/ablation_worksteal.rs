@@ -20,8 +20,8 @@
 //! measured seconds/iteration.
 
 use paradmm_bench::{
-    imbalanced_problem, print_table, worksteal_ablation, write_bench_json, BenchJsonRow,
-    WorkstealAblation,
+    imbalanced_problem, parse_out_value, print_table, worksteal_ablation, write_bench_json_to,
+    BenchJsonRow, WorkstealAblation,
 };
 use paradmm_core::AdmmProblem;
 use paradmm_mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
@@ -33,6 +33,7 @@ struct Args {
     smoke: bool,
     paper_scale: bool,
     threads: usize,
+    out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -42,6 +43,7 @@ fn parse_args() -> Args {
         threads: std::thread::available_parallelism()
             .map(|v| v.get())
             .unwrap_or(2),
+        out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -58,9 +60,10 @@ fn parse_args() -> Args {
                         std::process::exit(2);
                     });
             }
+            "--out" => args.out = Some(parse_out_value(&mut it)),
             "--help" | "-h" => {
                 println!(
-                    "flags: --smoke (tiny sizes for CI), --paper-scale (larger sweeps), --threads N"
+                    "flags: --smoke (tiny sizes for CI), --paper-scale (larger sweeps), --threads N, --out <path> (BENCH json destination)"
                 );
                 std::process::exit(0);
             }
@@ -165,7 +168,7 @@ fn main() {
         all_pass &= *pass;
     }
 
-    match write_bench_json("worksteal", &json_rows) {
+    match write_bench_json_to(args.out.as_deref(), "worksteal", &json_rows) {
         Ok(path) => println!("# machine-readable series written to {}", path.display()),
         Err(e) => eprintln!("# failed to write BENCH json: {e}"),
     }

@@ -1,0 +1,185 @@
+//! CI perf-regression gate: diff fresh `BENCH_*.json` artefacts against
+//! the committed baselines and fail on regressions.
+//!
+//! ```text
+//! compare_bench --baseline bench/baselines --fresh bench/out \
+//!               [--max-regress 25] [--no-normalize]
+//! ```
+//!
+//! Both paths may be single files or directories; with directories,
+//! every `BENCH_*.json` in the baseline directory must have a fresh
+//! counterpart with the same file name (missing artefacts fail — losing
+//! coverage is a regression). Rows are matched by `(backend, size)` and
+//! gated on `seconds_per_iteration` (lower is better); meta keys ending
+//! in `_instances_per_sec` are gated on throughput (higher is better);
+//! other meta keys are reported but not gated.
+//!
+//! By default each entry is compared against the file's **median**
+//! worseness, so a uniformly slower CI runner shifts the median and
+//! trips nothing while a single backend regressing relative to its
+//! peers fails (see `paradmm_bench::compare` for the full rules).
+//! Exit status: 0 = pass, 1 = regression/missing data, 2 = usage error.
+
+use std::path::{Path, PathBuf};
+
+use paradmm_bench::compare::{compare_docs, parse_bench_doc, CompareOptions, Comparison};
+
+struct Args {
+    baseline: PathBuf,
+    fresh: PathBuf,
+    options: CompareOptions,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: compare_bench --baseline <file-or-dir> --fresh <file-or-dir> [--max-regress <pct>] [--no-normalize]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut options = CompareOptions::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = it.next().map(PathBuf::from),
+            "--fresh" => fresh = it.next().map(PathBuf::from),
+            "--max-regress" => {
+                let pct: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&p| p > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--max-regress needs a positive percentage");
+                        std::process::exit(2);
+                    });
+                options.max_regress = pct / 100.0;
+            }
+            "--no-normalize" => options.normalize = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    match (baseline, fresh) {
+        (Some(baseline), Some(fresh)) => Args {
+            baseline,
+            fresh,
+            options,
+        },
+        _ => usage(),
+    }
+}
+
+/// The `BENCH_*.json` files under `path` (or `path` itself), sorted.
+fn bench_files(path: &Path) -> Vec<PathBuf> {
+    if path.is_dir() {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(path)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            })
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect();
+        files.sort();
+        files
+    } else {
+        vec![path.to_path_buf()]
+    }
+}
+
+fn load(path: &Path) -> paradmm_bench::compare::BenchDoc {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    parse_bench_doc(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {}: {e}", path.display());
+        std::process::exit(2);
+    })
+}
+
+fn print_comparison(name: &str, cmp: &Comparison, options: &CompareOptions) {
+    println!(
+        "\n## {name} (median worseness {:.3}{})",
+        cmp.median_worseness,
+        if options.normalize {
+            ", normalized"
+        } else {
+            ", raw"
+        }
+    );
+    println!("entry,baseline,fresh,worseness,status");
+    for e in &cmp.entries {
+        let status = if !e.gated {
+            "info"
+        } else if e.regressed {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{},{:.4e},{:.4e},{:.3},{status}",
+            e.name, e.baseline, e.fresh, e.worseness
+        );
+    }
+    for m in &cmp.missing {
+        println!("{m},-,-,-,MISSING");
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let baseline_files = bench_files(&args.baseline);
+    if baseline_files.is_empty() {
+        eprintln!(
+            "no BENCH_*.json baselines under {}",
+            args.baseline.display()
+        );
+        std::process::exit(2);
+    }
+    let fresh_is_dir = args.fresh.is_dir();
+
+    let mut all_pass = true;
+    for base_path in &baseline_files {
+        let name = base_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("BENCH.json");
+        let fresh_path = if fresh_is_dir {
+            args.fresh.join(name)
+        } else {
+            args.fresh.clone()
+        };
+        if !fresh_path.is_file() {
+            println!(
+                "\n## {name}\nMISSING fresh artefact {}",
+                fresh_path.display()
+            );
+            all_pass = false;
+            continue;
+        }
+        let cmp = compare_docs(&load(base_path), &load(&fresh_path), &args.options);
+        print_comparison(name, &cmp, &args.options);
+        all_pass &= cmp.passed();
+    }
+
+    println!(
+        "\n# {}: perf gate vs {} baseline file(s) at {:.0}% tolerance",
+        if all_pass { "PASS" } else { "FAIL" },
+        baseline_files.len(),
+        args.options.max_regress * 100.0
+    );
+    if !all_pass {
+        std::process::exit(1);
+    }
+}

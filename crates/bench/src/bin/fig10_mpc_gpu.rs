@@ -5,7 +5,7 @@
 //! Also prints the §V-B x+z fraction claim (59% + 21% = 80% at K = 10⁵).
 
 use paradmm_bench::{
-    fmt_per_update, fmt_s, gpu_row, gpu_row_json, print_table, write_bench_json, FigArgs,
+    fmt_per_update, fmt_s, gpu_row, gpu_row_json, print_table, write_bench_json_to, FigArgs,
     KIND_LABELS,
 };
 use paradmm_gpusim::{CpuModel, SimtDevice};
@@ -71,7 +71,7 @@ fn main() {
         100.0 * (last_fraction[0] + last_fraction[2]),
     );
 
-    match write_bench_json("fig10_mpc_gpu", &json_rows) {
+    match write_bench_json_to(args.out.as_deref(), "fig10_mpc_gpu", &json_rows) {
         Ok(path) => println!("# machine-readable series written to {}", path.display()),
         Err(e) => eprintln!("# failed to write BENCH json: {e}"),
     }

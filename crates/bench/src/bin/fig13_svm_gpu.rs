@@ -5,7 +5,7 @@
 //! Also prints the §V-C x+z fraction claim (28% + 23% = 51%).
 
 use paradmm_bench::{
-    fmt_per_update, fmt_s, gpu_row, gpu_row_json, print_table, write_bench_json, FigArgs,
+    fmt_per_update, fmt_s, gpu_row, gpu_row_json, print_table, write_bench_json_to, FigArgs,
     KIND_LABELS,
 };
 use paradmm_gpusim::{CpuModel, SimtDevice};
@@ -75,7 +75,7 @@ fn main() {
         100.0 * (last_fraction[0] + last_fraction[2]),
     );
 
-    match write_bench_json("fig13_svm_gpu", &json_rows) {
+    match write_bench_json_to(args.out.as_deref(), "fig13_svm_gpu", &json_rows) {
         Ok(path) => println!("# machine-readable series written to {}", path.display()),
         Err(e) => eprintln!("# failed to write BENCH json: {e}"),
     }

@@ -1,0 +1,647 @@
+//! Perf-regression gate over `BENCH_*.json` artefacts.
+//!
+//! The bench bins emit machine-readable `BENCH_*.json` files; committed
+//! copies under `bench/baselines/` pin the expected performance, and
+//! the `compare_bench` binary diffs a fresh run against them, failing
+//! CI when a tracked quantity regresses by more than the tolerance.
+//!
+//! **Metric directions.** Rows carry `seconds_per_iteration` (lower is
+//! better); meta keys ending in `_instances_per_sec` carry throughput
+//! (higher is better). Both are folded into one *worseness* ratio
+//! (`> 1` = worse than baseline) so a single tolerance gates
+//! everything. Other meta keys (partition quality, byte counts,
+//! bit-identity flags) are reported but not gated — they are either
+//! deterministic (their own bin asserts them) or not performance.
+//!
+//! **Machine normalization.** The baseline was produced on *some*
+//! machine; CI runs on another. Comparing absolute times across hosts
+//! would fail on any hardware change, so by default the gate compares
+//! each entry's worseness against the **median** worseness of all gated
+//! entries in the same file: a uniformly 3×-slower runner moves the
+//! median to 3 and trips nothing, while one backend regressing relative
+//! to its peers still sticks out. The factor is clamped at 1 so
+//! improvements elsewhere never make an unchanged entry look regressed.
+//! `--no-normalize` compares raw ratios (for trend-tracking on one
+//! pinned machine).
+
+use crate::BenchJsonRow;
+
+/// Minimal JSON value — the bench artefacts are emitted by this crate's
+/// own writer, but the parser accepts any well-formed JSON so hand
+/// edits and future fields don't break the gate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} (found {:?})",
+            ch as char,
+            *pos,
+            b.get(*pos).map(|&c| c as char)
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                members.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("unknown escape \\{}", other as char)),
+                }
+            }
+            other => {
+                // Multi-byte UTF-8: copy the full sequence.
+                let len = match other {
+                    0x00..=0x7f => {
+                        out.push(other as char);
+                        continue;
+                    }
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let start = *pos - 1;
+                let chunk = b
+                    .get(start..start + len)
+                    .and_then(|s| std::str::from_utf8(s).ok())
+                    .ok_or("invalid utf-8 in string")?;
+                out.push_str(chunk);
+                *pos = start + len;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// A parsed `BENCH_*.json` document.
+#[derive(Debug, Clone)]
+pub struct BenchDoc {
+    /// The `"figure"` field.
+    pub figure: String,
+    /// The `"rows"` array.
+    pub rows: Vec<BenchJsonRow>,
+    /// The flat `"meta"` object (empty when absent).
+    pub meta: Vec<(String, f64)>,
+}
+
+/// Parses a bench artefact emitted by
+/// [`crate::bench_json_string_with_meta`].
+pub fn parse_bench_doc(text: &str) -> Result<BenchDoc, String> {
+    let root = parse_json(text)?;
+    let figure = root
+        .get("figure")
+        .and_then(Json::as_str)
+        .ok_or("missing \"figure\"")?
+        .to_string();
+    let rows_json = match root.get("rows") {
+        Some(Json::Arr(items)) => items.as_slice(),
+        _ => return Err("missing \"rows\" array".into()),
+    };
+    let mut rows = Vec::with_capacity(rows_json.len());
+    for (i, r) in rows_json.iter().enumerate() {
+        let field = |k: &str| {
+            r.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("row {i}: missing numeric \"{k}\""))
+        };
+        rows.push(BenchJsonRow {
+            size: field("size")? as usize,
+            edges: field("edges")? as usize,
+            backend: r
+                .get("backend")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("row {i}: missing \"backend\""))?
+                .to_string(),
+            seconds_per_iteration: field("seconds_per_iteration")?,
+        });
+    }
+    let mut meta = Vec::new();
+    if let Some(Json::Obj(members)) = root.get("meta") {
+        for (k, v) in members {
+            meta.push((
+                k.clone(),
+                v.as_f64()
+                    .ok_or_else(|| format!("meta \"{k}\" not numeric"))?,
+            ));
+        }
+    }
+    Ok(BenchDoc { figure, rows, meta })
+}
+
+/// Gate configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareOptions {
+    /// Allowed worseness over the (normalized) baseline: `0.25` fails
+    /// anything more than 25% worse.
+    pub max_regress: f64,
+    /// Divide each entry's worseness by the file's median worseness
+    /// before gating (machine-speed normalization, see module docs).
+    pub normalize: bool,
+}
+
+impl Default for CompareOptions {
+    fn default() -> Self {
+        CompareOptions {
+            max_regress: 0.25,
+            normalize: true,
+        }
+    }
+}
+
+/// One matched quantity.
+#[derive(Debug, Clone)]
+pub struct CompareEntry {
+    /// `row:<backend>@<size>` or `meta:<key>`.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Fresh value.
+    pub fresh: f64,
+    /// Direction-folded worseness ratio (`> 1` = worse than baseline).
+    pub worseness: f64,
+    /// Whether this entry participates in the gate.
+    pub gated: bool,
+    /// Whether this entry regressed (after normalization).
+    pub regressed: bool,
+}
+
+/// Outcome of diffing one fresh document against its baseline.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// All matched quantities, baseline order.
+    pub entries: Vec<CompareEntry>,
+    /// Baseline quantities with no fresh counterpart (each one fails
+    /// the gate — losing coverage is a regression).
+    pub missing: Vec<String>,
+    /// Median worseness of the gated entries (the machine-speed factor
+    /// the gate divides by when normalizing; `1.0` when not).
+    pub median_worseness: f64,
+}
+
+impl Comparison {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.entries.iter().all(|e| !e.regressed)
+    }
+
+    /// Names of regressed entries.
+    pub fn regressions(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|e| e.regressed)
+            .map(|e| e.name.as_str())
+            .collect()
+    }
+}
+
+/// Whether a meta key is a throughput quantity (higher is better,
+/// gated).
+///
+/// In `BENCH_batch.json` each throughput meta is the same wall-clock
+/// measurement as its seconds-per-solve row, inverted; both stay gated
+/// (the gate's contract names both metrics) and the 1:1 pairing keeps
+/// the duplication weight-neutral for the median — a regressed
+/// measurement simply reports under both names.
+fn is_throughput_key(key: &str) -> bool {
+    key.ends_with("_instances_per_sec")
+}
+
+/// Matching key for a row's backend label: `AutoBackend` rows embed the
+/// probe's pick (`auto:serial`, `auto:worksteal`, …), which legitimately
+/// differs between hosts — a multicore CI runner picks a parallel
+/// candidate where a single-core baseline machine picked serial. Those
+/// all match as plain `auto`; what is gated is auto's measured cost, not
+/// its choice.
+fn canonical_backend(name: &str) -> String {
+    match name.find("auto:") {
+        Some(i) => format!("{}auto", &name[..i]),
+        None => name.to_string(),
+    }
+}
+
+/// Diffs `fresh` against `baseline` (documents from
+/// [`parse_bench_doc`]), matching rows by `(backend, size)` and meta by
+/// key.
+pub fn compare_docs(baseline: &BenchDoc, fresh: &BenchDoc, opts: &CompareOptions) -> Comparison {
+    let mut entries = Vec::new();
+    let mut missing = Vec::new();
+
+    for b in &baseline.rows {
+        let backend = canonical_backend(&b.backend);
+        let name = format!("row:{backend}@{}", b.size);
+        match fresh
+            .rows
+            .iter()
+            .find(|f| canonical_backend(&f.backend) == backend && f.size == b.size)
+        {
+            None => missing.push(name),
+            Some(f) => {
+                let (base, got) = (b.seconds_per_iteration, f.seconds_per_iteration);
+                let ok = base.is_finite() && got.is_finite() && base > 0.0 && got > 0.0;
+                entries.push(CompareEntry {
+                    name,
+                    baseline: base,
+                    fresh: got,
+                    worseness: if ok { got / base } else { 1.0 },
+                    gated: ok,
+                    regressed: false,
+                });
+            }
+        }
+    }
+    for (key, base) in &baseline.meta {
+        let name = format!("meta:{key}");
+        match fresh.meta.iter().find(|(k, _)| k == key) {
+            None => missing.push(name),
+            Some((_, got)) => {
+                let throughput = is_throughput_key(key);
+                let ok =
+                    throughput && base.is_finite() && got.is_finite() && *base > 0.0 && *got > 0.0;
+                entries.push(CompareEntry {
+                    name,
+                    baseline: *base,
+                    fresh: *got,
+                    // Throughput: higher is better, so worseness inverts.
+                    worseness: if ok { base / got } else { 1.0 },
+                    gated: ok,
+                    regressed: false,
+                });
+            }
+        }
+    }
+
+    let mut gated: Vec<f64> = entries
+        .iter()
+        .filter(|e| e.gated)
+        .map(|e| e.worseness)
+        .collect();
+    gated.sort_by(f64::total_cmp);
+    let median = if gated.is_empty() {
+        1.0
+    } else if gated.len() % 2 == 1 {
+        gated[gated.len() / 2]
+    } else {
+        0.5 * (gated[gated.len() / 2 - 1] + gated[gated.len() / 2])
+    };
+    // Clamp the machine-speed factor at 1: a slower host raises the
+    // bar for everyone, but improvements elsewhere in the file must
+    // never make an unchanged entry look regressed (and a faster host
+    // never tightens the tolerance below the raw ratio).
+    let scale = if opts.normalize { median.max(1.0) } else { 1.0 };
+    for e in &mut entries {
+        e.regressed = e.gated && e.worseness > scale * (1.0 + opts.max_regress);
+    }
+    Comparison {
+        entries,
+        missing,
+        median_worseness: median,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bench_json_string_with_meta, BenchJsonRow};
+
+    fn doc(times: &[(&str, f64)], meta: &[(&str, f64)]) -> BenchDoc {
+        let rows: Vec<BenchJsonRow> = times
+            .iter()
+            .map(|(name, s)| BenchJsonRow {
+                size: 10,
+                edges: 20,
+                backend: (*name).to_string(),
+                seconds_per_iteration: *s,
+            })
+            .collect();
+        let meta: Vec<(String, f64)> = meta.iter().map(|(k, v)| ((*k).to_string(), *v)).collect();
+        let text = bench_json_string_with_meta("t", &rows, &meta);
+        parse_bench_doc(&text).unwrap()
+    }
+
+    #[test]
+    fn roundtrips_through_the_writer() {
+        let d = doc(
+            &[("serial", 1.25e-4), ("work\"steal", 3.5e-5)],
+            &[("x/batched_instances_per_sec", 412.0), ("x/halo_vars", 7.0)],
+        );
+        assert_eq!(d.figure, "t");
+        assert_eq!(d.rows.len(), 2);
+        assert_eq!(d.rows[1].backend, "work\"steal");
+        assert_eq!(d.rows[0].seconds_per_iteration, 1.25e-4);
+        assert_eq!(d.meta.len(), 2);
+        assert_eq!(d.meta[0].1, 412.0);
+    }
+
+    #[test]
+    fn parser_handles_plain_json_forms() {
+        let v = parse_json(r#"{"a": [1, -2.5e3, true, false, null, "sA"], "b": {}}"#).unwrap();
+        let arr = match v.get("a") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(arr[0], Json::Num(1.0));
+        assert_eq!(arr[1], Json::Num(-2500.0));
+        assert_eq!(arr[5], Json::Str("sA".into()));
+        assert!(parse_json("{oops}").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("[1] x").is_err());
+    }
+
+    #[test]
+    fn identical_docs_pass() {
+        let base = doc(&[("serial", 1e-3), ("worksteal", 4e-4)], &[]);
+        let cmp = compare_docs(&base, &base, &CompareOptions::default());
+        assert!(cmp.passed());
+        assert_eq!(cmp.median_worseness, 1.0);
+    }
+
+    #[test]
+    fn uniform_machine_slowdown_is_normalized_away() {
+        let base = doc(
+            &[("serial", 1e-3), ("worksteal", 4e-4), ("barrier", 2e-3)],
+            &[],
+        );
+        let fresh = doc(
+            &[("serial", 3e-3), ("worksteal", 1.2e-3), ("barrier", 6e-3)],
+            &[],
+        );
+        let cmp = compare_docs(&base, &fresh, &CompareOptions::default());
+        assert!(
+            cmp.passed(),
+            "3× slower everywhere is a slower machine, not a regression"
+        );
+        assert!((cmp.median_worseness - 3.0).abs() < 1e-12);
+        // The same diff with normalization off fails everything.
+        let raw = compare_docs(
+            &base,
+            &fresh,
+            &CompareOptions {
+                normalize: false,
+                ..CompareOptions::default()
+            },
+        );
+        assert!(!raw.passed());
+        assert_eq!(raw.regressions().len(), 3);
+    }
+
+    #[test]
+    fn single_backend_regression_sticks_out() {
+        let base = doc(
+            &[("serial", 1e-3), ("worksteal", 4e-4), ("barrier", 2e-3)],
+            &[],
+        );
+        let fresh = doc(
+            &[("serial", 1e-3), ("worksteal", 8e-4), ("barrier", 2e-3)],
+            &[],
+        );
+        let cmp = compare_docs(&base, &fresh, &CompareOptions::default());
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions(), vec!["row:worksteal@10"]);
+    }
+
+    #[test]
+    fn throughput_meta_direction_is_inverted() {
+        let base = doc(
+            &[("serial", 1e-3)],
+            &[("m/batched_instances_per_sec", 400.0), ("m/halo_vars", 7.0)],
+        );
+        // Throughput halves (worse), halo_vars doubles (not gated).
+        let fresh = doc(
+            &[("serial", 1e-3)],
+            &[
+                ("m/batched_instances_per_sec", 200.0),
+                ("m/halo_vars", 14.0),
+            ],
+        );
+        let cmp = compare_docs(&base, &fresh, &CompareOptions::default());
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions(), vec!["meta:m/batched_instances_per_sec"]);
+        // And improving throughput passes.
+        let better = doc(
+            &[("serial", 1e-3)],
+            &[("m/batched_instances_per_sec", 800.0), ("m/halo_vars", 7.0)],
+        );
+        assert!(compare_docs(&base, &better, &CompareOptions::default()).passed());
+    }
+
+    #[test]
+    fn missing_coverage_fails() {
+        let base = doc(
+            &[("serial", 1e-3), ("worksteal", 4e-4)],
+            &[("k_instances_per_sec", 5.0)],
+        );
+        let fresh = doc(&[("serial", 1e-3)], &[]);
+        let cmp = compare_docs(&base, &fresh, &CompareOptions::default());
+        assert!(!cmp.passed());
+        assert_eq!(cmp.missing.len(), 2);
+        // Extra fresh rows are fine.
+        let wide = doc(
+            &[("serial", 1e-3), ("worksteal", 4e-4), ("new", 1.0)],
+            &[("k_instances_per_sec", 5.0)],
+        );
+        assert!(compare_docs(&base, &wide, &CompareOptions::default()).passed());
+    }
+
+    #[test]
+    fn auto_rows_match_across_different_picks() {
+        let base = doc(&[("svm/auto:serial", 1e-3), ("svm/serial", 1e-3)], &[]);
+        let fresh = doc(&[("svm/auto:worksteal", 1e-3), ("svm/serial", 1e-3)], &[]);
+        let cmp = compare_docs(&base, &fresh, &CompareOptions::default());
+        assert!(
+            cmp.passed(),
+            "{:?} missing {:?}",
+            cmp.regressions(),
+            cmp.missing
+        );
+        assert!(cmp.entries.iter().any(|e| e.name == "row:svm/auto@10"));
+    }
+
+    #[test]
+    fn improvements_do_not_penalize_unchanged_peers() {
+        // Most entries got 2× faster; one is unchanged. The unchanged
+        // one must not regress just because the median moved below 1.
+        let base = doc(&[("a", 1.0), ("b", 1.0), ("c", 1.0)], &[]);
+        let fresh = doc(&[("a", 0.5), ("b", 0.5), ("c", 1.0)], &[]);
+        let cmp = compare_docs(&base, &fresh, &CompareOptions::default());
+        assert!(cmp.passed(), "{:?}", cmp.regressions());
+    }
+
+    #[test]
+    fn tolerance_boundary() {
+        let base = doc(&[("a", 1.0), ("b", 1.0), ("c", 1.0)], &[]);
+        // One entry 20% worse: inside the 25% band around the median 1.0.
+        let ok = doc(&[("a", 1.2), ("b", 1.0), ("c", 1.0)], &[]);
+        assert!(compare_docs(&base, &ok, &CompareOptions::default()).passed());
+        // One entry 30% worse: outside.
+        let bad = doc(&[("a", 1.3), ("b", 1.0), ("c", 1.0)], &[]);
+        assert!(!compare_docs(&base, &bad, &CompareOptions::default()).passed());
+    }
+}

@@ -15,12 +15,15 @@
 //! `--paper-scale` to extend sweeps toward the paper's full sizes (more
 //! memory / time).
 
+pub mod compare;
+
 use std::io::Write as _;
 use std::time::Instant;
 
 use paradmm_core::{
-    AdmmProblem, AutoBackend, BarrierBackend, RayonBackend, SerialBackend, ShardedBackend,
-    SweepExecutor, UpdateKind, UpdateTimings, WorkStealingBackend,
+    AdmmProblem, AutoBackend, BarrierBackend, BatchSolver, RayonBackend, Scheduler, SerialBackend,
+    ShardedBackend, Solver, SolverOptions, StoppingCriteria, SweepExecutor, UpdateKind,
+    UpdateTimings, WorkStealingBackend,
 };
 use paradmm_gpusim::{CpuModel, GpuAdmmEngine, MultiDevice, SimtDevice, WorkloadProfile};
 use paradmm_graph::{Partition, PartitionStats, VarStore};
@@ -226,25 +229,31 @@ pub struct FigArgs {
     /// unscaled model is the faithful denominator; `--calibrate` answers
     /// "what would the K40 buy over *my* CPU".
     pub calibrate: bool,
+    /// Destination override for the `BENCH_*.json` artefact (`--out`);
+    /// `None` keeps the legacy `BENCH_<figure>.json` in the CWD.
+    pub out: Option<std::path::PathBuf>,
 }
 
 impl FigArgs {
-    /// Parses `--paper-scale` / `--tune` / `--calibrate` from
-    /// `std::env::args`.
+    /// Parses `--paper-scale` / `--tune` / `--calibrate` / `--out <path>`
+    /// from `std::env::args`.
     pub fn parse() -> Self {
         let mut a = FigArgs {
             paper_scale: false,
             tune: false,
             calibrate: false,
+            out: None,
         };
-        for arg in std::env::args().skip(1) {
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--paper-scale" => a.paper_scale = true,
                 "--tune" => a.tune = true,
                 "--calibrate" => a.calibrate = true,
+                "--out" => a.out = Some(parse_out_value(&mut it)),
                 "--help" | "-h" => {
                     println!(
-                        "flags: --paper-scale (full paper problem sizes), --tune (auto-tune ntb), --calibrate (anchor CPU model to this host)"
+                        "flags: --paper-scale (full paper problem sizes), --tune (auto-tune ntb), --calibrate (anchor CPU model to this host), --out <path> (BENCH json destination file or directory; default: BENCH_<figure>.json in the CWD)"
                     );
                     std::process::exit(0);
                 }
@@ -325,10 +334,69 @@ pub fn write_bench_json_with_meta(
     rows: &[BenchJsonRow],
     meta: &[(String, f64)],
 ) -> std::io::Result<std::path::PathBuf> {
-    let path = std::path::PathBuf::from(format!("BENCH_{figure}.json"));
+    write_bench_json_with_meta_to(None, figure, rows, meta)
+}
+
+/// [`write_bench_json`] with an explicit destination — the `--out` flag
+/// every JSON-writing bench bin shares, so CI and local runs stop
+/// clobbering each other's artefacts in the CWD.
+pub fn write_bench_json_to(
+    out: Option<&std::path::Path>,
+    figure: &str,
+    rows: &[BenchJsonRow],
+) -> std::io::Result<std::path::PathBuf> {
+    write_bench_json_with_meta_to(out, figure, rows, &[])
+}
+
+/// [`write_bench_json_with_meta`] with an explicit destination:
+///
+/// * `None` — legacy behaviour, `BENCH_<figure>.json` in the CWD;
+/// * `Some(dir)` (existing directory, or a path ending in `/`) —
+///   `BENCH_<figure>.json` inside that directory;
+/// * `Some(file)` — exactly that file.
+///
+/// Parent directories are created as needed.
+pub fn write_bench_json_with_meta_to(
+    out: Option<&std::path::Path>,
+    figure: &str,
+    rows: &[BenchJsonRow],
+    meta: &[(String, f64)],
+) -> std::io::Result<std::path::PathBuf> {
+    let default_name = format!("BENCH_{figure}.json");
+    let path = match out {
+        None => std::path::PathBuf::from(&default_name),
+        Some(p) => {
+            let is_dir = p.is_dir()
+                || p.as_os_str()
+                    .to_string_lossy()
+                    .ends_with(std::path::MAIN_SEPARATOR);
+            if is_dir {
+                p.join(&default_name)
+            } else {
+                p.to_path_buf()
+            }
+        }
+    };
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
     let mut f = std::fs::File::create(&path)?;
     f.write_all(bench_json_string_with_meta(figure, rows, meta).as_bytes())?;
     Ok(path)
+}
+
+/// Pulls the value of an `--out` flag from an argument iterator (shared
+/// by the bins that hand-roll their CLI parsing).
+pub fn parse_out_value(it: &mut impl Iterator<Item = String>) -> std::path::PathBuf {
+    match it.next() {
+        Some(v) if !v.starts_with('-') => std::path::PathBuf::from(v),
+        _ => {
+            eprintln!("--out needs a path (file, or directory for the default file name)");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// The JSON document [`write_bench_json`] emits, as a string.
@@ -650,6 +718,207 @@ pub fn sharded_ablation(
     ShardedAblation { rows, meta, points }
 }
 
+/// `n` small independent MPC instances (dims = 5): horizons cycle
+/// through `base_horizon .. base_horizon+4` (mixed sizes, so batched
+/// early-exit freezing has stragglers) and each instance gets its own
+/// deterministic initial state — one pendulum per user.
+pub fn many_mpc(n: usize, base_horizon: usize) -> Vec<AdmmProblem> {
+    use paradmm_mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
+    (0..n)
+        .map(|i| {
+            let t = i as f64 * 0.37;
+            let mut cfg = MpcConfig::new(base_horizon + (i % 5));
+            cfg.q0 = [
+                0.1 + 0.05 * t.sin(),
+                0.02 * t.cos(),
+                0.05 - 0.03 * (1.3 * t).sin(),
+                0.01 * (0.7 * t).cos(),
+            ];
+            let (_, admm) = MpcProblem::build(cfg, paper_plant());
+            admm
+        })
+        .collect()
+}
+
+/// `n` small independent 4×4 Sudoku instances (dims = 4): each blanks a
+/// different 5-cell pattern of one solved base grid — one puzzle per
+/// request.
+pub fn many_sudoku(n: usize) -> Vec<AdmmProblem> {
+    use paradmm_sudoku::{Grid, SudokuConfig, SudokuProblem};
+    const BASE: [u8; 16] = [1, 2, 3, 4, 3, 4, 1, 2, 2, 1, 4, 3, 4, 3, 2, 1];
+    (0..n)
+        .map(|i| {
+            let mut cells = BASE.to_vec();
+            for k in 0..5usize {
+                cells[(i * 7 + k * 3) % 16] = 0;
+            }
+            let grid = Grid::new(2, cells);
+            let (_, admm) = SudokuProblem::build(&grid, &SudokuConfig::default());
+            admm
+        })
+        .collect()
+}
+
+/// Result of one [`batch_throughput`] scenario: JSON rows + meta, the
+/// three measured throughputs, and the acceptance numbers.
+///
+/// The JSON rows reuse the standard schema with `seconds_per_iteration`
+/// holding **seconds per instance solve** (wall / N) for each path —
+/// the batch figure is a throughput figure, and the true
+/// instances-per-second numbers live in the `"meta"` object under
+/// `<label>/*_instances_per_sec` keys.
+#[derive(Debug, Clone)]
+pub struct BatchThroughput {
+    /// One row per execution path (`batched[...]`, `solo[...]`,
+    /// `solo[serial]`).
+    pub rows: Vec<BenchJsonRow>,
+    /// Flat meta scalars for the bench JSON (throughputs, speedups,
+    /// bit-identity, convergence counts).
+    pub meta: Vec<(String, f64)>,
+    /// Number of instances per batch.
+    pub instances: usize,
+    /// Batched instances/second (min-of-repeats wall clock).
+    pub batched_instances_per_sec: f64,
+    /// Sequential solo instances/second on the *same* backend the batch
+    /// used — the apples-to-apples baseline that isolates per-instance
+    /// sweep-launch overhead.
+    pub solo_same_instances_per_sec: f64,
+    /// Sequential solo instances/second on [`SerialBackend`] — the
+    /// single-core floor (no launch overhead to amortize).
+    pub solo_serial_instances_per_sec: f64,
+    /// `batched / solo-same-backend` throughput ratio (the acceptance
+    /// number: packing must amortize the launch overhead).
+    pub speedup_vs_solo_same: f64,
+    /// `batched / solo-serial` throughput ratio (informational; on a
+    /// single-core host this hovers near 1, on multicore it approaches
+    /// the core count).
+    pub speedup_vs_solo_serial: f64,
+    /// Whether every batched instance's final state matched its solo
+    /// serial solve bit-for-bit (iterates *and* iteration counts).
+    pub bit_identical: bool,
+    /// Instances that converged within the budget (same count for
+    /// batched and solo, by bit-identity).
+    pub converged: usize,
+}
+
+/// Measures batched vs sequential-solo throughput on one scenario.
+///
+/// `make` rebuilds the instance set (problems are not cloneable — the
+/// proximal operators are boxed trait objects), `scheduler` names the
+/// backend under test for both the batched path and the solo
+/// same-backend path, and `stopping`/`max_iters` drive every path
+/// identically so the three measurements solve exactly the same
+/// iterations. Each path is measured `REPEATS` times keeping the
+/// **minimum** wall-clock (timing noise is additive, as in
+/// [`worksteal_ablation`]); bit-identity against solo serial is checked
+/// once, untimed.
+pub fn batch_throughput(
+    make: &dyn Fn() -> Vec<AdmmProblem>,
+    label: &str,
+    size: usize,
+    scheduler: Scheduler,
+    stopping: StoppingCriteria,
+    max_iters: usize,
+) -> BatchThroughput {
+    const REPEATS: usize = 3;
+    let options = SolverOptions {
+        scheduler,
+        stopping,
+        ..SolverOptions::default()
+    };
+    let serial_options = SolverOptions {
+        scheduler: Scheduler::Serial,
+        stopping,
+        ..SolverOptions::default()
+    };
+
+    let probe = make();
+    let instances = probe.len();
+    assert!(instances > 0, "scenario produced no instances");
+    let total_edges: usize = probe.iter().map(|p| p.graph().num_edges()).sum();
+    let backend_name = scheduler.to_backend().name();
+    drop(probe);
+
+    let min_wall =
+        |run: &dyn Fn() -> f64| (0..REPEATS).map(|_| run()).fold(f64::INFINITY, f64::min);
+
+    // Batched: one fused solve through the backend, freezing included.
+    let batched_s = min_wall(&|| {
+        let mut solver = BatchSolver::new(make(), options);
+        let t0 = Instant::now();
+        solver.run(max_iters);
+        t0.elapsed().as_secs_f64()
+    });
+    // Sequential solo on the same backend: one full solve per instance,
+    // each paying its own backend launch per block.
+    let solo_with = |opts: SolverOptions| {
+        let problems = make();
+        let t0 = Instant::now();
+        for p in problems {
+            let mut solver = Solver::from_problem(p, opts);
+            solver.run(max_iters);
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let solo_same_s = min_wall(&|| solo_with(options));
+    let solo_serial_s = min_wall(&|| solo_with(serial_options));
+
+    // Bit-identity + convergence accounting (untimed).
+    let mut batch = BatchSolver::new(make(), options);
+    let report = batch.run(max_iters);
+    let mut bit_identical = true;
+    for (i, p) in make().into_iter().enumerate() {
+        let mut solo = Solver::from_problem(p, serial_options);
+        let solo_report = solo.run(max_iters);
+        bit_identical &= solo_report.iterations == report.instances[i].iterations
+            && batch.store(i).z == solo.store().z
+            && batch.store(i).x == solo.store().x
+            && batch.store(i).u == solo.store().u
+            && batch.store(i).n == solo.store().n;
+    }
+    let converged = report.converged_count();
+
+    let ips = |wall: f64| instances as f64 / wall;
+    let (batched_ips, solo_same_ips, solo_serial_ips) =
+        (ips(batched_s), ips(solo_same_s), ips(solo_serial_s));
+    let row = |backend: String, wall: f64| BenchJsonRow {
+        size,
+        edges: total_edges,
+        backend,
+        seconds_per_iteration: wall / instances as f64,
+    };
+    let rows = vec![
+        row(format!("{label}/batched[{backend_name}]"), batched_s),
+        row(format!("{label}/solo[{backend_name}]"), solo_same_s),
+        row(format!("{label}/solo[serial]"), solo_serial_s),
+    ];
+    let key = |metric: &str| format!("{label}/{metric}");
+    let meta = vec![
+        (key("batched_instances_per_sec"), batched_ips),
+        (key("solo_same_backend_instances_per_sec"), solo_same_ips),
+        (key("solo_serial_instances_per_sec"), solo_serial_ips),
+        (
+            key("speedup_vs_solo_same_backend"),
+            batched_ips / solo_same_ips,
+        ),
+        (key("speedup_vs_solo_serial"), batched_ips / solo_serial_ips),
+        (key("bit_identical"), f64::from(bit_identical)),
+        (key("converged_instances"), converged as f64),
+    ];
+    BatchThroughput {
+        rows,
+        meta,
+        instances,
+        batched_instances_per_sec: batched_ips,
+        solo_same_instances_per_sec: solo_same_ips,
+        solo_serial_instances_per_sec: solo_serial_ips,
+        speedup_vs_solo_same: batched_ips / solo_same_ips,
+        speedup_vs_solo_serial: batched_ips / solo_serial_ips,
+        bit_identical,
+        converged,
+    }
+}
+
 /// Names of the five update kinds in order, for table headers.
 pub const KIND_LABELS: [&str; 5] = ["x", "m", "z", "u", "n"];
 
@@ -803,6 +1072,83 @@ mod tests {
         assert!(doc.contains("\"mpc_chain/sharded[2]\""));
         assert!(doc.contains("\"meta\""));
         assert!(doc.contains("mpc_chain/parts=2/halo_vars"));
+    }
+
+    /// Tiny-size smoke of the batch-throughput harness — the same code
+    /// path `throughput_batch` runs at full size, so the bin can't
+    /// bit-rot. CI runs this under `cargo test --release`.
+    #[test]
+    fn batch_throughput_smoke() {
+        let stopping = StoppingCriteria {
+            max_iters: 400,
+            eps_abs: 1e-6,
+            eps_rel: 1e-4,
+            check_every: 25,
+        };
+        let r = batch_throughput(
+            &|| many_mpc(6, 3),
+            "many_mpc",
+            6,
+            Scheduler::WorkSteal { threads: 2 },
+            stopping,
+            400,
+        );
+        assert_eq!(r.instances, 6);
+        assert_eq!(r.rows.len(), 3, "batched + solo-same + solo-serial");
+        assert!(r.rows.iter().all(|x| x.seconds_per_iteration > 0.0));
+        assert!(
+            r.bit_identical,
+            "batched iterates must match solo serial bit-for-bit"
+        );
+        assert!(r.batched_instances_per_sec > 0.0);
+        assert!(r.speedup_vs_solo_same.is_finite() && r.speedup_vs_solo_same > 0.0);
+        let doc = bench_json_string_with_meta("batch_smoke", &r.rows, &r.meta);
+        assert!(doc.contains("many_mpc/batched[worksteal]"));
+        assert!(doc.contains("many_mpc/batched_instances_per_sec"));
+        assert!(doc.contains("many_mpc/bit_identical"));
+    }
+
+    #[test]
+    fn batch_scenario_generators_have_expected_shape() {
+        let mpc = many_mpc(7, 4);
+        assert_eq!(mpc.len(), 7);
+        assert!(mpc.iter().all(|p| p.graph().dims() == 5));
+        // Horizons cycle, so sizes are mixed.
+        let edges: Vec<usize> = mpc.iter().map(|p| p.graph().num_edges()).collect();
+        assert!(edges.windows(2).any(|w| w[0] != w[1]), "sizes must mix");
+
+        let sudoku = many_sudoku(5);
+        assert_eq!(sudoku.len(), 5);
+        assert!(sudoku.iter().all(|p| p.graph().dims() == 4));
+        // 16 cells + 12 group factors (4 rows + 4 cols + 4 boxes).
+        assert!(sudoku.iter().all(|p| p.graph().num_vars() == 16));
+        assert!(sudoku.iter().all(|p| p.graph().num_factors() == 12 + 16));
+    }
+
+    #[test]
+    fn out_path_plumbing_resolves_files_and_dirs() {
+        let tmp = std::env::temp_dir().join(format!("paradmm_bench_out_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        let rows = vec![BenchJsonRow {
+            size: 1,
+            edges: 1,
+            backend: "serial".into(),
+            seconds_per_iteration: 1.0,
+        }];
+        // Explicit file path, parent auto-created.
+        let file = tmp.join("nested").join("custom.json");
+        let got = write_bench_json_to(Some(&file), "figx", &rows).unwrap();
+        assert_eq!(got, file);
+        assert!(got.is_file());
+        // Existing directory: default file name inside it.
+        let got2 = write_bench_json_to(Some(&tmp), "figx", &rows).unwrap();
+        assert_eq!(got2, tmp.join("BENCH_figx.json"));
+        assert!(got2.is_file());
+        assert_eq!(
+            std::fs::read_to_string(&got).unwrap(),
+            std::fs::read_to_string(&got2).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&tmp);
     }
 
     #[test]

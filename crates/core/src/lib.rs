@@ -39,6 +39,11 @@
 //! constructs the built-in backends; new execution strategies implement
 //! [`SweepExecutor`] and plug into the same [`Solver`] loop.
 //!
+//! For many *small independent* problems (batched serving), the
+//! [`BatchSolver`] packs instances into one block-diagonal fused store
+//! and drives it through any backend, with per-instance residual
+//! tracking and early-exit freezing — see [`batch`].
+//!
 //! Users write only serial proximal operators ([`paradmm_prox::ProxOp`]);
 //! no parallel code is ever required — the paper's headline usability
 //! claim.
@@ -46,6 +51,7 @@
 pub mod adaptive;
 pub mod asynchronous;
 pub mod backend;
+pub mod batch;
 pub mod diagnostics;
 pub mod kernels;
 pub mod naive;
@@ -63,6 +69,7 @@ pub use backend::{
     AsyncBackend, AutoBackend, BarrierBackend, RayonBackend, SerialBackend, SweepExecutor,
     WorkStealingBackend, DEFAULT_STEAL_CHUNK,
 };
+pub use batch::{BatchReport, BatchSolver, InstanceReport};
 pub use diagnostics::{Trace, TracePoint};
 pub use kernels::UpdateKind;
 pub use paradmm_prox::{ProxCtx, ProxOp};

@@ -24,13 +24,29 @@ pub struct Residuals {
 impl Residuals {
     /// Computes both residual norms from current state.
     pub fn compute(graph: &FactorGraph, params: &EdgeParams, store: &VarStore) -> Self {
+        Self::compute_edge_range(graph, params, store, 0, graph.num_edges())
+    }
+
+    /// Residual norms restricted to edges `[e_lo, e_hi)` — the
+    /// per-instance check of a batched solve, where each instance owns a
+    /// contiguous edge range of the fused store. Accumulation visits
+    /// edges in the same ascending order as [`Residuals::compute`] over a
+    /// solo store, so the restricted norms are bit-identical to solo
+    /// residuals.
+    pub fn compute_edge_range(
+        graph: &FactorGraph,
+        params: &EdgeParams,
+        store: &VarStore,
+        e_lo: usize,
+        e_hi: usize,
+    ) -> Self {
         let d = graph.dims();
         let mut primal_sq = 0.0;
         let mut dual_sq = 0.0;
         let mut x_sq = 0.0;
         let mut z_sq = 0.0;
         let mut u_sq = 0.0;
-        for e in graph.edges() {
+        for e in (e_lo..e_hi).map(paradmm_graph::EdgeId::from_usize) {
             let b = graph.edge_var(e);
             let rho = params.rho(e);
             let xe = &store.x[e.idx() * d..(e.idx() + 1) * d];

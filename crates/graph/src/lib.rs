@@ -16,6 +16,9 @@
 //!   laid out exactly as the paper lays out GPU global memory: edge vectors
 //!   in edge-creation order, `z` in variable-creation order,
 //! * [`EdgeParams`] — per-edge `ρ` and `α`,
+//! * [`BatchStore`] / [`BatchLayout`] — N independent instances packed
+//!   into one block-diagonal fused store (offset-translated id maps,
+//!   zero-cut shard partition) for batched multi-instance serving,
 //! * [`GraphStats`] — degree statistics (the paper's conclusion discusses
 //!   how degree imbalance throttles the z-update).
 //!
@@ -23,6 +26,7 @@
 //! engine crate (`paradmm-core`) pairs a `FactorGraph` with one prox per
 //! factor.
 
+pub mod batch;
 pub mod builder;
 pub(crate) mod byteio;
 pub mod graph;
@@ -34,6 +38,7 @@ pub mod shard;
 pub mod stats;
 pub mod store;
 
+pub use batch::{BatchInstance, BatchLayout, BatchStore};
 pub use builder::GraphBuilder;
 pub use graph::FactorGraph;
 pub use ids::{EdgeId, FactorId, VarId};

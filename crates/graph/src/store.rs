@@ -33,11 +33,18 @@ pub struct VarStore {
 impl VarStore {
     /// Zero-initialized storage shaped for `graph`.
     pub fn zeros(graph: &FactorGraph) -> Self {
-        let d = graph.dims();
-        let ne = graph.num_edges() * d;
-        let nv = graph.num_vars() * d;
+        Self::zeros_shape(graph.dims(), graph.num_edges(), graph.num_vars())
+    }
+
+    /// Zero-initialized storage for an explicit `(dims, edges, vars)`
+    /// shape — used by batching code that slices instance stores out of a
+    /// fused store without holding the instance's graph.
+    pub fn zeros_shape(dims: usize, num_edges: usize, num_vars: usize) -> Self {
+        assert!(dims >= 1, "dims must be at least 1");
+        let ne = num_edges * dims;
+        let nv = num_vars * dims;
         VarStore {
-            dims: d,
+            dims,
             x: vec![0.0; ne],
             m: vec![0.0; ne],
             u: vec![0.0; ne],

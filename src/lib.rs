@@ -53,13 +53,15 @@ pub use paradmm_svm as svm;
 /// Convenient glob-import of the most common types.
 pub mod prelude {
     pub use paradmm_core::{
-        AdmmProblem, AsyncBackend, AutoBackend, BarrierBackend, ProxCtx, ProxOp, RayonBackend,
-        Residuals, Scheduler, SerialBackend, Solver, SolverOptions, SolverReport, StopReason,
-        StoppingCriteria, SweepExecutor, UpdateKind, UpdateTimings, WorkStealingBackend,
+        AdmmProblem, AsyncBackend, AutoBackend, BarrierBackend, BatchReport, BatchSolver,
+        InstanceReport, ProxCtx, ProxOp, RayonBackend, Residuals, Scheduler, SerialBackend,
+        ShardedBackend, Solver, SolverOptions, SolverReport, StopReason, StoppingCriteria,
+        SweepExecutor, UpdateKind, UpdateTimings, WorkStealingBackend,
     };
     pub use paradmm_gpusim::GpuSimBackend;
     pub use paradmm_graph::{
-        EdgeId, EdgeParams, FactorGraph, FactorId, GraphBuilder, GraphStats, VarId, VarStore,
+        BatchInstance, BatchLayout, BatchStore, EdgeId, EdgeParams, FactorGraph, FactorId,
+        GraphBuilder, GraphStats, VarId, VarStore,
     };
     pub use paradmm_prox::{
         AffineEqualityProx, BoxProx, ConsensusEqualityProx, HalfspaceProx, HingeProx, L1Prox,

@@ -16,8 +16,9 @@
 //! fixed point on a convex instance, not bitwise equality.
 
 use paradmm::core::{
-    AdmmProblem, AsyncBackend, AutoBackend, BarrierBackend, RayonBackend, SerialBackend,
-    ShardedBackend, SweepExecutor, UpdateTimings, WorkStealingBackend,
+    AdmmProblem, AsyncBackend, AutoBackend, BarrierBackend, BatchSolver, RayonBackend, Scheduler,
+    SerialBackend, ShardedBackend, Solver, SolverOptions, StoppingCriteria, SweepExecutor,
+    UpdateTimings, WorkStealingBackend,
 };
 use paradmm::graph::{Partition, VarStore};
 use paradmm::mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
@@ -161,6 +162,95 @@ fn async_backend_converges_on_seeded_convex_instance() {
                 "async vs serial state mismatch at t={t} i={i}: {a} vs {s}"
             );
         }
+    }
+}
+
+#[test]
+fn batched_solves_bit_identical_to_solo_serial_on_every_sync_backend() {
+    // Mixed-size MPC instances (horizons cycle, so edge counts differ
+    // per instance) packed into one block-diagonal store: under every
+    // synchronous backend, each instance's final state, iteration
+    // count, and stop reason must equal a solo serial solve with the
+    // same stopping criteria — freezing converged instances early may
+    // not perturb the stragglers.
+    let stopping = StoppingCriteria {
+        max_iters: 1200,
+        eps_abs: 1e-6,
+        eps_rel: 1e-4,
+        check_every: 20,
+    };
+    let instances = || paradmm_bench::many_mpc(5, 2);
+    let solo: Vec<(VarStore, usize, paradmm::core::StopReason)> = instances()
+        .into_iter()
+        .map(|p| {
+            let options = SolverOptions {
+                stopping,
+                ..SolverOptions::default()
+            };
+            let mut solver = Solver::from_problem(p, options);
+            let report = solver.run(stopping.max_iters);
+            (
+                solver.store().clone(),
+                report.iterations,
+                report.stop_reason,
+            )
+        })
+        .collect();
+    // At least one instance must freeze before another stops, or the
+    // test exercises nothing.
+    let iters: Vec<usize> = solo.iter().map(|(_, it, _)| *it).collect();
+    assert!(
+        iters.iter().any(|&i| i != iters[0]),
+        "mixed horizons should converge at different checks: {iters:?}"
+    );
+
+    for scheduler in [
+        Scheduler::Serial,
+        Scheduler::Rayon { threads: Some(2) },
+        Scheduler::Barrier { threads: 3 },
+        Scheduler::WorkSteal { threads: 2 },
+        Scheduler::Sharded { parts: 2 },
+        Scheduler::Auto { threads: 2 },
+    ] {
+        let options = SolverOptions {
+            scheduler,
+            stopping,
+            ..SolverOptions::default()
+        };
+        let mut batch = BatchSolver::new(instances(), options);
+        let report = batch.run(stopping.max_iters);
+        for (i, (store, solo_iters, solo_reason)) in solo.iter().enumerate() {
+            let r = &report.instances[i];
+            assert_eq!(
+                r.iterations, *solo_iters,
+                "{scheduler:?} instance {i} iters"
+            );
+            assert_eq!(r.stop_reason, *solo_reason, "{scheduler:?} instance {i}");
+            let got = batch.store(i);
+            assert_eq!(got.z, store.z, "{scheduler:?} instance {i} z");
+            assert_eq!(got.x, store.x, "{scheduler:?} instance {i} x");
+            assert_eq!(got.u, store.u, "{scheduler:?} instance {i} u");
+            assert_eq!(got.n, store.n, "{scheduler:?} instance {i} n");
+            assert_eq!(got.m, store.m, "{scheduler:?} instance {i} m");
+        }
+    }
+
+    // Tiny work-stealing chunks force contended claims over the fused
+    // sweeps — bit-identity must survive real stealing too.
+    let options = SolverOptions {
+        stopping,
+        ..SolverOptions::default()
+    };
+    let mut batch = BatchSolver::with_backend(
+        instances(),
+        options,
+        Box::new(WorkStealingBackend::with_chunk(3, 2)),
+    );
+    let report = batch.run(stopping.max_iters);
+    for (i, (store, solo_iters, _)) in solo.iter().enumerate() {
+        assert_eq!(report.instances[i].iterations, *solo_iters);
+        assert_eq!(batch.store(i).z, store.z, "worksteal-chunk2 instance {i}");
+        assert_eq!(batch.store(i).u, store.u, "worksteal-chunk2 instance {i}");
     }
 }
 

@@ -11,11 +11,15 @@ use paradmm::graph::{
 };
 use paradmm::prox::{ConsensusEqualityProx, ProxCtx, ProxOp, QuadraticProx, ZeroProx};
 
-/// Strategy: a random factor graph with `dims`, up to `max_vars` variables
-/// and `max_factors` factors, each factor touching a random distinct
-/// subset.
-fn arb_graph(max_vars: usize, max_factors: usize) -> impl Strategy<Value = FactorGraph> {
-    (1usize..=3, 1usize..=max_vars).prop_flat_map(move |(dims, nv)| {
+/// Strategy: a random factor graph with exactly `dims` components, up to
+/// `max_vars` variables and `max_factors` factors, each factor touching
+/// a random distinct subset.
+fn arb_graph_with_dims(
+    dims: usize,
+    max_vars: usize,
+    max_factors: usize,
+) -> impl Strategy<Value = FactorGraph> {
+    (1usize..=max_vars).prop_flat_map(move |nv| {
         let factor = proptest::collection::btree_set(0..nv, 1..=nv.min(4));
         proptest::collection::vec(factor, 1..=max_factors).prop_map(move |factors| {
             let mut b = GraphBuilder::new(dims);
@@ -27,6 +31,38 @@ fn arb_graph(max_vars: usize, max_factors: usize) -> impl Strategy<Value = Facto
             b.build()
         })
     })
+}
+
+/// Strategy: a random factor graph with random `dims` ∈ 1..=3.
+fn arb_graph(max_vars: usize, max_factors: usize) -> impl Strategy<Value = FactorGraph> {
+    (1usize..=3).prop_flat_map(move |dims| arb_graph_with_dims(dims, max_vars, max_factors))
+}
+
+/// Strategy: 1–4 random graphs sharing one `dims` — a packable batch.
+fn arb_batch_graphs(
+    max_vars: usize,
+    max_factors: usize,
+) -> impl Strategy<Value = Vec<FactorGraph>> {
+    (1usize..=3).prop_flat_map(move |dims| {
+        proptest::collection::vec(arb_graph_with_dims(dims, max_vars, max_factors), 1..=4)
+    })
+}
+
+/// Deterministically fills a store's six arrays with distinct values.
+fn seeded_store(g: &FactorGraph, seed: u64, salt: f64) -> VarStore {
+    let mut s = VarStore::zeros(g);
+    let fill = |arr: &mut [f64], phase: f64| {
+        for (j, v) in arr.iter_mut().enumerate() {
+            *v = (seed as f64 * 0.013 + salt + phase + j as f64 * 0.71).sin();
+        }
+    };
+    fill(&mut s.x, 0.1);
+    fill(&mut s.m, 0.2);
+    fill(&mut s.u, 0.3);
+    fill(&mut s.n, 0.4);
+    fill(&mut s.z, 0.5);
+    fill(&mut s.z_prev, 0.6);
+    s
 }
 
 fn zero_problem(graph: FactorGraph) -> AdmmProblem {
@@ -111,6 +147,98 @@ proptest! {
         prop_assert_eq!(&z_serial, &z_barrier);
         prop_assert_eq!(&z_serial, &z_worksteal);
         prop_assert_eq!(&z_serial, &z_sharded);
+    }
+
+    /// `BatchStore` pack/unpack round-trip: per-instance slices recover
+    /// the original stores and parameters exactly, the offset maps are
+    /// monotone with totals summing to the instance sums, the fused
+    /// topology validates and stays block-diagonal, and the zero-cut
+    /// instance partition really has an empty halo.
+    #[test]
+    fn batch_pack_unpack_roundtrip(
+        graphs in arb_batch_graphs(6, 8),
+        seed in 0u64..1000,
+        parts in 1usize..6,
+    ) {
+        use paradmm::graph::{BatchInstance, BatchStore, EdgeId};
+        let instances: Vec<(FactorGraph, EdgeParams, VarStore)> = graphs
+            .into_iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let mut p = EdgeParams::uniform(&g, 1.0, 1.0);
+                for (j, r) in p.rho.iter_mut().enumerate() {
+                    *r = 0.5 + ((seed as usize + i * 31 + j) % 7) as f64 * 0.3;
+                }
+                for (j, a) in p.alpha.iter_mut().enumerate() {
+                    *a = 0.4 + ((seed as usize + i * 17 + j) % 5) as f64 * 0.2;
+                }
+                let s = seeded_store(&g, seed, i as f64 * 2.3);
+                (g, p, s)
+            })
+            .collect();
+        let views: Vec<BatchInstance> = instances
+            .iter()
+            .map(|(g, p, s)| BatchInstance { graph: g, params: p, store: s })
+            .collect();
+        let batch = BatchStore::pack(&views).unwrap();
+        let layout = batch.layout();
+
+        // Offsets monotone and totals sum to the instance sums.
+        prop_assert!(batch.graph().validate().is_ok());
+        let mut prev = (0usize, 0usize, 0usize);
+        for i in 0..instances.len() {
+            let (vr, fr, er) = (layout.var_range(i), layout.factor_range(i), layout.edge_range(i));
+            prop_assert_eq!(vr.start, prev.0);
+            prop_assert_eq!(fr.start, prev.1);
+            prop_assert_eq!(er.start, prev.2);
+            prop_assert_eq!(vr.len(), instances[i].0.num_vars());
+            prop_assert_eq!(fr.len(), instances[i].0.num_factors());
+            prop_assert_eq!(er.len(), instances[i].0.num_edges());
+            prev = (vr.end, fr.end, er.end);
+        }
+        prop_assert_eq!(prev.0, batch.graph().num_vars());
+        prop_assert_eq!(prev.1, batch.graph().num_factors());
+        prop_assert_eq!(prev.2, batch.graph().num_edges());
+
+        // Per-instance slices recover the original stores and params.
+        let unpacked = batch.unpack();
+        for (i, (_, p, s)) in instances.iter().enumerate() {
+            prop_assert_eq!(&unpacked[i].x, &s.x);
+            prop_assert_eq!(&unpacked[i].m, &s.m);
+            prop_assert_eq!(&unpacked[i].u, &s.u);
+            prop_assert_eq!(&unpacked[i].n, &s.n);
+            prop_assert_eq!(&unpacked[i].z, &s.z);
+            prop_assert_eq!(&unpacked[i].z_prev, &s.z_prev);
+            let er = layout.edge_range(i);
+            prop_assert_eq!(&batch.params().rho[er.clone()], &p.rho[..]);
+            prop_assert_eq!(&batch.params().alpha[er], &p.alpha[..]);
+        }
+
+        // Block-diagonal: every edge stays within its instance.
+        for e in batch.graph().edges() {
+            let (ie, local) = layout.instance_of_edge(e);
+            prop_assert_eq!(layout.global_edge(ie, local), e);
+            let (iv, _) = layout.instance_of_var(batch.graph().edge_var(e));
+            prop_assert_eq!(ie, iv);
+        }
+        let _ = EdgeId(0);
+
+        // Zero-cut partition: whole instances, empty halo, loads sum.
+        let partition = layout.partition(parts);
+        prop_assert!(partition.parts >= 1 && partition.parts <= instances.len());
+        prop_assert!(partition.validate(batch.graph()).is_ok());
+        prop_assert!(partition.halo_vars(batch.graph()).is_empty());
+        prop_assert_eq!(
+            partition.edge_loads(batch.graph()).iter().sum::<usize>(),
+            batch.graph().num_edges()
+        );
+        for i in 0..instances.len() {
+            let fr = layout.factor_range(i);
+            if !fr.is_empty() {
+                let first = partition.assignment[fr.start];
+                prop_assert!(partition.assignment[fr].iter().all(|&x| x == first));
+            }
+        }
     }
 
     /// `Partition::grow` invariants on arbitrary (frequently
