@@ -21,9 +21,9 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use paradmm_core::{
-    AdmmProblem, AutoBackend, BarrierBackend, BatchSolver, RayonBackend, Scheduler, SerialBackend,
-    ShardedBackend, Solver, SolverOptions, StoppingCriteria, SweepExecutor, UpdateKind,
-    UpdateTimings, WorkStealingBackend,
+    AdmmProblem, AutoBackend, BarrierBackend, BatchSolver, Planner, RayonBackend, Scheduler,
+    SerialBackend, ShardedBackend, Solver, SolverOptions, StoppingCriteria, SweepExecutor,
+    SweepPlan, UpdateKind, UpdateTimings, WorkStealingBackend,
 };
 use paradmm_gpusim::{CpuModel, GpuAdmmEngine, MultiDevice, SimtDevice, WorkloadProfile};
 use paradmm_graph::{Partition, PartitionStats, VarStore};
@@ -578,6 +578,135 @@ pub fn worksteal_ablation(
     }
 }
 
+/// One backend's fused-vs-unfused measurement in a [`FusedAblation`].
+#[derive(Debug, Clone)]
+pub struct FusedPoint {
+    /// Backend label (`serial`, `barrier`, `worksteal`).
+    pub backend: String,
+    /// Min-of-repeats s/iter under the default fused three-pass plan.
+    pub fused_s: f64,
+    /// Min-of-repeats s/iter under the explicit unfused five-pass plan
+    /// (the seed schedule).
+    pub unfused_s: f64,
+}
+
+/// Result of [`fused_ablation`]: the SweepPlan fusion ablation on one
+/// problem.
+#[derive(Debug, Clone)]
+pub struct FusedAblation {
+    /// One row per (backend, plan) pair, named `<backend>[fused]` /
+    /// `<backend>[unfused]`, plus `barrier[planned]` for the
+    /// measured-cost planner. Labels carry no thread count — the worker
+    /// count is host configuration, and the perf gate matches rows by
+    /// name across hosts.
+    pub rows: Vec<BenchJsonRow>,
+    /// Flat metrics: per-backend `*_fused_speedup` (unfused ÷ fused, > 1
+    /// means fusion won) and the two plans' barrier counts.
+    pub meta: Vec<(String, f64)>,
+    /// The per-backend measurements.
+    pub points: Vec<FusedPoint>,
+    /// Serial fused s/iter — the family-level acceptance number (serial
+    /// is the least noisy backend, so the fused ≤ unfused check uses it).
+    pub serial_fused_s: f64,
+    /// Serial unfused s/iter.
+    pub serial_unfused_s: f64,
+    /// Measured-cost planner's plan on the barrier backend (weighted
+    /// splits + measured chunks), for comparison against the uniform
+    /// fused plan's `barrier[t]` row.
+    pub barrier_planned_s: f64,
+    /// Barriers per iteration under the fused / unfused plans.
+    pub barriers: (usize, usize),
+}
+
+/// Measures serial / barrier / work-stealing s/iter under the default
+/// fused plan vs the explicit unfused (seed) plan — min-of-`3`
+/// repetitions through [`measure_backend_s_per_iter`], like every other
+/// ablation harness — plus the measured-cost [`Planner`] plan on the
+/// barrier backend. The problem's installed plan is restored to the
+/// default on return.
+pub fn fused_ablation(
+    problem: &mut AdmmProblem,
+    size: usize,
+    threads: usize,
+    min_seconds: f64,
+) -> FusedAblation {
+    const REPEATS: usize = 3;
+    let edges = problem.graph().num_edges();
+    let barriers = (
+        SweepPlan::fused(problem).barriers_per_iteration(),
+        SweepPlan::unfused(problem).barriers_per_iteration(),
+    );
+    let row = |backend: String, s: f64| BenchJsonRow {
+        size,
+        edges,
+        backend,
+        seconds_per_iteration: s,
+    };
+
+    let mut rows = Vec::new();
+    let mut meta = Vec::new();
+    let mut points = Vec::new();
+    type BackendFactory = Box<dyn Fn() -> Box<dyn SweepExecutor>>;
+    let backends: Vec<(String, BackendFactory)> = vec![
+        ("serial".to_string(), Box::new(|| Box::new(SerialBackend))),
+        (
+            "barrier".to_string(),
+            Box::new(move || Box::new(BarrierBackend::new(threads))),
+        ),
+        (
+            "worksteal".to_string(),
+            Box::new(move || Box::new(WorkStealingBackend::new(threads))),
+        ),
+    ];
+    let min_of_repeats = |problem: &AdmmProblem, b: &mut dyn SweepExecutor| {
+        (0..REPEATS)
+            .map(|_| measure_backend_s_per_iter(problem, b, min_seconds))
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    let mut serial_fused_s = 0.0;
+    let mut serial_unfused_s = 0.0;
+    for (name, make) in &backends {
+        problem.clear_plan(); // default fused three-pass schedule
+        let fused_s = min_of_repeats(problem, make().as_mut());
+        problem.set_plan(SweepPlan::unfused(problem));
+        let unfused_s = min_of_repeats(problem, make().as_mut());
+        rows.push(row(format!("{name}[fused]"), fused_s));
+        rows.push(row(format!("{name}[unfused]"), unfused_s));
+        meta.push((format!("{name}_fused_speedup"), unfused_s / fused_s));
+        if name == "serial" {
+            serial_fused_s = fused_s;
+            serial_unfused_s = unfused_s;
+        }
+        points.push(FusedPoint {
+            backend: name.clone(),
+            fused_s,
+            unfused_s,
+        });
+    }
+
+    // The measured-cost planner: per-operator timings → weighted splits
+    // and measured chunk sizes, exercised on the static-split backend
+    // that benefits from them.
+    let planned = Planner::new().plan(problem);
+    problem.set_plan(planned);
+    let barrier_planned_s = min_of_repeats(problem, &mut BarrierBackend::new(threads));
+    rows.push(row("barrier[planned]".to_string(), barrier_planned_s));
+    problem.clear_plan();
+
+    meta.push(("barriers_per_iter_fused".to_string(), barriers.0 as f64));
+    meta.push(("barriers_per_iter_unfused".to_string(), barriers.1 as f64));
+    FusedAblation {
+        rows,
+        meta,
+        points,
+        serial_fused_s,
+        serial_unfused_s,
+        barrier_planned_s,
+        barriers,
+    }
+}
+
 /// Builds an MPC-like chain of `n` pairwise quadratic factors — the
 /// graph family that splits across shards with an O(1) halo.
 pub fn chain_problem(n: usize) -> AdmmProblem {
@@ -1072,6 +1201,33 @@ mod tests {
         assert!(doc.contains("\"mpc_chain/sharded[2]\""));
         assert!(doc.contains("\"meta\""));
         assert!(doc.contains("mpc_chain/parts=2/halo_vars"));
+    }
+
+    /// Tiny-size smoke of the fused-plan ablation — the same code path
+    /// `fused_ablation` (the bin) runs at full size, so it can't bit-rot.
+    /// CI runs this under `cargo test --release`.
+    #[test]
+    fn fused_ablation_smoke() {
+        let mut p = chain_problem(24);
+        let r = fused_ablation(&mut p, 24, 2, 0.002);
+        assert_eq!(
+            r.rows.len(),
+            7,
+            "3 backends × fused/unfused + barrier[planned]"
+        );
+        assert!(r.rows.iter().all(|x| x.seconds_per_iteration > 0.0));
+        assert_eq!(r.points.len(), 3);
+        assert!(r.serial_fused_s > 0.0 && r.serial_unfused_s > 0.0);
+        assert!(r.barrier_planned_s > 0.0);
+        // The structural claim is exact regardless of timing noise: the
+        // fused plan costs 3 synchronization points, the seed schedule 5.
+        assert_eq!(r.barriers, (3, 5));
+        assert!(p.plan().is_none(), "harness must restore the default plan");
+        let doc = bench_json_string_with_meta("fused_smoke", &r.rows, &r.meta);
+        assert!(doc.contains("\"serial[fused]\""));
+        assert!(doc.contains("\"barrier[planned]\""));
+        assert!(doc.contains("serial_fused_speedup"));
+        assert!(doc.contains("barriers_per_iter_fused"));
     }
 
     /// Tiny-size smoke of the batch-throughput harness — the same code

@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use paradmm_graph::{FactorId, VarStore};
 use paradmm_prox::ProxCtx;
 
-use crate::kernels::assign_range;
+use crate::plan::SweepPlan;
 use crate::problem::AdmmProblem;
 
 /// Atomic f64 cell (CAS on the bit pattern).
@@ -67,16 +67,21 @@ fn as_atomic(data: &mut [f64]) -> &[AtomicF64] {
 ///
 /// Each worker owns a static partition of the factors and activates them
 /// round-robin without any inter-worker barrier; `z` is shared through
-/// atomic incremental updates. `store` must be in a consistent state
-/// (`m = x + u`, `z` = the ρ-weighted average of `m`, `n = z − u`); the
-/// easiest way to guarantee that is to run ≥1 synchronous iteration
+/// atomic incremental updates. The partition comes from the problem's
+/// [`SweepPlan`]: its factor pass's [`crate::plan::Pass::split`], so a
+/// measured-cost plan hands each worker an equal share of *operator
+/// seconds* rather than of factor count — on heterogeneous operators the
+/// whole point of going asynchronous. `store` must be in a consistent
+/// state (`m = x + u`, `z` = the ρ-weighted average of `m`, `n = z − u`);
+/// the easiest way to guarantee that is to run ≥1 synchronous iteration
 /// first, or start from all-zeros.
 pub fn run_async(problem: &AdmmProblem, store: &mut VarStore, sweeps: usize, threads: usize) {
     assert!(threads >= 1);
     let g = problem.graph();
     let params = problem.params();
     let d = g.dims();
-    let nf = g.num_factors();
+    let plan = SweepPlan::resolve(problem);
+    let factor_pass = plan.factor_pass();
 
     // Per-variable ρ totals (denominators of the incremental z-update).
     let mut rho_sum = vec![0.0f64; g.num_vars()];
@@ -93,7 +98,7 @@ pub fn run_async(problem: &AdmmProblem, store: &mut VarStore, sweeps: usize, thr
     std::thread::scope(|scope| {
         for tid in 0..threads {
             scope.spawn(move || {
-                let (f_lo, f_hi) = assign_range(nf, tid, threads);
+                let (f_lo, f_hi) = factor_pass.split(tid, threads);
                 // Scratch buffers reused across activations.
                 let mut n_buf = Vec::new();
                 let mut x_buf = Vec::new();

@@ -1,5 +1,5 @@
-//! The execution-backend abstraction: one trait, many ways to run the
-//! five sweeps.
+//! The execution-backend abstraction: one trait, many ways to run one
+//! compiled [`SweepPlan`].
 //!
 //! Every strategy for executing an ADMM iteration — serial loops, rayon
 //! data-parallel loops, persistent barrier-synchronized workers, atomic
@@ -10,6 +10,15 @@
 //! [`SweepExecutor`]. The [`crate::Solver`] drives whichever backend it
 //! is given through the same convergence loop, so a new backend is a
 //! drop-in `impl`, not another enum arm.
+//!
+//! Since the SweepPlan refactor, no backend open-codes the five-sweep
+//! schedule: each block resolves the problem's [`SweepPlan`] (the
+//! default is the fused three-pass `x+m | z | u+n` schedule — see
+//! [`SweepPlan::fused`]) and executes its passes, one synchronization
+//! point per pass. The barrier and work-stealing workers share one
+//! unsafe pass dispatcher (`SweepArrays::run_pass`), so every fusion —
+//! including the u+n fusion the work-stealing backend used to hand-roll
+//! — exists exactly once, in [`crate::kernels`].
 //!
 //! The synchronous backends (serial, rayon, barrier, work-stealing,
 //! sharded, and auto, which locks in one of them) are *bit-identical* to
@@ -27,7 +36,8 @@ use rayon::prelude::*;
 use paradmm_graph::{FactorId, VarId, VarStore};
 
 use crate::asynchronous::run_async;
-use crate::kernels::{self, assign_range, split_factor_blocks, x_update_factor, UpdateKind};
+use crate::kernels::{self, split_factor_blocks, x_update_factor, UpdateKind};
+use crate::plan::{Pass, PassKind, SweepPlan};
 use crate::problem::AdmmProblem;
 use crate::timing::UpdateTimings;
 
@@ -54,10 +64,20 @@ use crate::timing::UpdateTimings;
 /// * **fairness** is not required — a backend may give one worker all
 ///   the work (as [`SerialBackend`] trivially does) or rebalance every
 ///   sweep; correctness never depends on who executed which chunk;
-/// * the only hard rules are that every task of a sweep is executed
-///   **exactly once** per iteration, sweeps execute in x→m→z→u→n data
-///   order (u and n may fuse: see [`kernels::un_update_edge`]), and all
-///   writes of a sweep are visible before the next sweep reads them.
+/// * the only hard rules are that every task of a pass is executed
+///   **exactly once** per iteration, passes execute in the plan's order
+///   (which [`SweepPlan::from_passes`] constrains to the x→m→z→u→n data
+///   order, with adjacent same-space sweeps optionally fused: see
+///   [`kernels::xm_update_range`] / [`kernels::un_update_edge`]), and
+///   all writes of a pass are visible before the next pass reads them.
+///
+/// # Schedule resolution
+///
+/// Backends execute the [`SweepPlan`] the problem carries
+/// ([`AdmmProblem::plan`]), falling back to the default fused three-pass
+/// schedule ([`SweepPlan::fused`]) — use [`SweepPlan::resolve`] for the
+/// shared rule. Any legal plan yields bit-identical iterates, so plan
+/// choice is purely a throughput knob.
 pub trait SweepExecutor: Send {
     /// Short stable label for reports and bench tables (e.g. `"serial"`,
     /// `"rayon"`).
@@ -104,9 +124,73 @@ pub trait SweepExecutor: Send {
 const MIN_CHUNK: usize = 1024;
 
 /// Optimized single-core loops — the paper's serial C baseline and the
-/// denominator of every speedup it reports.
+/// denominator of every speedup it reports. Executes the problem's
+/// [`SweepPlan`] pass by pass; under the default fused plan that is one
+/// combined x+m traversal, a z pass on swapped buffers (no `z_prev`
+/// copy), and one fused u+n traversal.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SerialBackend;
+
+/// Runs one pass of a plan serially over its full index range.
+/// Exhaustively dispatches every [`PassKind`]; the Z pass swaps the
+/// `z`/`z_prev` buffers in place of the seed's snapshot copy (identical
+/// values — see [`kernels::z_update_swapped_range`]).
+fn run_pass_serial(problem: &AdmmProblem, store: &mut VarStore, pass: &Pass) {
+    let g = problem.graph();
+    let params = problem.params();
+    let items = pass.items();
+    match pass.kind() {
+        PassKind::X => kernels::x_update_range(
+            g,
+            problem.proxes(),
+            params,
+            &store.n,
+            &mut store.x,
+            0,
+            items,
+        ),
+        PassKind::M => {
+            kernels::m_update_range(&store.x, &store.u, &mut store.m, 0, items * g.dims())
+        }
+        PassKind::Xm => kernels::xm_update_range(
+            g,
+            problem.proxes(),
+            params,
+            &store.n,
+            &store.u,
+            &mut store.x,
+            &mut store.m,
+            0,
+            items,
+        ),
+        PassKind::Z => {
+            store.swap_z();
+            kernels::z_update_swapped_range(
+                g,
+                params,
+                &store.m,
+                &store.z_prev,
+                &mut store.z,
+                0,
+                items,
+            );
+        }
+        PassKind::U => {
+            kernels::u_update_range(g, params, &store.x, &store.z, &mut store.u, 0, items)
+        }
+        PassKind::N => kernels::n_update_range(g, &store.z, &store.u, &mut store.n, 0, items),
+        PassKind::Un => kernels::un_update_range(
+            g,
+            params,
+            &store.x,
+            &store.z,
+            &mut store.u,
+            &mut store.n,
+            0,
+            items,
+        ),
+    }
+}
 
 impl SweepExecutor for SerialBackend {
     fn name(&self) -> &'static str {
@@ -120,32 +204,13 @@ impl SweepExecutor for SerialBackend {
         iters: usize,
         t: &mut UpdateTimings,
     ) {
-        let g = problem.graph();
-        let params = problem.params();
-        let nf = g.num_factors();
-        let nv = g.num_vars();
-        let ne = g.num_edges();
+        let plan = SweepPlan::resolve(problem);
         for _ in 0..iters {
-            let t0 = Instant::now();
-            kernels::x_update_range(g, problem.proxes(), params, &store.n, &mut store.x, 0, nf);
-            let t1 = Instant::now();
-            t.add(UpdateKind::X, t1 - t0);
-
-            kernels::m_update_range(&store.x, &store.u, &mut store.m, 0, ne * g.dims());
-            let t2 = Instant::now();
-            t.add(UpdateKind::M, t2 - t1);
-
-            store.snapshot_z();
-            kernels::z_update_range(g, params, &store.m, &mut store.z, 0, nv);
-            let t3 = Instant::now();
-            t.add(UpdateKind::Z, t3 - t2);
-
-            kernels::u_update_range(g, params, &store.x, &store.z, &mut store.u, 0, ne);
-            let t4 = Instant::now();
-            t.add(UpdateKind::U, t4 - t3);
-
-            kernels::n_update_range(g, &store.z, &store.u, &mut store.n, 0, ne);
-            t.add(UpdateKind::N, t4.elapsed());
+            for pass in plan.passes() {
+                let t0 = Instant::now();
+                run_pass_serial(problem, store, pass);
+                t.add(pass.kind().timing_kind(), t0.elapsed());
+            }
         }
     }
 }
@@ -197,17 +262,30 @@ impl SweepExecutor for RayonBackend {
 }
 
 fn run_rayon(problem: &AdmmProblem, store: &mut VarStore, iters: usize, t: &mut UpdateTimings) {
+    let plan = SweepPlan::resolve(problem);
+    for _ in 0..iters {
+        for pass in plan.passes() {
+            let t0 = Instant::now();
+            run_pass_rayon(problem, store, pass);
+            t.add(pass.kind().timing_kind(), t0.elapsed());
+        }
+    }
+}
+
+/// Runs one pass of a plan as rayon data-parallel loops (one
+/// `par_iter` ≙ one `#pragma omp parallel for` of the paper's approach
+/// #1). Granularity comes from [`MIN_CHUNK`], not the pass's dynamic
+/// chunk size — rayon's join splitting already rebalances.
+fn run_pass_rayon(problem: &AdmmProblem, store: &mut VarStore, pass: &Pass) {
     let g = problem.graph();
     let params = problem.params();
     let d = g.dims();
-    let flat_len = g.num_edges() * d;
     let chunk = MIN_CHUNK.max(d);
     let var_min = (MIN_CHUNK / d.max(1)).max(1);
 
-    for _ in 0..iters {
+    match pass.kind() {
         // x-update: one task per factor (each owns a contiguous x block).
-        let t0 = Instant::now();
-        {
+        PassKind::X => {
             let n = &store.n;
             let blocks = split_factor_blocks(g, &mut store.x);
             blocks
@@ -219,11 +297,8 @@ fn run_rayon(problem: &AdmmProblem, store: &mut VarStore, iters: usize, t: &mut 
                     x_update_factor(g, problem.prox(fa), params, n, xb, fa);
                 });
         }
-        let t1 = Instant::now();
-        t.add(UpdateKind::X, t1 - t0);
-
         // m-update: element-wise m = x + u over flat chunks.
-        {
+        PassKind::M => {
             let x = &store.x;
             let u = &store.u;
             store
@@ -237,28 +312,51 @@ fn run_rayon(problem: &AdmmProblem, store: &mut VarStore, iters: usize, t: &mut 
                     }
                 });
         }
-        let t2 = Instant::now();
-        t.add(UpdateKind::M, t2 - t1);
-
-        // z-update: one task per variable node (plus the z_prev snapshot).
-        {
+        // Fused x+m: one task per factor writing its own x *and* m block.
+        PassKind::Xm => {
+            let n = &store.n;
+            let u = &store.u;
+            let x_blocks = split_factor_blocks(g, &mut store.x);
+            let m_blocks = split_factor_blocks(g, &mut store.m);
+            x_blocks
+                .into_par_iter()
+                .zip(m_blocks.into_par_iter())
+                .enumerate()
+                .with_min_len(8)
+                .for_each(|(a, (xb, mb))| {
+                    let fa = FactorId::from_usize(a);
+                    x_update_factor(g, problem.prox(fa), params, n, xb, fa);
+                    let lo = g.factor_edge_range(fa).start * d;
+                    for (j, m) in mb.iter_mut().enumerate() {
+                        *m = xb[j] + u[lo + j];
+                    }
+                });
+        }
+        // z-update on swapped buffers: one task per variable node, no
+        // z_prev copy (degree-0 variables carry forward from z_prev).
+        PassKind::Z => {
+            store.swap_z();
             let m = &store.m;
-            let z_prev = &mut store.z_prev;
-            z_prev.copy_from_slice(&store.z);
+            let z_old = &store.z_prev;
             store
                 .z
                 .par_chunks_mut(d)
                 .enumerate()
                 .with_min_len(var_min)
                 .for_each(|(b, zb)| {
-                    kernels::z_update_var(g, params, m, zb, VarId::from_usize(b));
+                    let lo = b * d;
+                    kernels::z_update_swapped_var(
+                        g,
+                        params,
+                        m,
+                        &z_old[lo..lo + d],
+                        zb,
+                        VarId::from_usize(b),
+                    );
                 });
         }
-        let t3 = Instant::now();
-        t.add(UpdateKind::Z, t3 - t2);
-
         // u-update: one task per edge.
-        {
+        PassKind::U => {
             let x = &store.x;
             let z = &store.z;
             store
@@ -277,11 +375,8 @@ fn run_rayon(problem: &AdmmProblem, store: &mut VarStore, iters: usize, t: &mut 
                     );
                 });
         }
-        let t4 = Instant::now();
-        t.add(UpdateKind::U, t4 - t3);
-
         // n-update: one task per edge.
-        {
+        PassKind::N => {
             let z = &store.z;
             let u = &store.u;
             store
@@ -293,8 +388,28 @@ fn run_rayon(problem: &AdmmProblem, store: &mut VarStore, iters: usize, t: &mut 
                     kernels::n_update_edge(g, z, u, ne, paradmm_graph::EdgeId::from_usize(e));
                 });
         }
-        t.add(UpdateKind::N, t4.elapsed());
-        debug_assert_eq!(store.m.len(), flat_len);
+        // Fused u+n: one task per edge writing its own u and n vectors.
+        PassKind::Un => {
+            let x = &store.x;
+            let z = &store.z;
+            store
+                .u
+                .par_chunks_mut(d)
+                .zip(store.n.par_chunks_mut(d))
+                .enumerate()
+                .with_min_len(var_min)
+                .for_each(|(e, (ue, ne))| {
+                    kernels::un_update_edge(
+                        g,
+                        params,
+                        x,
+                        z,
+                        ue,
+                        ne,
+                        paradmm_graph::EdgeId::from_usize(e),
+                    );
+                });
+        }
     }
 }
 
@@ -343,16 +458,20 @@ impl SweepExecutor for BarrierBackend {
 /// workers.
 ///
 /// # Safety contract
-/// Each phase writes a set of per-worker ranges that are pairwise disjoint
-/// (static partition via [`assign_range`] for the barrier backend; unique
+/// Each pass writes a set of per-worker ranges that are pairwise disjoint
+/// (static [`Pass::split`] partitions for the barrier backend; unique
 /// atomically-claimed chunks for the work-stealing backend), and never
-/// reads data that another worker writes in the same phase (verified
-/// against Algorithm 2's data flow: X reads n/writes x; M reads x,u/writes
-/// m; Z reads m/writes z,z_prev; U reads x,z/writes u; N reads z,u/writes
-/// n; the fused U+N phase writes u,n but each `n_e` reads only `z` — not
-/// written that phase — and the same edge's `u_e`, written by the same
-/// worker within the same chunk). Barriers separate phases, establishing
-/// happens-before edges for all cross-thread visibility.
+/// reads data that another worker writes in the same pass (verified
+/// against Algorithm 2's data flow per [`PassKind`]: X reads n/writes x;
+/// M reads x,u/writes m; the fused X+M pass writes x,m but each factor's
+/// m reads only `u` — not written that pass — and the factor's own x,
+/// written by the same worker in the same call; Z reads m and the
+/// previous-iterate z buffer / writes the other z buffer; U reads
+/// x,z/writes u; N reads z,u/writes n; the fused U+N pass writes u,n but
+/// each `n_e` reads only `z` — not written that pass — and the same
+/// edge's `u_e`, written by the same worker within the same chunk).
+/// Barriers separate passes, establishing happens-before edges for all
+/// cross-thread visibility.
 #[derive(Clone, Copy)]
 struct RawArray {
     ptr: *mut f64,
@@ -389,10 +508,19 @@ impl RawArray {
 
 /// The shared state a persistent-worker backend hands every worker: raw
 /// views of all six ADMM arrays plus the problem context, with one method
-/// per sweep phase executing an element *range*. The barrier backend
-/// calls these with its static per-thread ranges, the work-stealing
+/// per pass kind executing an element *range*. The barrier backend
+/// calls these with its static per-thread splits, the work-stealing
 /// backend with atomically claimed chunks — the unsafe bodies (and their
-/// aliasing reasoning, see [`RawArray`]) exist exactly once.
+/// aliasing reasoning, see [`RawArray`]) exist exactly once, and every
+/// fusion they dispatch to lives in [`crate::kernels`].
+///
+/// The two z buffers are held as a parity-indexed pair: workers cannot
+/// swap the `Vec`s mid-block (raw pointers are captured once), so the Z
+/// pass of iteration `k` writes buffer `(k+1) & 1` while buffer `k & 1`
+/// becomes `z_prev` — the same double-buffer rotation
+/// [`paradmm_graph::VarStore::swap_z`] performs, expressed as pointer
+/// parity. The block driver normalizes the `Vec`s afterwards when the
+/// iteration count is odd.
 struct SweepArrays<'a> {
     problem: &'a AdmmProblem,
     g: &'a paradmm_graph::FactorGraph,
@@ -404,8 +532,9 @@ struct SweepArrays<'a> {
     m: RawArray,
     u: RawArray,
     n: RawArray,
-    z: RawArray,
-    z_prev: RawArray,
+    /// `[0]` views `store.z`, `[1]` views `store.z_prev`; which one holds
+    /// the current iterate alternates per iteration (see struct docs).
+    z_bufs: [RawArray; 2],
 }
 
 impl<'a> SweepArrays<'a> {
@@ -422,8 +551,32 @@ impl<'a> SweepArrays<'a> {
             m: RawArray::new(&mut store.m),
             u: RawArray::new(&mut store.u),
             n: RawArray::new(&mut store.n),
-            z: RawArray::new(&mut store.z),
-            z_prev: RawArray::new(&mut store.z_prev),
+            z_bufs: [
+                RawArray::new(&mut store.z),
+                RawArray::new(&mut store.z_prev),
+            ],
+        }
+    }
+
+    /// Runs one pass's `[lo, hi)` item range at iteration `iter` (0-based
+    /// within the block; it selects the z buffer parity).
+    ///
+    /// # Safety
+    /// The per-phase obligations below apply to the dispatched kind; all
+    /// callers must additionally guarantee disjoint item ranges within a
+    /// phase, exactly-once coverage, and barrier separation between
+    /// passes (see [`RawArray`]).
+    unsafe fn run_pass(&self, pass: &Pass, iter: usize, lo: usize, hi: usize) {
+        let z_old = iter & 1;
+        let z_new = z_old ^ 1;
+        match pass.kind() {
+            PassKind::X => self.x_phase(lo, hi),
+            PassKind::M => self.m_phase(lo, hi),
+            PassKind::Xm => self.xm_phase(lo, hi),
+            PassKind::Z => self.z_phase_swapped(lo, hi, z_old, z_new),
+            PassKind::U => self.u_phase(lo, hi, z_new),
+            PassKind::N => self.n_phase(lo, hi, z_new),
+            PassKind::Un => self.un_phase(lo, hi, z_new),
         }
     }
 
@@ -462,6 +615,43 @@ impl<'a> SweepArrays<'a> {
         }
     }
 
+    /// Fused x+m pass over factors `[f_lo, f_hi)`: each factor's proximal
+    /// operator followed by `m = x + u` for its own contiguous edge
+    /// block (see [`kernels::xm_update_range`] for the bit-identity
+    /// argument).
+    ///
+    /// # Safety
+    /// Writes x and m for exactly these factors' edges; reads n and u,
+    /// written by neither constituent sweep, plus the factor's own
+    /// freshly written x (same worker, same call). Same disjointness and
+    /// barrier-separation obligations as [`SweepArrays::x_phase`].
+    unsafe fn xm_phase(&self, f_lo: usize, f_hi: usize) {
+        let d = self.d;
+        let flat = |f: usize| {
+            if f < self.nf {
+                self.g.factor_edge_range(FactorId::from_usize(f)).start * d
+            } else {
+                self.ne * d
+            }
+        };
+        let base = flat(f_lo);
+        let x_block = self.x.range_mut(base, flat(f_hi));
+        let m_block = self.m.range_mut(base, flat(f_hi));
+        let n_all = self.n.whole();
+        let u_all = self.u.whole();
+        let mut offset = 0usize;
+        for a in f_lo..f_hi {
+            let fa = FactorId::from_usize(a);
+            let len = self.g.factor_degree(fa) * d;
+            let xb = &mut x_block[offset..offset + len];
+            x_update_factor(self.g, self.problem.prox(fa), self.params, n_all, xb, fa);
+            for j in 0..len {
+                m_block[offset + j] = xb[j] + u_all[base + offset + j];
+            }
+            offset += len;
+        }
+    }
+
     /// M sweep (`m = x + u`) over edges `[e_lo, e_hi)`.
     ///
     /// # Safety
@@ -478,35 +668,47 @@ impl<'a> SweepArrays<'a> {
         }
     }
 
-    /// Z sweep (z_prev snapshot + weighted average) over variables
-    /// `[v_lo, v_hi)`.
+    /// Z pass on swapped buffers over variables `[v_lo, v_hi)`: the
+    /// fresh average is written into buffer `z_new` while buffer `z_old`
+    /// (the previous iterate) plays `z_prev` — no snapshot copy.
+    /// Degree-0 variables are copied forward from `z_old`.
     ///
     /// # Safety
-    /// Writes z and z_prev for exactly these variables; reads m and its
-    /// own z before overwriting. Same obligations as
+    /// Writes buffer `z_new` for exactly these variables; reads m and
+    /// buffer `z_old`, neither written this phase (`z_new ≠ z_old` is the
+    /// caller's parity invariant; `z_old` was last written two phases —
+    /// two barriers — ago). Same obligations as
     /// [`SweepArrays::x_phase`].
-    unsafe fn z_phase(&self, v_lo: usize, v_hi: usize) {
+    unsafe fn z_phase_swapped(&self, v_lo: usize, v_hi: usize, z_old: usize, z_new: usize) {
+        debug_assert_ne!(z_old, z_new);
         let d = self.d;
-        let z_block = self.z.range_mut(v_lo * d, v_hi * d);
-        let zp_block = self.z_prev.range_mut(v_lo * d, v_hi * d);
-        zp_block.copy_from_slice(z_block);
+        let z_block = self.z_bufs[z_new].range_mut(v_lo * d, v_hi * d);
+        let z_old_all = self.z_bufs[z_old].whole();
         let m_all = self.m.whole();
         for b in v_lo..v_hi {
-            let zb = &mut z_block[(b - v_lo) * d..(b - v_lo + 1) * d];
-            kernels::z_update_var(self.g, self.params, m_all, zb, VarId::from_usize(b));
+            let off = (b - v_lo) * d;
+            kernels::z_update_swapped_var(
+                self.g,
+                self.params,
+                m_all,
+                &z_old_all[b * d..(b + 1) * d],
+                &mut z_block[off..off + d],
+                VarId::from_usize(b),
+            );
         }
     }
 
-    /// U sweep (dual ascent) over edges `[e_lo, e_hi)`.
+    /// U sweep (dual ascent) over edges `[e_lo, e_hi)`, reading z from
+    /// buffer `zi` (the one the Z pass of this iteration wrote).
     ///
     /// # Safety
-    /// Writes u for exactly these edges; reads x, z. Same obligations as
-    /// [`SweepArrays::x_phase`].
-    unsafe fn u_phase(&self, e_lo: usize, e_hi: usize) {
+    /// Writes u for exactly these edges; reads x and z buffer `zi`. Same
+    /// obligations as [`SweepArrays::x_phase`].
+    unsafe fn u_phase(&self, e_lo: usize, e_hi: usize, zi: usize) {
         let d = self.d;
         let u_block = self.u.range_mut(e_lo * d, e_hi * d);
         let x_all = self.x.whole();
-        let z_all = self.z.whole();
+        let z_all = self.z_bufs[zi].whole();
         for e in e_lo..e_hi {
             let ue = &mut u_block[(e - e_lo) * d..(e - e_lo + 1) * d];
             kernels::u_update_edge(
@@ -520,15 +722,16 @@ impl<'a> SweepArrays<'a> {
         }
     }
 
-    /// N sweep (`n = z − u`) over edges `[e_lo, e_hi)`.
+    /// N sweep (`n = z − u`) over edges `[e_lo, e_hi)`, reading z from
+    /// buffer `zi`.
     ///
     /// # Safety
-    /// Writes n for exactly these edges; reads z, u. Same obligations as
-    /// [`SweepArrays::x_phase`].
-    unsafe fn n_phase(&self, e_lo: usize, e_hi: usize) {
+    /// Writes n for exactly these edges; reads z buffer `zi`, u. Same
+    /// obligations as [`SweepArrays::x_phase`].
+    unsafe fn n_phase(&self, e_lo: usize, e_hi: usize, zi: usize) {
         let d = self.d;
         let n_block = self.n.range_mut(e_lo * d, e_hi * d);
-        let z_all = self.z.whole();
+        let z_all = self.z_bufs[zi].whole();
         let u_all = self.u.whole();
         for e in e_lo..e_hi {
             let nb = &mut n_block[(e - e_lo) * d..(e - e_lo + 1) * d];
@@ -542,20 +745,21 @@ impl<'a> SweepArrays<'a> {
         }
     }
 
-    /// Fused u+n sweep over edges `[e_lo, e_hi)` — see
-    /// [`kernels::un_update_edge`] for why fusion is bit-identical.
+    /// Fused u+n pass over edges `[e_lo, e_hi)`, reading z from buffer
+    /// `zi` — see [`kernels::un_update_edge`] for why fusion is
+    /// bit-identical.
     ///
     /// # Safety
-    /// Writes u and n for exactly these edges; reads x, z, and each
-    /// edge's own freshly written u (same worker, same call) — see
-    /// [`RawArray`]'s contract on the fused phase. Same obligations as
-    /// [`SweepArrays::x_phase`].
-    unsafe fn un_phase(&self, e_lo: usize, e_hi: usize) {
+    /// Writes u and n for exactly these edges; reads x, z buffer `zi`,
+    /// and each edge's own freshly written u (same worker, same call) —
+    /// see [`RawArray`]'s contract on the fused phase. Same obligations
+    /// as [`SweepArrays::x_phase`].
+    unsafe fn un_phase(&self, e_lo: usize, e_hi: usize, zi: usize) {
         let d = self.d;
         let u_block = self.u.range_mut(e_lo * d, e_hi * d);
         let n_block = self.n.range_mut(e_lo * d, e_hi * d);
         let x_all = self.x.whole();
-        let z_all = self.z.whole();
+        let z_all = self.z_bufs[zi].whole();
         for e in e_lo..e_hi {
             let off = (e - e_lo) * d;
             kernels::un_update_edge(
@@ -579,10 +783,8 @@ fn run_barrier(
     t: &mut UpdateTimings,
 ) {
     assert!(threads >= 1, "barrier backend needs at least one thread");
-    let g = problem.graph();
-    let nf = g.num_factors();
-    let nv = g.num_vars();
-    let ne = g.num_edges();
+    let plan = SweepPlan::resolve(problem);
+    let plan = plan.as_ref();
 
     let arrays = SweepArrays::new(problem, store);
     let barrier = Barrier::new(threads);
@@ -596,39 +798,26 @@ fn run_barrier(
             handles.push(scope.spawn(move || {
                 let mut local = UpdateTimings::new();
                 // Static partitions, fixed for the whole run (the paper's
-                // AssignThreads). SAFETY (all phases): assign_range tiles
-                // each sweep into pairwise-disjoint per-thread ranges, and
-                // a barrier separates consecutive phases — exactly the
-                // obligations the SweepArrays phase methods state.
-                let (f_lo, f_hi) = assign_range(nf, tid, threads);
-                let (v_lo, v_hi) = assign_range(nv, tid, threads);
-                let (e_lo, e_hi) = assign_range(ne, tid, threads);
-                for _ in 0..iters {
-                    let t0 = Instant::now();
-                    unsafe { arrays.x_phase(f_lo, f_hi) };
-                    barrier.wait();
-                    let t1 = Instant::now();
-
-                    unsafe { arrays.m_phase(e_lo, e_hi) };
-                    barrier.wait();
-                    let t2 = Instant::now();
-
-                    unsafe { arrays.z_phase(v_lo, v_hi) };
-                    barrier.wait();
-                    let t3 = Instant::now();
-
-                    unsafe { arrays.u_phase(e_lo, e_hi) };
-                    barrier.wait();
-                    let t4 = Instant::now();
-
-                    unsafe { arrays.n_phase(e_lo, e_hi) };
-                    barrier.wait();
-                    if tid == 0 {
-                        local.add(UpdateKind::X, t1 - t0);
-                        local.add(UpdateKind::M, t2 - t1);
-                        local.add(UpdateKind::Z, t3 - t2);
-                        local.add(UpdateKind::U, t4 - t3);
-                        local.add(UpdateKind::N, t4.elapsed());
+                // AssignThreads, cost-weighted when the plan carries a
+                // measured profile). SAFETY (all passes): Pass::split
+                // tiles each pass into pairwise-disjoint per-thread
+                // ranges, every worker derives the same z-buffer parity
+                // from the shared iteration counter, and a barrier
+                // separates consecutive passes — exactly the obligations
+                // the SweepArrays pass methods state.
+                let splits: Vec<(usize, usize)> = plan
+                    .passes()
+                    .iter()
+                    .map(|p| p.split(tid, threads))
+                    .collect();
+                for k in 0..iters {
+                    for (pass, &(lo, hi)) in plan.passes().iter().zip(&splits) {
+                        let t0 = Instant::now();
+                        unsafe { arrays.run_pass(pass, k, lo, hi) };
+                        barrier.wait();
+                        if tid == 0 {
+                            local.add(pass.kind().timing_kind(), t0.elapsed());
+                        }
                     }
                 }
                 local
@@ -639,6 +828,12 @@ fn run_barrier(
             collected.merge(&local);
         }
     });
+    // An odd iteration count leaves the final iterate in the z_prev Vec
+    // (the parity rotation's other buffer); one O(1) swap restores the
+    // z = current / z_prev = previous naming.
+    if iters % 2 == 1 {
+        store.swap_z();
+    }
     collected.iterations = 0; // accounted centrally by run_block
     t.merge(&collected);
 }
@@ -648,46 +843,58 @@ fn run_barrier(
 /// load mid-sweep, large enough that the claim `fetch_add` is noise.
 pub const DEFAULT_STEAL_CHUNK: usize = 64;
 
-/// Persistent workers that *claim* fixed-size chunks of every sweep from
+/// Persistent workers that *claim* fixed-size chunks of every pass from
 /// a shared atomic work index instead of owning a static range — the
 /// dynamic-scheduling answer to the straggler problem the paper pins on
 /// approach #2 (static per-thread ranges leave cores idle whenever the
 /// factor graph's degree distribution is lumpy).
 ///
-/// Each iteration runs four phases (x, m, z, and a *fused* u+n edge sweep
-/// via [`kernels::un_update_edge`] — one synchronization point fewer than
-/// the barrier backend's five). Within a phase, every worker repeatedly
+/// Each iteration runs the plan's passes (three under the default fused
+/// plan: x+m, z, u+n — this backend pioneered the u+n fusion, which now
+/// lives in the shared [`SweepPlan`] machinery instead of being
+/// hand-rolled here). Within a pass, every worker repeatedly
 /// `fetch_add`s a shared chunk counter and executes the claimed chunk of
 /// factors / edges / variables, so a worker stuck on a heavy chunk simply
 /// claims fewer chunks while the others drain the rest — the atomic
-/// work-index idiom of work-assisting runtimes, applied per sweep.
+/// work-index idiom of work-assisting runtimes, applied per pass. The
+/// claim granularity is each pass's [`Pass::chunk`] unless an explicit
+/// [`WorkStealingBackend::with_chunk`] override is set.
 ///
 /// Iterates are **bit-identical** to [`SerialBackend`]: chunks partition
-/// each sweep exactly, every task runs exactly once, and Algorithm 2's
+/// each pass exactly, every task runs exactly once, and Algorithm 2's
 /// Jacobi data flow makes the result independent of which worker ran
 /// which chunk (see the trait-level scheduling contract).
 ///
-/// The fused u+n phase is accounted under [`UpdateKind::U`] in the
-/// timings ([`UpdateKind::N`] receives zero) since the two sweeps are no
-/// longer separable.
+/// Fused passes are accounted under their first constituent in the
+/// timings (x+m under [`UpdateKind::X`], u+n under [`UpdateKind::U`])
+/// since the constituents are no longer separable.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkStealingBackend {
     threads: usize,
-    chunk: usize,
+    chunk: Option<usize>,
 }
 
 impl WorkStealingBackend {
-    /// Backend with `threads` workers claiming
-    /// [`DEFAULT_STEAL_CHUNK`]-sized chunks.
+    /// Backend with `threads` workers claiming each pass's
+    /// [`Pass::chunk`]-sized chunks ([`DEFAULT_STEAL_CHUNK`] under an
+    /// unmeasured plan).
     ///
     /// # Panics
     /// If `threads == 0`.
     pub fn new(threads: usize) -> Self {
-        Self::with_chunk(threads, DEFAULT_STEAL_CHUNK)
+        assert!(
+            threads >= 1,
+            "work-stealing backend needs at least one thread"
+        );
+        WorkStealingBackend {
+            threads,
+            chunk: None,
+        }
     }
 
-    /// Backend with an explicit chunk size (graph elements per claim).
-    /// Smaller chunks rebalance harder; larger chunks claim less often.
+    /// Backend with an explicit chunk size (graph elements per claim)
+    /// overriding every pass's own granularity. Smaller chunks rebalance
+    /// harder; larger chunks claim less often.
     ///
     /// # Panics
     /// If `threads == 0` or `chunk == 0`.
@@ -697,7 +904,10 @@ impl WorkStealingBackend {
             "work-stealing backend needs at least one thread"
         );
         assert!(chunk >= 1, "chunk size must be positive");
-        WorkStealingBackend { threads, chunk }
+        WorkStealingBackend {
+            threads,
+            chunk: Some(chunk),
+        }
     }
 
     /// The worker count.
@@ -705,9 +915,10 @@ impl WorkStealingBackend {
         self.threads
     }
 
-    /// Graph elements claimed per atomic increment.
+    /// Graph elements claimed per atomic increment ([`DEFAULT_STEAL_CHUNK`]
+    /// when no override is set — the per-pass plan granularity applies).
     pub fn chunk(&self) -> usize {
-        self.chunk
+        self.chunk.unwrap_or(DEFAULT_STEAL_CHUNK)
     }
 }
 
@@ -727,94 +938,90 @@ impl SweepExecutor for WorkStealingBackend {
     }
 }
 
+/// How many synchronization points per iteration a barrier-style backend
+/// pays for `problem` — the plan's pass count (see
+/// [`SweepPlan::barriers_per_iteration`]). Exposed so gates and benches
+/// can assert the fused schedule's ≤ 3 barriers without re-deriving the
+/// resolution rule.
+pub fn barriers_per_iteration(problem: &AdmmProblem) -> usize {
+    SweepPlan::resolve(problem).barriers_per_iteration()
+}
+
 fn run_worksteal(
     problem: &AdmmProblem,
     store: &mut VarStore,
     iters: usize,
     threads: usize,
-    chunk: usize,
+    chunk_override: Option<usize>,
     t: &mut UpdateTimings,
 ) {
-    let g = problem.graph();
-    let nf = g.num_factors();
-    let nv = g.num_vars();
-    let ne = g.num_edges();
+    let plan = SweepPlan::resolve(problem);
+    let plan = plan.as_ref();
+    // Per-pass claim granularity: the plan's (possibly measured) chunk
+    // size unless the backend was built with an explicit override.
+    let chunks: Vec<usize> = plan
+        .passes()
+        .iter()
+        .map(|p| chunk_override.unwrap_or_else(|| p.chunk()))
+        .collect();
 
     let arrays = SweepArrays::new(problem, store);
     let barrier = Barrier::new(threads);
-    // One claim counter per phase, double-buffered by iteration parity:
+    // One claim counter per pass, double-buffered by iteration parity:
     // iteration k claims from buffer `k & 1` while the barrier leader
     // zeroes buffer `k+1 & 1` for the next iteration. The buffer being
     // reset was last claimed from in iteration k−1, and its next use (in
     // k+1) is separated from the reset by at least one full barrier, so
     // the reset never races a claim.
-    let counters: [[AtomicUsize; 2]; 4] = Default::default();
+    let counters: Vec<[AtomicUsize; 2]> =
+        plan.passes().iter().map(|_| Default::default()).collect();
     let mut collected = UpdateTimings::new();
 
     // Claims chunk after chunk of `n_items` from `counter` and runs
     // `body(lo, hi)` on each; the unique `fetch_add` ticket makes claimed
     // ranges pairwise disjoint across workers — the disjointness the
-    // SweepArrays phase methods require.
-    let steal = |counter: &AtomicUsize, n_items: usize, body: &dyn Fn(usize, usize)| loop {
-        let c = counter.fetch_add(1, Ordering::Relaxed);
-        let lo = c * chunk;
-        if lo >= n_items {
-            break;
-        }
-        body(lo, (lo + chunk).min(n_items));
-    };
+    // SweepArrays pass methods require.
+    let steal =
+        |counter: &AtomicUsize, n_items: usize, chunk: usize, body: &dyn Fn(usize, usize)| loop {
+            let c = counter.fetch_add(1, Ordering::Relaxed);
+            let lo = c * chunk;
+            if lo >= n_items {
+                break;
+            }
+            body(lo, (lo + chunk).min(n_items));
+        };
 
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for tid in 0..threads {
             let barrier = &barrier;
             let counters = &counters;
+            let chunks = &chunks;
             let arrays = &arrays;
             let steal = &steal;
             handles.push(scope.spawn(move || {
                 let mut local = UpdateTimings::new();
                 for k in 0..iters {
                     let buf = k & 1;
-                    // SAFETY (all phases): chunk claims are disjoint (see
-                    // `steal`), every element of a sweep is claimed exactly
-                    // once per iteration, and a barrier separates phases.
-                    let t0 = Instant::now();
-                    steal(&counters[0][buf], nf, &|lo, hi| unsafe {
-                        arrays.x_phase(lo, hi)
-                    });
-                    if barrier.wait().is_leader() {
-                        counters[0][buf ^ 1].store(0, Ordering::Relaxed);
-                    }
-                    let t1 = Instant::now();
-
-                    steal(&counters[1][buf], ne, &|lo, hi| unsafe {
-                        arrays.m_phase(lo, hi)
-                    });
-                    if barrier.wait().is_leader() {
-                        counters[1][buf ^ 1].store(0, Ordering::Relaxed);
-                    }
-                    let t2 = Instant::now();
-
-                    steal(&counters[2][buf], nv, &|lo, hi| unsafe {
-                        arrays.z_phase(lo, hi)
-                    });
-                    if barrier.wait().is_leader() {
-                        counters[2][buf ^ 1].store(0, Ordering::Relaxed);
-                    }
-                    let t3 = Instant::now();
-
-                    steal(&counters[3][buf], ne, &|lo, hi| unsafe {
-                        arrays.un_phase(lo, hi)
-                    });
-                    if barrier.wait().is_leader() {
-                        counters[3][buf ^ 1].store(0, Ordering::Relaxed);
-                    }
-                    if tid == 0 {
-                        local.add(UpdateKind::X, t1 - t0);
-                        local.add(UpdateKind::M, t2 - t1);
-                        local.add(UpdateKind::Z, t3 - t2);
-                        // Fused u+n: inseparable, accounted under U.
-                        local.add(UpdateKind::U, t3.elapsed());
+                    // SAFETY (all passes): chunk claims are disjoint (see
+                    // `steal`), every element of a pass is claimed exactly
+                    // once per iteration, every worker derives the same
+                    // z-buffer parity from the shared iteration counter,
+                    // and a barrier separates passes.
+                    for (pi, pass) in plan.passes().iter().enumerate() {
+                        let t0 = Instant::now();
+                        steal(
+                            &counters[pi][buf],
+                            pass.items(),
+                            chunks[pi],
+                            &|lo, hi| unsafe { arrays.run_pass(pass, k, lo, hi) },
+                        );
+                        if barrier.wait().is_leader() {
+                            counters[pi][buf ^ 1].store(0, Ordering::Relaxed);
+                        }
+                        if tid == 0 {
+                            local.add(pass.kind().timing_kind(), t0.elapsed());
+                        }
                     }
                 }
                 local
@@ -825,6 +1032,11 @@ fn run_worksteal(
             collected.merge(&local);
         }
     });
+    // Odd iteration counts leave the final iterate in the z_prev Vec —
+    // normalize, as in run_barrier.
+    if iters % 2 == 1 {
+        store.swap_z();
+    }
     collected.iterations = 0; // accounted centrally by run_block
     t.merge(&collected);
 }

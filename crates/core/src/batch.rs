@@ -27,6 +27,14 @@
 //! [`crate::Scheduler::Sharded`], each (re)pack installs a fresh
 //! [`ShardedBackend`] over the layout's **zero-cut** partition (whole
 //! instances per shard, empty halo).
+//!
+//! Each (re)packed fused problem carries no explicit [`crate::SweepPlan`]
+//! — the backend resolves the default fused three-pass schedule for the
+//! new block-diagonal topology, so repacks re-plan for free and stay
+//! bit-identical to solo solves (which resolve the same default). The
+//! fused store's `z_prev` stays materialized under the buffer-swap z
+//! pass, so [`paradmm_graph::BatchLayout::extract_store`] /
+//! `write_store` slicing is unaffected.
 
 use std::time::{Duration, Instant};
 

@@ -1,5 +1,6 @@
-//! Convergence tracing: record residuals and objective estimates per
-//! check-point, export as CSV.
+//! Convergence tracing and schedule diagnostics: record residuals per
+//! check-point (CSV export), and render what the cost-model planner
+//! measured and decided ([`plan_report`]).
 //!
 //! The paper's experiments run "for the same number of iterations" and
 //! separately verify convergence; this module provides the verification
@@ -8,8 +9,40 @@
 
 use paradmm_graph::VarStore;
 
+use crate::plan::SweepPlan;
 use crate::problem::AdmmProblem;
 use crate::residuals::Residuals;
+use crate::timing::SweepCosts;
+
+/// Renders a human-readable report of a compiled [`SweepPlan`] and the
+/// measured [`SweepCosts`] it was built from: pass layout, barrier
+/// count, operator imbalance, and the predicted serial iteration cost.
+/// Used by `examples/heterogeneous_prox.rs` and the `fused_ablation`
+/// bench to show *why* the planner chose its chunks and splits.
+pub fn plan_report(plan: &SweepPlan, costs: &SweepCosts, problem: &AdmmProblem) -> String {
+    let g = problem.graph();
+    let mut out = String::new();
+    out.push_str(&format!("plan: {}\n", plan.summary()));
+    out.push_str(&format!(
+        "barriers/iteration: {}\n",
+        plan.barriers_per_iteration()
+    ));
+    out.push_str(&format!(
+        "x sweep: {} factors, {:.3e}s total, heaviest/mean = {:.2}\n",
+        costs.factor_seconds.len(),
+        costs.x_total(),
+        costs.factor_imbalance()
+    ));
+    out.push_str(&format!(
+        "element sweeps: m {:.2e}s/edge | z {:.2e}s/var | u {:.2e}s/edge | n {:.2e}s/edge\n",
+        costs.m_per_edge, costs.z_per_var, costs.u_per_edge, costs.n_per_edge
+    ));
+    out.push_str(&format!(
+        "predicted serial iteration: {:.3e}s\n",
+        costs.predicted_iteration_seconds(g.num_edges(), g.num_vars())
+    ));
+    out
+}
 
 /// One trace sample.
 #[derive(Debug, Clone, Copy)]

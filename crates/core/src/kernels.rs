@@ -106,6 +106,41 @@ pub fn m_update_range(x: &[f64], u: &[f64], m: &mut [f64], lo: usize, hi: usize)
     }
 }
 
+/// Fused x+m over a contiguous factor range `[a_lo, a_hi)`: each factor
+/// runs its proximal operator and immediately forms `m = x + u` for its
+/// own (contiguous) edge block.
+///
+/// Bit-identical to running [`x_update_range`] over all factors followed
+/// by [`m_update_range`] over all edges: the x sweep reads only `n`, the
+/// m body of edge `e` reads only `x_e` (just written by the same factor)
+/// and `u_e` (written by neither sweep) — so interleaving per factor
+/// reorders no floating-point operation within any single output value.
+/// One pass fewer over the `x` array, and one synchronization point
+/// fewer per iteration in barrier-style backends.
+#[allow(clippy::too_many_arguments)] // mirrors the sweep signature family
+pub fn xm_update_range(
+    graph: &FactorGraph,
+    proxes: &[Box<dyn ProxOp>],
+    params: &EdgeParams,
+    n_all: &[f64],
+    u_all: &[f64],
+    x_all: &mut [f64],
+    m_all: &mut [f64],
+    a_lo: usize,
+    a_hi: usize,
+) {
+    let d = graph.dims();
+    for a in a_lo..a_hi {
+        let fa = FactorId::from_usize(a);
+        let er = graph.factor_edge_range(fa);
+        let (flo, fhi) = (er.start * d, er.end * d);
+        x_update_factor(graph, &*proxes[a], params, n_all, &mut x_all[flo..fhi], fa);
+        for j in flo..fhi {
+            m_all[j] = x_all[j] + u_all[j];
+        }
+    }
+}
+
 /// z-update body for a single variable node `b`:
 /// `z_b = Σ_{e∈∂b} ρ_e m_e / Σ_{e∈∂b} ρ_e`, written into `z_b_out` (that
 /// variable's `dims`-slice of the global z array). Variables of degree 0
@@ -153,6 +188,54 @@ pub fn z_update_range(
     for b in b_lo..b_hi {
         let zb = &mut z_all[b * d..(b + 1) * d];
         z_update_var(graph, params, m_all, zb, VarId::from_usize(b));
+    }
+}
+
+/// z-update body for the double-buffered (swap) schedule: variable `b`'s
+/// fresh average is written into `z_b_out` (a slice of the *write*
+/// buffer, stale by two iterations after a [`paradmm_graph::VarStore::swap_z`]);
+/// a degree-0 variable instead copies its value forward from `z_old_b`
+/// (its slice of the previous iterate), reproducing the copying
+/// schedule's "left unchanged" semantics bit for bit.
+#[inline]
+pub fn z_update_swapped_var(
+    graph: &FactorGraph,
+    params: &EdgeParams,
+    m_all: &[f64],
+    z_old_b: &[f64],
+    z_b_out: &mut [f64],
+    b: VarId,
+) {
+    if graph.var_edges(b).is_empty() {
+        z_b_out.copy_from_slice(z_old_b);
+    } else {
+        z_update_var(graph, params, m_all, z_b_out, b);
+    }
+}
+
+/// z-update over a contiguous variable range `[b_lo, b_hi)` for the
+/// double-buffered schedule: `z_old` is the full previous-iterate buffer
+/// (`z_prev` after the swap), `z_new` the full write buffer.
+pub fn z_update_swapped_range(
+    graph: &FactorGraph,
+    params: &EdgeParams,
+    m_all: &[f64],
+    z_old: &[f64],
+    z_new: &mut [f64],
+    b_lo: usize,
+    b_hi: usize,
+) {
+    let d = graph.dims();
+    for b in b_lo..b_hi {
+        let r = b * d..(b + 1) * d;
+        z_update_swapped_var(
+            graph,
+            params,
+            m_all,
+            &z_old[r.clone()],
+            &mut z_new[r],
+            VarId::from_usize(b),
+        );
     }
 }
 
@@ -471,6 +554,50 @@ mod tests {
 
         assert_eq!(u_sep, u_fused);
         assert_eq!(n_sep, n_fused);
+    }
+
+    #[test]
+    fn fused_xm_matches_separate_sweeps_bitwise() {
+        let (g, mut p) = chain(2);
+        p.rho = vec![1.0, 2.0, 0.5, 3.0];
+        let proxes: Vec<Box<dyn ProxOp>> = vec![Box::new(ZeroProx), Box::new(ZeroProx)];
+        let n: Vec<f64> = (0..8).map(|i| (i as f64 * 0.7).sin()).collect();
+        let u: Vec<f64> = (0..8).map(|i| (i as f64 * 0.3).cos()).collect();
+
+        let mut x_sep = vec![0.0; 8];
+        let mut m_sep = vec![0.0; 8];
+        x_update_range(&g, &proxes, &p, &n, &mut x_sep, 0, 2);
+        m_update_range(&x_sep, &u, &mut m_sep, 0, 8);
+
+        let mut x_fused = vec![0.0; 8];
+        let mut m_fused = vec![0.0; 8];
+        xm_update_range(&g, &proxes, &p, &n, &u, &mut x_fused, &mut m_fused, 0, 2);
+
+        assert_eq!(x_sep, x_fused);
+        assert_eq!(m_sep, m_fused);
+    }
+
+    #[test]
+    fn swapped_z_matches_copy_schedule_and_carries_isolated_vars() {
+        let mut b = GraphBuilder::new(1);
+        let v0 = b.add_var();
+        let _iso = b.add_var();
+        let v2 = b.add_var();
+        b.add_factor(&[v0, v2]);
+        let g = b.build();
+        let p = EdgeParams::uniform(&g, 2.0, 1.0);
+        let m = [5.0, 3.0];
+
+        // Copying schedule: snapshot then in-place update.
+        let mut z_copy = [1.0, 7.0, -2.0];
+        z_update_range(&g, &p, &m, &mut z_copy, 0, 3);
+
+        // Swap schedule: old iterate in z_old, garbage in the write buffer.
+        let z_old = [1.0, 7.0, -2.0];
+        let mut z_new = [999.0; 3];
+        z_update_swapped_range(&g, &p, &m, &z_old, &mut z_new, 0, 3);
+        assert_eq!(z_new, z_copy);
+        assert_eq!(z_new[1], 7.0, "isolated var carried forward");
     }
 
     #[test]

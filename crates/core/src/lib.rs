@@ -11,21 +11,26 @@
 //! for (a,b) ∈ E:  n(a,b) ← z_b − u(a,b)                     // n-update
 //! ```
 //!
-//! The engine assigns each graph element to one task; a
-//! [`SweepExecutor`] *backend* decides how tasks map onto hardware:
+//! The iteration is *compiled*, not hardcoded: a [`SweepPlan`] (see
+//! [`plan`]) groups the five sweeps into fused passes — by default
+//! `x+m | z | u+n`, three synchronization points instead of five, with
+//! a double-buffered `z`/`z_prev` swap in place of the per-iteration
+//! snapshot copy — and a measuring [`Planner`] can weight its chunking
+//! and static splits with per-operator costs. A [`SweepExecutor`]
+//! *backend* decides how the plan's passes map onto hardware:
 //!
 //! * [`SerialBackend`] — the optimized single-core baseline the paper
 //!   measures speedups against,
-//! * [`RayonBackend`] — five parallel loops per iteration (the paper's
+//! * [`RayonBackend`] — one parallel loop per pass (the paper's
 //!   faster OpenMP approach #1),
 //! * [`BarrierBackend`] — persistent workers with barrier
-//!   synchronization between update kinds (OpenMP approach #2,
+//!   synchronization between passes (OpenMP approach #2,
 //!   implemented to reproduce the paper's finding that it is slower),
 //! * [`AsyncBackend`] — asynchronous activation workers (the paper's
 //!   future-work item 1; converges rather than matching bit-for-bit),
-//! * [`WorkStealingBackend`] — persistent workers claiming chunks from a
-//!   shared atomic work index, with a fused u+n sweep (one barrier fewer
-//!   per iteration; fixes approach #2's static-range straggler problem),
+//! * [`WorkStealingBackend`] — persistent workers claiming each pass's
+//!   chunks from a shared atomic work index (fixes approach #2's
+//!   static-range straggler problem),
 //! * [`ShardedBackend`] — partition-local stores with one worker per
 //!   shard and a real per-iteration halo exchange (the paper's
 //!   multi-device future-work item 3, executed instead of priced),
@@ -33,7 +38,7 @@
 //!   problem and locks in the fastest (the paper's "automatic tuning"
 //!   future-work made concrete),
 //! * `paradmm-gpusim`'s adapter — the same numerics against a simulated
-//!   SIMT device clock.
+//!   SIMT device clock, one kernel launch per pass.
 //!
 //! The legacy [`Scheduler`] enum survives as a thin descriptor that
 //! constructs the built-in backends; new execution strategies implement
@@ -55,6 +60,7 @@ pub mod batch;
 pub mod diagnostics;
 pub mod kernels;
 pub mod naive;
+pub mod plan;
 pub mod problem;
 pub mod residuals;
 pub mod scheduler;
@@ -66,17 +72,18 @@ pub mod twa;
 pub use adaptive::ResidualBalancing;
 pub use asynchronous::run_async;
 pub use backend::{
-    AsyncBackend, AutoBackend, BarrierBackend, RayonBackend, SerialBackend, SweepExecutor,
-    WorkStealingBackend, DEFAULT_STEAL_CHUNK,
+    barriers_per_iteration, AsyncBackend, AutoBackend, BarrierBackend, RayonBackend, SerialBackend,
+    SweepExecutor, WorkStealingBackend, DEFAULT_STEAL_CHUNK,
 };
 pub use batch::{BatchReport, BatchSolver, InstanceReport};
-pub use diagnostics::{Trace, TracePoint};
+pub use diagnostics::{plan_report, Trace, TracePoint};
 pub use kernels::UpdateKind;
 pub use paradmm_prox::{ProxCtx, ProxOp};
+pub use plan::{Pass, PassKind, PassSpace, PlanError, Planner, SweepPlan};
 pub use problem::AdmmProblem;
 pub use residuals::{Residuals, StoppingCriteria};
 pub use scheduler::Scheduler;
 pub use sharded::ShardedBackend;
 pub use solver::{Solver, SolverOptions, SolverReport, StopReason};
-pub use timing::UpdateTimings;
+pub use timing::{SweepCosts, UpdateTimings};
 pub use twa::{TwaWeights, WeightClass};

@@ -1,6 +1,6 @@
 //! Deliberately naive reference implementation of Algorithm 2.
 //!
-//! Models "the tool used by [9], [24]" that the paper reports being ≥4×
+//! Models "the tool used by \[9\], \[24\]" that the paper reports being ≥4×
 //! slower per iteration than parADMM on a single core: every edge vector
 //! is its own heap allocation reached through per-node adjacency lists, so
 //! each sweep chases pointers instead of streaming a flat array. It is

@@ -1,0 +1,791 @@
+//! The `SweepPlan` IR: one ADMM iteration compiled into a list of fused
+//! *passes* executed by every backend.
+//!
+//! The paper's Algorithm 2 is five embarrassingly parallel sweeps
+//! (x, m, z, u, n) separated by synchronization points, and its §V
+//! experiments show that synchronization — not arithmetic — is what
+//! separates the OpenMP approaches. Historically every backend in this
+//! repo hardcoded the five-sweep schedule (only the work-stealing
+//! backend hand-fused u+n), so each fusion or chunking tweak had to be
+//! re-implemented once per backend. A [`SweepPlan`] makes the schedule
+//! *data*:
+//!
+//! * a **pass** ([`Pass`]) is a fusion of adjacent sweeps over one index
+//!   space — `x+m` fused over factor-edge ranges, `z` alone over
+//!   variables (with a double-buffered `z`/`z_prev` pointer swap instead
+//!   of the per-iteration copy), `u+n` fused over edges;
+//! * passes are separated by implicit barriers, so
+//!   [`SweepPlan::barriers_per_iteration`] *is* the pass count — the
+//!   default fused plan costs 3 synchronization points per iteration
+//!   instead of the seed's 4–5;
+//! * each pass carries a **chunk size** (the claim granularity of
+//!   dynamic backends) and an optional **measured cost profile** from
+//!   which static backends derive cost-balanced per-worker splits
+//!   ([`Pass::split`]) — the paper's future-work item 2 ("automatic
+//!   per-operator tuning") made concrete.
+//!
+//! Fusion legality rests on Algorithm 2's Jacobi data flow: within a
+//! pass, every task reads only arrays the pass does not write (the
+//! `x+m` pass writes a factor's own x/m block from `n`/`u`; the `u+n`
+//! pass writes an edge's own u/n from `x`/`z` and its freshly written
+//! u), so *any* legal plan — fused or unfused, any chunking, any split
+//! — produces iterates **bit-identical** to the seed five-sweep serial
+//! schedule. `tests/plan_equivalence.rs` property-tests exactly that.
+
+use std::time::Instant;
+
+use paradmm_graph::{FactorGraph, FactorId, VarStore};
+use paradmm_prox::ProxCtx;
+
+use crate::kernels::{self, UpdateKind};
+use crate::problem::AdmmProblem;
+use crate::timing::SweepCosts;
+
+/// The index space a pass sweeps over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassSpace {
+    /// One task per factor (x-update; fused x+m).
+    Factors,
+    /// One task per variable node (z-update).
+    Vars,
+    /// One task per edge (m, u, n; fused u+n).
+    Edges,
+}
+
+/// What one pass computes: a single sweep, or a legal fusion of adjacent
+/// sweeps over the same index space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassKind {
+    /// Proximal-operator sweep over factors.
+    X,
+    /// `m = x + u` sweep over edges.
+    M,
+    /// Fused x+m over factor-edge ranges: each factor runs its proximal
+    /// operator and immediately forms `m = x + u` for its own edges.
+    Xm,
+    /// Consensus average over variables, with the `z`/`z_prev` buffer
+    /// swap standing in for the per-iteration snapshot copy.
+    Z,
+    /// Dual-ascent sweep over edges.
+    U,
+    /// `n = z − u` sweep over edges.
+    N,
+    /// Fused u+n over edges (see [`kernels::un_update_edge`]).
+    Un,
+}
+
+impl PassKind {
+    /// The index space this pass sweeps.
+    pub fn space(self) -> PassSpace {
+        match self {
+            PassKind::X | PassKind::Xm => PassSpace::Factors,
+            PassKind::Z => PassSpace::Vars,
+            PassKind::M | PassKind::U | PassKind::N | PassKind::Un => PassSpace::Edges,
+        }
+    }
+
+    /// The constituent sweeps, in execution order.
+    pub fn kinds(self) -> &'static [UpdateKind] {
+        match self {
+            PassKind::X => &[UpdateKind::X],
+            PassKind::M => &[UpdateKind::M],
+            PassKind::Xm => &[UpdateKind::X, UpdateKind::M],
+            PassKind::Z => &[UpdateKind::Z],
+            PassKind::U => &[UpdateKind::U],
+            PassKind::N => &[UpdateKind::N],
+            PassKind::Un => &[UpdateKind::U, UpdateKind::N],
+        }
+    }
+
+    /// The [`UpdateKind`] a fused pass's time is accounted under in
+    /// [`crate::UpdateTimings`] — the first constituent, matching the
+    /// precedent set by the seed work-stealing backend (fused u+n under
+    /// `U`).
+    pub fn timing_kind(self) -> UpdateKind {
+        self.kinds()[0]
+    }
+
+    /// Short stable label (`"x"`, `"x+m"`, `"u+n"`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            PassKind::X => "x",
+            PassKind::M => "m",
+            PassKind::Xm => "x+m",
+            PassKind::Z => "z",
+            PassKind::U => "u",
+            PassKind::N => "n",
+            PassKind::Un => "u+n",
+        }
+    }
+}
+
+/// One pass of a [`SweepPlan`]: the fused kernel, its index-space size,
+/// the chunk granularity for dynamic (claim-based) backends, and an
+/// optional measured per-item cost profile for static splits.
+#[derive(Debug, Clone)]
+pub struct Pass {
+    kind: PassKind,
+    items: usize,
+    chunk: usize,
+    /// Cumulative cost prefix (`len == items + 1`, strictly increasing,
+    /// `[0] == 0`). `None` means uniform cost per item.
+    cum_cost: Option<Vec<f64>>,
+}
+
+/// Cost floor so weighted prefixes stay strictly increasing even when a
+/// measured cost underflows to zero.
+const MIN_ITEM_COST: f64 = 1e-12;
+
+impl Pass {
+    /// A pass whose items all cost the same; static splits fall back to
+    /// the count-balanced [`kernels::assign_range`].
+    ///
+    /// # Panics
+    /// If `chunk == 0`.
+    pub fn uniform(kind: PassKind, items: usize, chunk: usize) -> Self {
+        assert!(chunk >= 1, "pass chunk size must be positive");
+        Pass {
+            kind,
+            items,
+            chunk,
+            cum_cost: None,
+        }
+    }
+
+    /// A pass with measured per-item costs; static splits balance
+    /// cumulative cost instead of item count. Non-positive costs are
+    /// floored so the prefix stays strictly increasing.
+    ///
+    /// # Panics
+    /// If `chunk == 0`.
+    pub fn weighted(kind: PassKind, chunk: usize, costs: &[f64]) -> Self {
+        assert!(chunk >= 1, "pass chunk size must be positive");
+        let mut cum = Vec::with_capacity(costs.len() + 1);
+        let mut acc = 0.0f64;
+        cum.push(0.0);
+        for &c in costs {
+            acc += c.max(MIN_ITEM_COST);
+            cum.push(acc);
+        }
+        Pass {
+            kind,
+            items: costs.len(),
+            chunk,
+            cum_cost: Some(cum),
+        }
+    }
+
+    /// The fused kernel this pass runs.
+    #[inline]
+    pub fn kind(&self) -> PassKind {
+        self.kind
+    }
+
+    /// Number of items (factors / variables / edges) in the pass.
+    #[inline]
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Items a dynamic backend claims per atomic increment.
+    #[inline]
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Whether the pass carries a measured cost profile.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.cum_cost.is_some()
+    }
+
+    /// Total measured cost (items, when uniform).
+    pub fn total_cost(&self) -> f64 {
+        match &self.cum_cost {
+            Some(c) => *c.last().unwrap_or(&0.0),
+            None => self.items as f64,
+        }
+    }
+
+    /// The static range `[lo, hi)` worker `part` of `n_parts` owns:
+    /// count-balanced via [`kernels::assign_range`] for uniform passes,
+    /// cumulative-cost-balanced for weighted ones. Ranges tile
+    /// `[0, items)` exactly for any `n_parts`.
+    ///
+    /// # Panics
+    /// If `part >= n_parts`.
+    pub fn split(&self, part: usize, n_parts: usize) -> (usize, usize) {
+        assert!(part < n_parts, "part {part} out of range for {n_parts}");
+        match &self.cum_cost {
+            None => kernels::assign_range(self.items, part, n_parts),
+            Some(cum) => {
+                let total = *cum.last().expect("prefix is never empty");
+                let bound = |i: usize| -> usize {
+                    if i == 0 {
+                        0
+                    } else if i == n_parts {
+                        self.items
+                    } else {
+                        let target = total * i as f64 / n_parts as f64;
+                        // Number of items whose cumulative end ≤ target;
+                        // cum[1..] is strictly increasing so boundaries
+                        // are monotone in i.
+                        cum[1..].partition_point(|&c| c <= target)
+                    }
+                };
+                (bound(part), bound(part + 1))
+            }
+        }
+    }
+}
+
+/// Why a pass list does not form a legal plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// Flattening the passes' constituent sweeps did not yield the exact
+    /// x→m→z→u→n order each exactly once.
+    WrongSweepOrder {
+        /// The flattened constituent order that was found.
+        found: Vec<UpdateKind>,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::WrongSweepOrder { found } => write!(
+                f,
+                "passes must cover the sweeps x,m,z,u,n in order exactly once; found {:?}",
+                found
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A compiled iteration schedule: passes in execution order, separated
+/// by implicit barriers. Built once per problem (by
+/// [`SweepPlan::fused`], [`SweepPlan::unfused`], or a measuring
+/// [`Planner`]) and executed by every [`crate::SweepExecutor`].
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    passes: Vec<Pass>,
+}
+
+impl SweepPlan {
+    /// Builds a plan from explicit passes, validating legality: the
+    /// flattened constituent sweeps must be exactly `x, m, z, u, n` in
+    /// order (each once), i.e. the pass list is one of
+    /// `[x|m]…`, `[x+m]…` × `[z]` × `[u|n]…`, `[u+n]…`.
+    pub fn from_passes(passes: Vec<Pass>) -> Result<Self, PlanError> {
+        let found: Vec<UpdateKind> = passes
+            .iter()
+            .flat_map(|p| p.kind().kinds())
+            .copied()
+            .collect();
+        if found != UpdateKind::ALL {
+            return Err(PlanError::WrongSweepOrder { found });
+        }
+        Ok(SweepPlan { passes })
+    }
+
+    /// The default fused schedule: `x+m | z | u+n`, three passes (and
+    /// thus three barriers) per iteration, uniform chunks. This is what
+    /// every backend executes when the problem carries no explicit plan.
+    pub fn fused(problem: &AdmmProblem) -> Self {
+        let g = problem.graph();
+        let c = crate::backend::DEFAULT_STEAL_CHUNK;
+        SweepPlan {
+            passes: vec![
+                Pass::uniform(PassKind::Xm, g.num_factors(), c),
+                Pass::uniform(PassKind::Z, g.num_vars(), c),
+                Pass::uniform(PassKind::Un, g.num_edges(), c),
+            ],
+        }
+    }
+
+    /// The seed five-sweep schedule: `x | m | z | u | n`, five passes,
+    /// uniform chunks — the reference every fused plan is bit-identical
+    /// to, kept constructible for ablations and equivalence tests.
+    pub fn unfused(problem: &AdmmProblem) -> Self {
+        let g = problem.graph();
+        let c = crate::backend::DEFAULT_STEAL_CHUNK;
+        SweepPlan {
+            passes: vec![
+                Pass::uniform(PassKind::X, g.num_factors(), c),
+                Pass::uniform(PassKind::M, g.num_edges(), c),
+                Pass::uniform(PassKind::Z, g.num_vars(), c),
+                Pass::uniform(PassKind::U, g.num_edges(), c),
+                Pass::uniform(PassKind::N, g.num_edges(), c),
+            ],
+        }
+    }
+
+    /// The plan `problem` carries, or (owned) the default fused schedule
+    /// — the one resolution rule every backend shares.
+    pub fn resolve(problem: &AdmmProblem) -> std::borrow::Cow<'_, SweepPlan> {
+        match problem.plan() {
+            Some(p) => std::borrow::Cow::Borrowed(p),
+            None => std::borrow::Cow::Owned(SweepPlan::fused(problem)),
+        }
+    }
+
+    /// The passes, in execution order.
+    #[inline]
+    pub fn passes(&self) -> &[Pass] {
+        &self.passes
+    }
+
+    /// Synchronization points a barrier-style backend pays per
+    /// iteration: one per pass (the last barrier doubles as the
+    /// iteration boundary — the next iteration's first pass reads what
+    /// the final pass wrote).
+    #[inline]
+    pub fn barriers_per_iteration(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Whether both fusions are applied (the three-pass schedule).
+    pub fn is_fused(&self) -> bool {
+        self.passes.iter().any(|p| p.kind() == PassKind::Xm)
+            && self.passes.iter().any(|p| p.kind() == PassKind::Un)
+    }
+
+    /// Whether this plan's index-space sizes match `graph` — the shape
+    /// gate [`AdmmProblem::set_plan`] enforces.
+    pub fn matches(&self, graph: &FactorGraph) -> bool {
+        self.passes.iter().all(|p| {
+            p.items()
+                == match p.kind().space() {
+                    PassSpace::Factors => graph.num_factors(),
+                    PassSpace::Vars => graph.num_vars(),
+                    PassSpace::Edges => graph.num_edges(),
+                }
+        })
+    }
+
+    /// The first pass sweeping the factor space (the activation unit of
+    /// the asynchronous backend).
+    pub fn factor_pass(&self) -> &Pass {
+        self.passes
+            .iter()
+            .find(|p| p.kind().space() == PassSpace::Factors)
+            .expect("every legal plan has a factor pass")
+    }
+
+    /// One-line human summary, e.g.
+    /// `x+m[n=12,chunk=64,weighted] | z[n=7,chunk=64] | u+n[n=24,chunk=64]`.
+    pub fn summary(&self) -> String {
+        self.passes
+            .iter()
+            .map(|p| {
+                format!(
+                    "{}[n={},chunk={}{}]",
+                    p.kind().label(),
+                    p.items(),
+                    p.chunk(),
+                    if p.is_weighted() { ",weighted" } else { "" }
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+/// Builds measured-cost [`SweepPlan`]s: times every proximal operator
+/// and every element-wise sweep on scratch state, then chooses chunk
+/// sizes (so one dynamic claim costs roughly
+/// [`Planner::target_chunk_seconds`]) and attaches per-factor cost
+/// profiles so static backends split the x+m pass by cumulative operator
+/// cost instead of factor count — the difference between one worker
+/// owning every expensive operator and each worker owning its fair share
+/// (see `examples/heterogeneous_prox.rs`).
+#[derive(Debug, Clone, Copy)]
+pub struct Planner {
+    /// Timing repetitions per factor; the minimum is kept (noise on a
+    /// shared machine is strictly additive).
+    pub reps: usize,
+    /// Desired cost of one dynamically claimed chunk, in seconds.
+    pub target_chunk_seconds: f64,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner {
+            reps: 3,
+            target_chunk_seconds: 10e-6,
+        }
+    }
+}
+
+/// Chunk-size clamp: small enough that stragglers shed load, large
+/// enough that the claim `fetch_add` stays noise.
+const MIN_CHUNK_ITEMS: usize = 4;
+const MAX_CHUNK_ITEMS: usize = 16_384;
+
+impl Planner {
+    /// A planner with default measurement settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Measures `problem` and compiles the fused three-pass schedule
+    /// with measured chunk sizes and a cost-weighted x+m split profile.
+    /// The measurement runs on scratch buffers — the caller's state is
+    /// never touched.
+    pub fn plan(&self, problem: &AdmmProblem) -> SweepPlan {
+        let costs = self.measure(problem);
+        self.plan_from_costs(problem, &costs)
+    }
+
+    /// Compiles the fused schedule from already-measured costs (so
+    /// diagnostics can report the same numbers the plan was built from).
+    pub fn plan_from_costs(&self, problem: &AdmmProblem, costs: &SweepCosts) -> SweepPlan {
+        let g = problem.graph();
+        let (nf, nv, ne) = (g.num_factors(), g.num_vars(), g.num_edges());
+
+        // x+m: per-factor cost = measured prox cost + streaming m cost of
+        // the factor's own edges.
+        let xm_costs: Vec<f64> = (0..nf)
+            .map(|a| {
+                let deg = g.factor_degree(FactorId::from_usize(a)) as f64;
+                costs.factor_seconds[a] + deg * costs.m_per_edge
+            })
+            .collect();
+        let xm_total: f64 = xm_costs.iter().sum();
+        let xm_chunk = self.chunk_for(xm_total, nf);
+        // A weighted profile only earns its binary searches when the
+        // operators are actually heterogeneous.
+        let xm_pass = if Self::is_imbalanced(&xm_costs) {
+            Pass::weighted(PassKind::Xm, xm_chunk, &xm_costs)
+        } else {
+            Pass::uniform(PassKind::Xm, nf, xm_chunk)
+        };
+
+        // z: cost per variable scales with its degree (the weighted
+        // average folds one message per incident edge). Degrees are free
+        // to read, so hub-heavy graphs get cost-balanced splits without
+        // extra measurement. `z_per_var` is the measured *mean* (degree
+        // effects already averaged in), so the degree weights are
+        // normalized to keep the pass total at the measured
+        // `nv · z_per_var` — otherwise the chunk sizing would see a
+        // total inflated by the mean degree.
+        let weight_sum: f64 = g.vars().map(|b| g.var_degree(b) as f64 + 1.0).sum();
+        let z_total = costs.z_per_var * nv as f64;
+        let z_scale = if weight_sum > 0.0 {
+            z_total / weight_sum
+        } else {
+            0.0
+        };
+        let z_costs: Vec<f64> = g
+            .vars()
+            .map(|b| (g.var_degree(b) as f64 + 1.0) * z_scale)
+            .collect();
+        let z_chunk = self.chunk_for(z_total, nv);
+        let z_pass = if Self::is_imbalanced(&z_costs) {
+            Pass::weighted(PassKind::Z, z_chunk, &z_costs)
+        } else {
+            Pass::uniform(PassKind::Z, nv, z_chunk)
+        };
+
+        // u+n: homogeneous streaming work per edge.
+        let un_total = (costs.u_per_edge + costs.n_per_edge) * ne as f64;
+        let un_pass = Pass::uniform(PassKind::Un, ne, self.chunk_for(un_total, ne));
+
+        SweepPlan {
+            passes: vec![xm_pass, z_pass, un_pass],
+        }
+    }
+
+    /// Times every proximal operator and the four element-wise sweeps on
+    /// scratch state (min over [`Planner::reps`] repetitions).
+    pub fn measure(&self, problem: &AdmmProblem) -> SweepCosts {
+        let g = problem.graph();
+        let d = g.dims();
+        let reps = self.reps.max(1);
+
+        // Per-factor prox timing on scratch in/out blocks seeded with a
+        // deterministic non-trivial input.
+        let max_deg = g.factors().map(|a| g.factor_degree(a)).max().unwrap_or(0);
+        let mut n_buf = vec![0.0f64; max_deg * d];
+        for (i, v) in n_buf.iter_mut().enumerate() {
+            *v = 0.1 + 0.01 * (i % 7) as f64;
+        }
+        let mut x_buf = vec![0.0f64; max_deg * d];
+        let mut factor_seconds = Vec::with_capacity(g.num_factors());
+        for a in g.factors() {
+            let er = g.factor_edge_range(a);
+            let k = er.len();
+            let rho = &problem.params().rho[er];
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let mut ctx = ProxCtx::new(&n_buf[..k * d], rho, &mut x_buf[..k * d], d);
+                problem.prox(a).prox(&mut ctx);
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            factor_seconds.push(best);
+        }
+
+        // Element-wise sweep timing on a scratch store; per-item cost is
+        // the min-of-reps sweep time divided by the item count.
+        let mut scratch = VarStore::zeros(g);
+        for (i, v) in scratch.m.iter_mut().enumerate() {
+            *v = (i as f64 * 0.13).sin();
+        }
+        scratch.x.copy_from_slice(&scratch.m);
+        scratch.u.copy_from_slice(&scratch.m);
+        let (nv, ne) = (g.num_vars(), g.num_edges());
+        let flat = ne * d;
+        let params = problem.params();
+        let time_sweep = |body: &mut dyn FnMut(&mut VarStore)| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                // Clone outside the timed region: only the sweep itself is
+                // the cost being measured.
+                let mut s = scratch.clone();
+                let t0 = Instant::now();
+                body(&mut s);
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            best
+        };
+        let m_s = time_sweep(&mut |s: &mut VarStore| {
+            kernels::m_update_range(&s.x, &s.u, &mut s.m, 0, flat)
+        });
+        let z_s = time_sweep(&mut |s: &mut VarStore| {
+            kernels::z_update_range(g, params, &s.m, &mut s.z, 0, nv)
+        });
+        let u_s = time_sweep(&mut |s: &mut VarStore| {
+            kernels::u_update_range(g, params, &s.x, &s.z, &mut s.u, 0, ne)
+        });
+        let n_s = time_sweep(&mut |s: &mut VarStore| {
+            kernels::n_update_range(g, &s.z, &s.u, &mut s.n, 0, ne)
+        });
+        let per = |total: f64, items: usize| {
+            if items == 0 {
+                0.0
+            } else {
+                (total / items as f64).max(MIN_ITEM_COST)
+            }
+        };
+        SweepCosts {
+            factor_seconds,
+            m_per_edge: per(m_s, ne),
+            z_per_var: per(z_s, nv),
+            u_per_edge: per(u_s, ne),
+            n_per_edge: per(n_s, ne),
+        }
+    }
+
+    /// Chunk size such that one claim covers ≈ `target_chunk_seconds` of
+    /// average-cost items, clamped to sane bounds.
+    fn chunk_for(&self, total_seconds: f64, items: usize) -> usize {
+        if items == 0 || total_seconds <= 0.0 {
+            return crate::backend::DEFAULT_STEAL_CHUNK;
+        }
+        let per_item = total_seconds / items as f64;
+        let raw = (self.target_chunk_seconds / per_item.max(MIN_ITEM_COST)) as usize;
+        raw.clamp(MIN_CHUNK_ITEMS, MAX_CHUNK_ITEMS)
+    }
+
+    /// Whether a cost vector is lumpy enough (max > 2× mean) that a
+    /// weighted split beats a count split.
+    fn is_imbalanced(costs: &[f64]) -> bool {
+        if costs.len() < 2 {
+            return false;
+        }
+        let total: f64 = costs.iter().sum();
+        let mean = total / costs.len() as f64;
+        costs.iter().fold(0.0f64, |m, &c| m.max(c)) > 2.0 * mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradmm_graph::GraphBuilder;
+    use paradmm_prox::{ProxOp, QuadraticProx};
+
+    fn chain_problem(n: usize) -> AdmmProblem {
+        let mut b = GraphBuilder::new(2);
+        let vs = b.add_vars(n + 1);
+        let mut proxes: Vec<Box<dyn ProxOp>> = Vec::new();
+        for i in 0..n {
+            b.add_factor(&[vs[i], vs[i + 1]]);
+            proxes.push(Box::new(QuadraticProx::isotropic(4, 1.0, &[0.0; 4])));
+        }
+        AdmmProblem::new(b.build(), proxes, 1.0, 1.0)
+    }
+
+    #[test]
+    fn fused_plan_has_three_passes_and_barriers() {
+        let p = chain_problem(5);
+        let plan = SweepPlan::fused(&p);
+        assert_eq!(plan.barriers_per_iteration(), 3);
+        assert!(plan.is_fused());
+        assert!(plan.matches(p.graph()));
+        assert_eq!(
+            plan.passes().iter().map(|x| x.kind()).collect::<Vec<_>>(),
+            vec![PassKind::Xm, PassKind::Z, PassKind::Un]
+        );
+    }
+
+    #[test]
+    fn unfused_plan_mirrors_the_seed_schedule() {
+        let p = chain_problem(5);
+        let plan = SweepPlan::unfused(&p);
+        assert_eq!(plan.barriers_per_iteration(), 5);
+        assert!(!plan.is_fused());
+        let kinds: Vec<UpdateKind> = plan
+            .passes()
+            .iter()
+            .flat_map(|x| x.kind().kinds())
+            .copied()
+            .collect();
+        assert_eq!(kinds, UpdateKind::ALL);
+    }
+
+    #[test]
+    fn from_passes_rejects_illegal_orders() {
+        // z before m: illegal.
+        let bad = vec![
+            Pass::uniform(PassKind::X, 3, 8),
+            Pass::uniform(PassKind::Z, 2, 8),
+            Pass::uniform(PassKind::M, 4, 8),
+            Pass::uniform(PassKind::Un, 4, 8),
+        ];
+        assert!(SweepPlan::from_passes(bad).is_err());
+        // duplicate coverage: x+m then m again.
+        let dup = vec![
+            Pass::uniform(PassKind::Xm, 3, 8),
+            Pass::uniform(PassKind::M, 4, 8),
+            Pass::uniform(PassKind::Z, 2, 8),
+            Pass::uniform(PassKind::Un, 4, 8),
+        ];
+        assert!(SweepPlan::from_passes(dup).is_err());
+        // all four legal shapes pass.
+        for (xm, un) in [(false, false), (true, false), (false, true), (true, true)] {
+            let mut passes = Vec::new();
+            if xm {
+                passes.push(Pass::uniform(PassKind::Xm, 3, 8));
+            } else {
+                passes.push(Pass::uniform(PassKind::X, 3, 8));
+                passes.push(Pass::uniform(PassKind::M, 4, 8));
+            }
+            passes.push(Pass::uniform(PassKind::Z, 2, 8));
+            if un {
+                passes.push(Pass::uniform(PassKind::Un, 4, 8));
+            } else {
+                passes.push(Pass::uniform(PassKind::U, 4, 8));
+                passes.push(Pass::uniform(PassKind::N, 4, 8));
+            }
+            assert!(SweepPlan::from_passes(passes).is_ok(), "xm={xm} un={un}");
+        }
+    }
+
+    #[test]
+    fn uniform_split_matches_assign_range() {
+        let pass = Pass::uniform(PassKind::Un, 17, 8);
+        for parts in [1usize, 2, 3, 7] {
+            for i in 0..parts {
+                assert_eq!(pass.split(i, parts), kernels::assign_range(17, i, parts));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_split_tiles_and_balances_cost() {
+        // One huge item among tiny ones: the huge item's owner should get
+        // (almost) nothing else.
+        let mut costs = vec![1.0f64; 64];
+        costs[0] = 63.0;
+        let pass = Pass::weighted(PassKind::Xm, 8, &costs);
+        for parts in [1usize, 2, 4, 5] {
+            let mut prev_hi = 0;
+            let mut covered = 0;
+            for i in 0..parts {
+                let (lo, hi) = pass.split(i, parts);
+                assert_eq!(lo, prev_hi, "parts={parts} part={i}");
+                covered += hi - lo;
+                prev_hi = hi;
+            }
+            assert_eq!(covered, 64, "parts={parts}");
+            assert_eq!(prev_hi, 64);
+        }
+        // With 2 parts the totals are 126/2 = 63 per side: item 0 alone
+        // hits the target exactly, so part 0 is exactly {0}.
+        assert_eq!(pass.split(0, 2), (0, 1));
+        assert_eq!(pass.split(1, 2), (1, 64));
+    }
+
+    #[test]
+    fn weighted_split_more_parts_than_items_stays_legal() {
+        let pass = Pass::weighted(PassKind::Z, 1, &[1.0, 1.0]);
+        let mut covered = 0;
+        let mut prev_hi = 0;
+        for i in 0..5 {
+            let (lo, hi) = pass.split(i, 5);
+            assert_eq!(lo, prev_hi);
+            covered += hi - lo;
+            prev_hi = hi;
+        }
+        assert_eq!(covered, 2);
+    }
+
+    #[test]
+    fn planner_produces_a_matching_fused_plan() {
+        let p = chain_problem(12);
+        let plan = Planner::new().plan(&p);
+        assert!(plan.is_fused());
+        assert!(plan.matches(p.graph()));
+        assert_eq!(plan.barriers_per_iteration(), 3);
+        for pass in plan.passes() {
+            assert!(pass.chunk() >= 1);
+        }
+    }
+
+    #[test]
+    fn planner_weights_imbalanced_z_spaces() {
+        // A hub variable of high degree must trigger the weighted z pass.
+        let mut b = GraphBuilder::new(1);
+        let hub = b.add_var();
+        let mut proxes: Vec<Box<dyn ProxOp>> = Vec::new();
+        for _ in 0..24 {
+            let leaf = b.add_var();
+            b.add_factor(&[hub, leaf]);
+            proxes.push(Box::new(QuadraticProx::isotropic(2, 1.0, &[0.0, 0.0])));
+        }
+        let p = AdmmProblem::new(b.build(), proxes, 1.0, 1.0);
+        let plan = Planner::new().plan(&p);
+        let z = &plan.passes()[1];
+        assert_eq!(z.kind(), PassKind::Z);
+        assert!(z.is_weighted(), "hub graph must get a weighted z split");
+        // The hub (item 0) dominates: with 2 parts, part 0 is tiny.
+        let (lo, hi) = z.split(0, 2);
+        assert!(hi - lo < 13, "hub owner got {} items", hi - lo);
+    }
+
+    #[test]
+    fn summary_mentions_every_pass() {
+        let p = chain_problem(3);
+        let s = SweepPlan::fused(&p).summary();
+        assert!(s.contains("x+m["));
+        assert!(s.contains("z["));
+        assert!(s.contains("u+n["));
+    }
+
+    #[test]
+    fn plan_installs_on_problem_and_shape_gates() {
+        let mut p = chain_problem(4);
+        let plan = SweepPlan::fused(&p);
+        p.set_plan(plan);
+        assert!(p.plan().is_some());
+        p.clear_plan();
+        assert!(p.plan().is_none());
+        let other = chain_problem(9);
+        let foreign = SweepPlan::fused(&other);
+        assert!(!foreign.matches(p.graph()));
+    }
+}

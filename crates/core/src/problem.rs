@@ -3,15 +3,24 @@
 use paradmm_graph::{EdgeParams, FactorGraph, FactorId};
 use paradmm_prox::ProxOp;
 
+use crate::plan::SweepPlan;
+
 /// The fully-specified optimization problem the engine iterates on:
 /// topology, per-factor proximal operators, and per-edge `ρ/α` parameters.
 ///
 /// This is the Rust analogue of the paper's `Cpu_graph` after all
 /// `addNode(...)` calls and `initialize_RHOS_APHAS(...)`.
+///
+/// A problem may additionally carry an explicit [`SweepPlan`] — the
+/// compiled iteration schedule every backend executes. Without one,
+/// backends fall back to [`SweepPlan::fused`], the default three-pass
+/// (x+m | z | u+n) schedule; [`crate::plan::Planner`] builds
+/// measured-cost plans worth installing for heterogeneous operators.
 pub struct AdmmProblem {
     graph: FactorGraph,
     proxes: Vec<Box<dyn ProxOp>>,
     params: EdgeParams,
+    plan: Option<SweepPlan>,
 }
 
 impl AdmmProblem {
@@ -30,6 +39,7 @@ impl AdmmProblem {
             graph,
             proxes,
             params,
+            plan: None,
         }
     }
 
@@ -45,6 +55,7 @@ impl AdmmProblem {
             graph,
             proxes,
             params,
+            plan: None,
         }
     }
 
@@ -87,8 +98,36 @@ impl AdmmProblem {
         self.proxes[a.idx()] = prox;
     }
 
+    /// The explicit iteration schedule, if one was installed. `None`
+    /// means backends use the default [`SweepPlan::fused`] schedule.
+    #[inline]
+    pub fn plan(&self) -> Option<&SweepPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Installs an explicit [`SweepPlan`] every backend will execute.
+    ///
+    /// # Panics
+    /// If the plan was built for a different graph shape
+    /// (see [`SweepPlan::matches`]).
+    pub fn set_plan(&mut self, plan: SweepPlan) {
+        assert!(
+            plan.matches(&self.graph),
+            "sweep plan was built for a different graph shape"
+        );
+        self.plan = Some(plan);
+    }
+
+    /// Removes the explicit plan; backends revert to the default fused
+    /// schedule.
+    pub fn clear_plan(&mut self) {
+        self.plan = None;
+    }
+
     /// Decomposes into parts (used by the GPU simulator, which re-wraps the
-    /// problem with device-side bookkeeping).
+    /// problem with device-side bookkeeping, and by batch repacks). Any
+    /// installed [`SweepPlan`] is dropped — it was compiled for this
+    /// problem and must be rebuilt for whatever the parts become.
     pub fn into_parts(self) -> (FactorGraph, Vec<Box<dyn ProxOp>>, EdgeParams) {
         (self.graph, self.proxes, self.params)
     }

@@ -7,6 +7,11 @@
 //! sites (and [`crate::SolverOptions`]) use to pick one of the built-in
 //! backends. New code should construct backends directly — or implement
 //! [`SweepExecutor`] — and hand them to [`crate::Solver::with_backend`].
+//!
+//! Note the descriptor picks the *backend*, not the *schedule*: the
+//! iteration schedule is the problem's [`crate::SweepPlan`] (default:
+//! the fused three-pass plan), which every descriptor-built backend
+//! executes identically — see [`crate::plan`].
 
 use paradmm_graph::VarStore;
 

@@ -11,23 +11,30 @@
 //! consensus `z` of *halo* variables (those touched by more than one
 //! shard).
 //!
-//! Per iteration, each worker:
+//! Per iteration, each worker executes the problem's
+//! [`crate::SweepPlan`] with the shard-local twist that only `z` couples
+//! shards:
 //!
-//! 1. runs x, m, the `z_prev` snapshot, the z-update for its *interior*
-//!    variables, and **stages** `ρ·(x+u)` messages for its halo-incident
-//!    edges — all on shard-local arrays;
+//! 1. runs the factor passes (fused x+m under the default plan, separate
+//!    x then m under an unfused one), the `z`/`z_prev` buffer swap
+//!    ([`paradmm_graph::VarStore::swap_z`] — no snapshot copy), the
+//!    z-update for its *interior* variables, and **stages** `ρ·(x+u)`
+//!    messages for its halo-incident edges — all on shard-local arrays;
 //! 2. *(barrier)* **reduces** an [`assign_range`]-assigned slice of halo
 //!    variables: folds the staged messages in ascending **global** edge
 //!    order (replaying the serial z-update's exact floating-point
 //!    fold — per-shard partial sums would re-associate it) and divides
 //!    by the precomputed `Σρ`;
 //! 3. *(barrier)* **broadcasts** the combined `z` back into its local
-//!    replicas, then runs the fused u+n sweep locally.
+//!    replicas, then runs the plan's edge passes (fused u+n, or u then
+//!    n) locally.
 //!
-//! Two barriers per iteration instead of the barrier backend's five: all
-//! other sweeps touch only shard-local data. Iterates are
-//! **bit-identical** to [`SerialBackend`](crate::SerialBackend) for any
-//! partition, pinned by `tests/backend_equivalence.rs`.
+//! Two barriers per iteration instead of the fused plan's three (and the
+//! seed barrier backend's five): all sweeps except the halo part of z
+//! touch only shard-local data, so pass boundaries inside a phase need
+//! no synchronization. Iterates are **bit-identical** to
+//! [`SerialBackend`](crate::SerialBackend) for any partition and any
+//! legal plan, pinned by `tests/backend_equivalence.rs`.
 //!
 //! The backend counts the bytes its exchange actually moves
 //! ([`ShardedBackend::measured_halo_bytes`]); `paradmm-gpusim`'s
@@ -42,6 +49,7 @@ use paradmm_graph::{EdgeParams, FactorId, Partition, Shard, ShardedStore, VarSto
 
 use crate::backend::SweepExecutor;
 use crate::kernels::{self, assign_range, x_update_factor, UpdateKind};
+use crate::plan::{PassKind, SweepPlan};
 use crate::problem::AdmmProblem;
 use crate::timing::UpdateTimings;
 
@@ -288,6 +296,12 @@ fn run_sharded(
     iters: usize,
     t: &mut UpdateTimings,
 ) -> u64 {
+    // The plan's fusion choices apply to the shard-local passes; the
+    // phase structure (2 barriers around the halo reduce) is this
+    // backend's own.
+    let plan = SweepPlan::resolve(problem);
+    let xm_fused = plan.passes().iter().any(|p| p.kind() == PassKind::Xm);
+    let un_fused = plan.passes().iter().any(|p| p.kind() == PassKind::Un);
     let parts = sharded.parts();
     let (shards, halo_z, reduce) = sharded.exec_parts_mut();
     let n_halo = reduce.len();
@@ -324,31 +338,60 @@ fn run_sharded(
                         let params = &shard.params;
                         let d = g.dims();
 
-                        for (lf, &ga) in shard.factor_global.iter().enumerate() {
-                            let fa = FactorId::from_usize(lf);
-                            let er = g.factor_edge_range(fa);
-                            x_update_factor(
-                                g,
-                                problem.prox(ga),
-                                params,
-                                &shard.store.n,
-                                &mut shard.store.x[er.start * d..er.end * d],
-                                fa,
+                        let (t1, t2) = if xm_fused {
+                            // Fused local x+m: each factor's prox then
+                            // m = x + u for its own contiguous edge block
+                            // (same fusion as kernels::xm_update_range,
+                            // with the prox fetched via the global id).
+                            for (lf, &ga) in shard.factor_global.iter().enumerate() {
+                                let fa = FactorId::from_usize(lf);
+                                let er = g.factor_edge_range(fa);
+                                let (flo, fhi) = (er.start * d, er.end * d);
+                                x_update_factor(
+                                    g,
+                                    problem.prox(ga),
+                                    params,
+                                    &shard.store.n,
+                                    &mut shard.store.x[flo..fhi],
+                                    fa,
+                                );
+                                for j in flo..fhi {
+                                    shard.store.m[j] = shard.store.x[j] + shard.store.u[j];
+                                }
+                            }
+                            let t1 = Instant::now();
+                            (t1, t1)
+                        } else {
+                            for (lf, &ga) in shard.factor_global.iter().enumerate() {
+                                let fa = FactorId::from_usize(lf);
+                                let er = g.factor_edge_range(fa);
+                                x_update_factor(
+                                    g,
+                                    problem.prox(ga),
+                                    params,
+                                    &shard.store.n,
+                                    &mut shard.store.x[er.start * d..er.end * d],
+                                    fa,
+                                );
+                            }
+                            let t1 = Instant::now();
+
+                            let flat = g.num_edges() * d;
+                            kernels::m_update_range(
+                                &shard.store.x,
+                                &shard.store.u,
+                                &mut shard.store.m,
+                                0,
+                                flat,
                             );
-                        }
-                        let t1 = Instant::now();
+                            (t1, Instant::now())
+                        };
 
-                        let flat = g.num_edges() * d;
-                        kernels::m_update_range(
-                            &shard.store.x,
-                            &shard.store.u,
-                            &mut shard.store.m,
-                            0,
-                            flat,
-                        );
-                        let t2 = Instant::now();
-
-                        shard.store.snapshot_z();
+                        // Buffer swap in place of the z_prev snapshot
+                        // copy: every shard-local variable is rewritten
+                        // below (interior here, halo replicas at the
+                        // broadcast), so no stale value survives.
+                        shard.store.swap_z();
                         for &lv in &shard.interior_vars {
                             let lo = lv as usize * d;
                             kernels::z_update_var(
@@ -414,23 +457,52 @@ fn run_sharded(
                         }
                         bytes += 8 * (shard.halo_in.len() * d) as u64;
                         let t3 = Instant::now();
-                        kernels::un_update_range(
-                            g,
-                            &shard.params,
-                            &shard.store.x,
-                            &shard.store.z,
-                            &mut shard.store.u,
-                            &mut shard.store.n,
-                            0,
-                            g.num_edges(),
-                        );
+                        // t4 marks the end of the u work: the whole fused
+                        // u+n pass, or just the u sweep when unfused.
+                        let t4 = if un_fused {
+                            kernels::un_update_range(
+                                g,
+                                &shard.params,
+                                &shard.store.x,
+                                &shard.store.z,
+                                &mut shard.store.u,
+                                &mut shard.store.n,
+                                0,
+                                g.num_edges(),
+                            );
+                            Instant::now()
+                        } else {
+                            kernels::u_update_range(
+                                g,
+                                &shard.params,
+                                &shard.store.x,
+                                &shard.store.z,
+                                &mut shard.store.u,
+                                0,
+                                g.num_edges(),
+                            );
+                            let t4 = Instant::now();
+                            kernels::n_update_range(
+                                g,
+                                &shard.store.z,
+                                &shard.store.u,
+                                &mut shard.store.n,
+                                0,
+                                g.num_edges(),
+                            );
+                            t4
+                        };
                         if tid == 0 {
                             local.add(UpdateKind::X, t1 - t0);
                             local.add(UpdateKind::M, t2 - t1);
                             // Interior z + stage + exchange, inseparable.
                             local.add(UpdateKind::Z, t3 - t2);
-                            // Fused u+n, accounted under U like worksteal.
-                            local.add(UpdateKind::U, t3.elapsed());
+                            // Fused u+n goes under U like every fused
+                            // pass; an unfused plan splits U and N.
+                            local.add(UpdateKind::U, t4 - t3);
+                            if !un_fused {
+                                local.add(UpdateKind::N, t4.elapsed());
+                            }
                         }
                     }
                 }

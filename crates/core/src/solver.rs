@@ -200,6 +200,25 @@ impl<B: SweepExecutor + ?Sized> Solver<B> {
         &self.options
     }
 
+    /// Installs an explicit [`crate::SweepPlan`] on the problem; every
+    /// backend executes it from the next block on.
+    ///
+    /// # Panics
+    /// If the plan was built for a different graph shape.
+    pub fn set_plan(&mut self, plan: crate::SweepPlan) {
+        self.problem.set_plan(plan);
+    }
+
+    /// Measures this problem's per-operator and per-sweep costs with
+    /// `planner`, compiles the measured fused plan, installs it, and
+    /// returns the installed plan — the one-call route to cost-model
+    /// scheduling (the paper's future-work item 2).
+    pub fn plan_measured(&mut self, planner: &crate::Planner) -> &crate::SweepPlan {
+        let plan = planner.plan(&self.problem);
+        self.problem.set_plan(plan);
+        self.problem.plan().expect("plan was just installed")
+    }
+
     /// Randomizes all state uniformly in `[lo, hi)` from a deterministic
     /// seed — the analogue of the paper's `initialize_X_N_Z_M_U_rand`.
     pub fn init_random(&mut self, lo: f64, hi: f64, seed: u64) {

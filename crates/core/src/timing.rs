@@ -1,12 +1,73 @@
-//! Per-update-kind wall-clock accounting.
+//! Per-update-kind wall-clock accounting and the measured sweep cost
+//! model the [`crate::plan::Planner`] compiles schedules from.
 //!
 //! The paper reports which sweeps dominate the iteration (e.g. packing on
 //! the GPU: x 31% + z 40%; MPC on CPUs: m+u+n = 60%). The solver collects
-//! exactly those breakdowns here.
+//! exactly those breakdowns here. Fused passes are accounted under their
+//! first constituent sweep ([`crate::plan::PassKind::timing_kind`]):
+//! x+m under `x`, u+n under `u` — the precedent the seed work-stealing
+//! backend set.
 
 use std::time::Duration;
 
 use crate::kernels::UpdateKind;
+
+/// Measured per-item costs of the five sweeps on this machine — the
+/// input to [`crate::plan::Planner`]'s chunk-size and split decisions.
+///
+/// The x sweep is resolved *per factor* (proximal operators are the only
+/// heterogeneous work in an iteration; the paper's future-work item 2 is
+/// exactly tuning around them); the element-wise m/z/u/n sweeps are
+/// summarized by a mean per-item cost.
+#[derive(Debug, Clone)]
+pub struct SweepCosts {
+    /// Measured seconds of each factor's proximal operator, in factor
+    /// order (min over repetitions).
+    pub factor_seconds: Vec<f64>,
+    /// Mean seconds per edge of the `m = x + u` sweep.
+    pub m_per_edge: f64,
+    /// Mean seconds per variable of the z consensus average.
+    pub z_per_var: f64,
+    /// Mean seconds per edge of the dual-ascent u sweep.
+    pub u_per_edge: f64,
+    /// Mean seconds per edge of the `n = z − u` sweep.
+    pub n_per_edge: f64,
+}
+
+impl SweepCosts {
+    /// Total measured x-sweep seconds (sum over factors).
+    pub fn x_total(&self) -> f64 {
+        self.factor_seconds.iter().sum()
+    }
+
+    /// Largest single proximal-operator cost — the indivisible task that
+    /// bounds any schedule's critical path.
+    pub fn max_factor(&self) -> f64 {
+        self.factor_seconds.iter().fold(0.0f64, |m, &c| m.max(c))
+    }
+
+    /// Ratio of the heaviest operator to the mean (1.0 = perfectly
+    /// homogeneous) — the imbalance number the planner keys weighted
+    /// splits on.
+    pub fn factor_imbalance(&self) -> f64 {
+        if self.factor_seconds.is_empty() {
+            return 1.0;
+        }
+        let mean = self.x_total() / self.factor_seconds.len() as f64;
+        if mean > 0.0 {
+            self.max_factor() / mean
+        } else {
+            1.0
+        }
+    }
+
+    /// Predicted serial seconds of one full iteration (all five sweeps).
+    pub fn predicted_iteration_seconds(&self, num_edges: usize, num_vars: usize) -> f64 {
+        self.x_total()
+            + (self.m_per_edge + self.u_per_edge + self.n_per_edge) * num_edges as f64
+            + self.z_per_var * num_vars as f64
+    }
+}
 
 /// Accumulated wall-clock time per update kind.
 #[derive(Debug, Clone, Default)]
@@ -132,6 +193,30 @@ mod tests {
         t.add(UpdateKind::N, Duration::from_secs(2));
         t.iterations = 8;
         assert!((t.seconds_per_iteration() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_costs_aggregate_sanely() {
+        let c = SweepCosts {
+            factor_seconds: vec![1e-6, 1e-6, 8e-6],
+            m_per_edge: 1e-8,
+            z_per_var: 2e-8,
+            u_per_edge: 1e-8,
+            n_per_edge: 1e-8,
+        };
+        assert!((c.x_total() - 1e-5).abs() < 1e-12);
+        assert_eq!(c.max_factor(), 8e-6);
+        assert!((c.factor_imbalance() - 2.4).abs() < 1e-9);
+        let it = c.predicted_iteration_seconds(100, 10);
+        assert!((it - (1e-5 + 3e-6 + 2e-7)).abs() < 1e-12);
+        let empty = SweepCosts {
+            factor_seconds: vec![],
+            m_per_edge: 0.0,
+            z_per_var: 0.0,
+            u_per_edge: 0.0,
+            n_per_edge: 0.0,
+        };
+        assert_eq!(empty.factor_imbalance(), 1.0);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Three-weight message weighting (Derbinsky, Bento, Elser, Yedidia —
-//! paper reference [9]).
+//! paper reference \[9\]).
 //!
 //! The three-weight algorithm (TWA) replaces the uniform penalty `ρ` with
 //! per-edge weight *classes*: a factor that is **certain** about a value
@@ -12,7 +12,7 @@
 //! (`ZERO_RHO`/`INF_RHO`) so the unmodified Algorithm 2 kernels apply —
 //! the weighted z-average then reproduces TWA semantics to floating-point
 //! accuracy. This mirrors how the reference C implementation realizes the
-//! scheme, and is exactly the "improved update schemes (e.g. [9]) which
+//! scheme, and is exactly the "improved update schemes (e.g. \[9\]) which
 //! parADMM can also implement" the paper mentions.
 
 use paradmm_graph::{EdgeId, EdgeParams, FactorGraph};

@@ -5,14 +5,21 @@
 //! simulated device: numerics run bit-identically to
 //! [`paradmm_core::SerialBackend`] on the host, while the per-kind
 //! timings recorded into [`UpdateTimings`] are the *simulated* kernel
-//! times of the [`SimtDevice`] model — five `<<<nb, ntb>>>` launches per
-//! iteration, priced from the problem's real per-task work profile.
+//! times of the [`SimtDevice`] model — one `<<<nb, ntb>>>` launch **per
+//! pass of the problem's [`SweepPlan`]** (three under the default fused
+//! plan, five under the seed unfused schedule), each priced from the
+//! problem's real per-task work profile. Fusion pays off twice on the
+//! device model: two launch overheads fewer per iteration, and fused
+//! threads reuse operands (the per-task costs are summed, but the launch
+//! floor is paid once).
 
-use paradmm_core::{AdmmProblem, SerialBackend, SweepExecutor, UpdateKind, UpdateTimings};
+use paradmm_core::{
+    AdmmProblem, SerialBackend, SweepExecutor, SweepPlan, UpdateKind, UpdateTimings,
+};
 use paradmm_graph::VarStore;
 
 use crate::device::{KernelStats, SimtDevice};
-use crate::tasks::WorkloadProfile;
+use crate::tasks::{TaskCost, WorkloadProfile};
 
 /// Simulated per-iteration time, split by update kind.
 #[derive(Debug, Clone, Copy)]
@@ -39,12 +46,24 @@ impl GpuIterationBreakdown {
 }
 
 /// ADMM execution on a simulated SIMT device: exact host numerics, device
-/// clock from the [`SimtDevice`] model.
+/// clock from the [`SimtDevice`] model, one kernel launch per plan pass.
+///
+/// The [`SweepPlan`] is captured at construction (the problem's plan, or
+/// the default fused schedule); [`SweepExecutor::supports`] rejects
+/// problems whose resolved plan has a different pass structure, so the
+/// priced launch count always matches what the host executes.
 pub struct GpuSimBackend {
     device: SimtDevice,
     profile: WorkloadProfile,
+    /// The schedule the launches are priced for.
+    plan: SweepPlan,
+    /// One fused task list per plan pass, derived from `profile`.
+    pass_tasks: Vec<Vec<TaskCost>>,
+    /// Threads-per-block per [`UpdateKind`]; a fused pass launches with
+    /// its first constituent's setting ([`paradmm_core::PassKind::timing_kind`]).
     ntb: [usize; 5],
-    stats: [KernelStats; 5],
+    /// One launch's stats per plan pass.
+    pass_stats: Vec<KernelStats>,
     sim_seconds: f64,
     iterations: usize,
     host: SerialBackend,
@@ -52,16 +71,25 @@ pub struct GpuSimBackend {
 
 impl GpuSimBackend {
     /// Prices `problem` on `device` with the paper's default `ntb = 32`
-    /// for every kernel.
+    /// for every kernel, under the problem's (or the default fused)
+    /// [`SweepPlan`].
     pub fn new(problem: &AdmmProblem, device: SimtDevice) -> Self {
         let profile = WorkloadProfile::from_problem(problem);
+        let plan = SweepPlan::resolve(problem).into_owned();
+        let pass_tasks: Vec<Vec<TaskCost>> = plan
+            .passes()
+            .iter()
+            .map(|p| profile.pass_tasks(p.kind(), problem.graph()))
+            .collect();
         let ntb = [32; 5];
-        let stats = Self::compute_stats(&device, &profile, &ntb);
+        let pass_stats = Self::compute_stats(&device, &plan, &pass_tasks, &ntb);
         GpuSimBackend {
             device,
             profile,
+            plan,
+            pass_tasks,
             ntb,
-            stats,
+            pass_stats,
             sim_seconds: 0.0,
             iterations: 0,
             host: SerialBackend,
@@ -70,39 +98,75 @@ impl GpuSimBackend {
 
     fn compute_stats(
         device: &SimtDevice,
-        profile: &WorkloadProfile,
+        plan: &SweepPlan,
+        pass_tasks: &[Vec<TaskCost>],
         ntb: &[usize; 5],
-    ) -> [KernelStats; 5] {
-        std::array::from_fn(|i| device.kernel_time(&profile.sweeps[i].tasks, ntb[i]))
+    ) -> Vec<KernelStats> {
+        plan.passes()
+            .iter()
+            .zip(pass_tasks)
+            .map(|(p, tasks)| device.kernel_time(tasks, ntb[p.kind().timing_kind().index()]))
+            .collect()
     }
 
-    /// Auto-tunes `ntb` per kernel (the paper's per-problem sweep; e.g.
-    /// MPC's z-update preferring 2–16). Returns the chosen values in
-    /// x, m, z, u, n order.
+    /// Auto-tunes `ntb` per kernel *launch* (the paper's per-problem
+    /// sweep; e.g. MPC's z-update preferring 2–16): each pass is tuned
+    /// on its fused task list and the result is written to every
+    /// constituent sweep's slot. Returns the settings in x, m, z, u, n
+    /// order.
     pub fn tune_ntb(&mut self) -> [usize; 5] {
-        for i in 0..5 {
-            self.ntb[i] = self.device.tune_ntb(&self.profile.sweeps[i].tasks);
+        for (pass, tasks) in self.plan.passes().iter().zip(&self.pass_tasks) {
+            let tuned = self.device.tune_ntb(tasks);
+            for k in pass.kind().kinds() {
+                self.ntb[k.index()] = tuned;
+            }
         }
-        self.stats = Self::compute_stats(&self.device, &self.profile, &self.ntb);
+        self.pass_stats =
+            Self::compute_stats(&self.device, &self.plan, &self.pass_tasks, &self.ntb);
         self.ntb
     }
 
-    /// Sets one kernel's threads-per-block explicitly.
+    /// Sets one kernel's threads-per-block explicitly. Under a fused
+    /// plan only the pass's *first* constituent setting is launched with
+    /// (setting `M` while x+m is fused changes nothing — retune or set
+    /// `X` instead).
     pub fn set_ntb(&mut self, kind: UpdateKind, ntb: usize) {
         self.ntb[kind.index()] = ntb;
-        self.stats = Self::compute_stats(&self.device, &self.profile, &self.ntb);
+        self.pass_stats =
+            Self::compute_stats(&self.device, &self.plan, &self.pass_tasks, &self.ntb);
     }
 
-    /// Simulated per-iteration breakdown at current `ntb` settings.
+    /// Simulated per-iteration breakdown at current `ntb` settings; each
+    /// pass's launch is reported under its first constituent kind (fused
+    /// constituents' other slots read zero).
     pub fn iteration_breakdown(&self) -> GpuIterationBreakdown {
-        GpuIterationBreakdown {
-            seconds: std::array::from_fn(|i| self.stats[i].seconds),
+        let mut seconds = [0.0f64; 5];
+        for (pass, stats) in self.plan.passes().iter().zip(&self.pass_stats) {
+            seconds[pass.kind().timing_kind().index()] += stats.seconds;
         }
+        GpuIterationBreakdown { seconds }
     }
 
-    /// Simulated kernel statistics for one update kind.
+    /// Simulated statistics of the kernel launch that executes `kind` —
+    /// the whole fused pass's launch when `kind` is fused into one.
     pub fn kernel_stats(&self, kind: UpdateKind) -> KernelStats {
-        self.stats[kind.index()]
+        self.plan
+            .passes()
+            .iter()
+            .zip(&self.pass_stats)
+            .find(|(p, _)| p.kind().kinds().contains(&kind))
+            .map(|(_, s)| *s)
+            .expect("every legal plan covers all five sweeps")
+    }
+
+    /// The schedule the launches are priced for.
+    pub fn plan(&self) -> &SweepPlan {
+        &self.plan
+    }
+
+    /// Kernel launches the device pays per iteration (= plan passes).
+    pub fn launches_per_iteration(&self) -> usize {
+        self.plan.passes().len()
     }
 
     /// Total simulated device seconds accumulated so far.
@@ -147,8 +211,10 @@ impl SweepExecutor for GpuSimBackend {
     }
 
     /// `true` only for workloads identical to the one this backend was
-    /// profiled for: after the O(1) shape gate, every sweep's per-task
-    /// cost vector is compared against a fresh profile of `problem`
+    /// profiled for: after the O(1) shape gate, the problem's resolved
+    /// [`SweepPlan`] must have the pass structure the launches were
+    /// priced for, and every sweep's per-task cost vector is compared
+    /// against a fresh profile of `problem`
     /// (an O(|E|) pass — probing is rare, so exactness beats speed here;
     /// a same-shape graph with different factor degrees or proximal
     /// operators is rejected, not silently mispriced). Probing drivers
@@ -157,6 +223,16 @@ impl SweepExecutor for GpuSimBackend {
     /// [`SweepExecutor::execute`].
     fn supports(&self, problem: &AdmmProblem) -> bool {
         if !self.shape_matches(problem) {
+            return false;
+        }
+        let plan = SweepPlan::resolve(problem);
+        if plan.passes().len() != self.plan.passes().len()
+            || plan
+                .passes()
+                .iter()
+                .zip(self.plan.passes())
+                .any(|(a, b)| a.kind() != b.kind())
+        {
             return false;
         }
         let fresh = WorkloadProfile::from_problem(problem);
@@ -178,19 +254,38 @@ impl SweepExecutor for GpuSimBackend {
             self.shape_matches(problem),
             "GpuSimBackend was profiled for a different problem (factors/vars/edges mismatch)"
         );
+        // Likewise the launch prices assume the plan captured at
+        // construction: if a different schedule was installed on the
+        // problem since, the host would execute it while the simulated
+        // clock priced another — fail loudly instead (cheap: pass-kind
+        // comparison only).
+        {
+            let current = SweepPlan::resolve(problem);
+            assert!(
+                current.passes().len() == self.plan.passes().len()
+                    && current
+                        .passes()
+                        .iter()
+                        .zip(self.plan.passes())
+                        .all(|(a, b)| a.kind() == b.kind()),
+                "GpuSimBackend priced a different SweepPlan than the problem now carries \
+                 (rebuild the backend after changing the plan)"
+            );
+        }
 
         // Exact numerics on the host; host wall time is not the metric
         // here, so it is measured into a scratch accumulator.
         let mut host_timings = UpdateTimings::new();
         self.host.execute(problem, store, iters, &mut host_timings);
 
-        // Advance the simulated clock and report *simulated* kernel time
-        // per update kind, so `SolverReport::timings` shows the device
-        // breakdown through the standard reporting path.
-        for (i, &kind) in UpdateKind::ALL.iter().enumerate() {
-            let sim = self.stats[i].seconds * iters as f64;
+        // Advance the simulated clock and report *simulated* launch time
+        // per pass (accounted under the pass's first constituent kind),
+        // so `SolverReport::timings` shows the device breakdown through
+        // the standard reporting path.
+        for (pass, stats) in self.plan.passes().iter().zip(&self.pass_stats) {
+            let sim = stats.seconds * iters as f64;
             self.sim_seconds += sim;
-            timings.add_seconds(kind, sim);
+            timings.add_seconds(pass.kind().timing_kind(), sim);
         }
         self.iterations += iters;
     }
@@ -348,5 +443,31 @@ mod tests {
         assert_eq!(t.iterations, 10);
         assert!((t.total_seconds() - 10.0 * per_iter).abs() < 1e-12);
         assert!((backend.simulated_seconds() - 10.0 * per_iter).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_default_prices_three_launches() {
+        let problem = consensus_problem();
+        let backend = GpuSimBackend::new(&problem, SimtDevice::tesla_k40());
+        assert_eq!(backend.launches_per_iteration(), 3);
+        // Fused constituents report zero in their own breakdown slot.
+        let b = backend.iteration_breakdown();
+        assert_eq!(b.seconds[UpdateKind::M.index()], 0.0);
+        assert_eq!(b.seconds[UpdateKind::N.index()], 0.0);
+        assert!(b.seconds[UpdateKind::X.index()] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "priced a different SweepPlan")]
+    fn executing_with_a_swapped_plan_fails_loudly() {
+        // The launch prices are compiled for the plan the problem carried
+        // at construction; silently executing a different schedule would
+        // misreport every simulated figure, so it must assert instead.
+        let mut problem = consensus_problem();
+        let mut backend = GpuSimBackend::new(&problem, SimtDevice::tesla_k40());
+        problem.set_plan(paradmm_core::SweepPlan::unfused(&problem));
+        let mut store = VarStore::zeros(problem.graph());
+        let mut t = UpdateTimings::new();
+        backend.run_block(&problem, &mut store, 1, &mut t);
     }
 }

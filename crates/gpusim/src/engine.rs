@@ -5,8 +5,10 @@
 //! the *same* solver that drives the CPU backends drives the simulated
 //! device, with exact Algorithm 2 numerics on the host (bit-identical to
 //! [`paradmm_core::SerialBackend`] — asserted by tests) and the device
-//! clock advanced per the [`SimtDevice`] model: five kernel launches per
-//! iteration, each timed from the problem's real per-task work profile.
+//! clock advanced per the [`SimtDevice`] model: one kernel launch per
+//! pass of the problem's `SweepPlan` (three under the default fused
+//! x+m | z | u+n schedule), each timed from the problem's real per-task
+//! work profile.
 //! This is the substitution substrate for every GPU figure in the paper.
 
 use paradmm_core::{AdmmProblem, Solver, SolverOptions, StoppingCriteria, UpdateKind};

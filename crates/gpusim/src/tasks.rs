@@ -7,7 +7,8 @@
 //! split into coalesced streams and scattered transactions according to the
 //! actual edge-ordered array layout).
 
-use paradmm_core::{AdmmProblem, UpdateKind};
+use paradmm_core::{AdmmProblem, PassKind, UpdateKind};
+use paradmm_graph::FactorGraph;
 
 /// Cost of one task (one thread's work in a kernel).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,6 +38,18 @@ impl TaskCost {
     #[inline]
     pub fn cpu_bytes(&self) -> f64 {
         self.coalesced_bytes + 16.0 * self.scattered_transactions
+    }
+
+    /// Componentwise sum — the cost of one thread running both fused
+    /// bodies back to back (kernel fusion adds work per thread, it does
+    /// not change what each body reads or writes).
+    #[inline]
+    pub fn fused_with(&self, other: &TaskCost) -> TaskCost {
+        TaskCost {
+            compute: self.compute + other.compute,
+            coalesced_bytes: self.coalesced_bytes + other.coalesced_bytes,
+            scattered_transactions: self.scattered_transactions + other.scattered_transactions,
+        }
     }
 }
 
@@ -188,6 +201,37 @@ impl WorkloadProfile {
         &self.sweeps[kind.index()]
     }
 
+    /// The task list of one [`PassKind`] — the unit a fused kernel
+    /// launch prices. Single-sweep passes reuse that sweep's tasks; the
+    /// fused x+m pass has one task per *factor* (its x task plus the m
+    /// tasks of its own edges), the fused u+n pass one task per edge
+    /// (u task plus n task).
+    pub fn pass_tasks(&self, kind: PassKind, graph: &FactorGraph) -> Vec<TaskCost> {
+        let sweep = |k: UpdateKind| &self.sweeps[k.index()].tasks;
+        match kind {
+            PassKind::X => sweep(UpdateKind::X).clone(),
+            PassKind::M => sweep(UpdateKind::M).clone(),
+            PassKind::Z => sweep(UpdateKind::Z).clone(),
+            PassKind::U => sweep(UpdateKind::U).clone(),
+            PassKind::N => sweep(UpdateKind::N).clone(),
+            PassKind::Xm => {
+                let (x, m) = (sweep(UpdateKind::X), sweep(UpdateKind::M));
+                graph
+                    .factors()
+                    .map(|a| {
+                        graph
+                            .factor_edge_range(a)
+                            .fold(x[a.idx()], |acc, e| acc.fused_with(&m[e]))
+                    })
+                    .collect()
+            }
+            PassKind::Un => {
+                let (u, n) = (sweep(UpdateKind::U), sweep(UpdateKind::N));
+                u.iter().zip(n).map(|(a, b)| a.fused_with(b)).collect()
+            }
+        }
+    }
+
     /// Total compute units per full iteration.
     pub fn total_compute(&self) -> f64 {
         self.sweeps.iter().map(|s| s.total_compute()).sum()
@@ -255,6 +299,36 @@ mod tests {
         assert!(w.total_bytes() > 0.0);
         let manual: f64 = w.sweeps.iter().map(|s| s.total_compute()).sum();
         assert_eq!(w.total_compute(), manual);
+    }
+
+    #[test]
+    fn fused_pass_tasks_conserve_totals() {
+        use paradmm_core::SweepPlan;
+        let p = star_problem(5, 2);
+        let w = WorkloadProfile::from_problem(&p);
+        let g = p.graph();
+        let plan = SweepPlan::fused(&p);
+        // Fusion repartitions work across threads but must not create or
+        // destroy any: summed compute/bytes over the plan's passes equal
+        // the five-sweep totals.
+        let pass_compute: f64 = plan
+            .passes()
+            .iter()
+            .map(|pass| {
+                w.pass_tasks(pass.kind(), g)
+                    .iter()
+                    .map(|t| t.compute)
+                    .sum::<f64>()
+            })
+            .sum();
+        assert!((pass_compute - w.total_compute()).abs() < 1e-9);
+        // One x+m task per factor, one u+n task per edge.
+        assert_eq!(w.pass_tasks(PassKind::Xm, g).len(), g.num_factors());
+        assert_eq!(w.pass_tasks(PassKind::Un, g).len(), g.num_edges());
+        // An x+m factor task carries its x compute plus its edges' m.
+        let xm = w.pass_tasks(PassKind::Xm, g);
+        let x = &w.sweep(UpdateKind::X).tasks;
+        assert!(xm[0].compute > x[0].compute);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::ids::{EdgeId, FactorId, VarId};
 
 /// Immutable bipartite factor-graph `G = (F, V, E)` in CSR form.
 ///
-/// Edges are numbered in creation order, and because [`GraphBuilder`]
+/// Edges are numbered in creation order, and because [`crate::GraphBuilder`]
 /// (crate::builder::GraphBuilder) appends all edges of a factor at once, the
 /// edges of factor `a` occupy the contiguous range
 /// [`FactorGraph::factor_edge_range`]. This is the exact memory layout of

@@ -8,7 +8,7 @@ use crate::ids::EdgeId;
 /// Classical ADMM keeps these constant (the paper's
 /// `initialize_RHOS_APHAS(&graph, rho, alpha)`), but the engine also
 /// supports the three-weight update schemes of Derbinsky et al. (paper
-/// ref [9]), which mutate `ρ` per edge between iterations.
+/// ref \[9\]), which mutate `ρ` per edge between iterations.
 #[derive(Debug, Clone)]
 pub struct EdgeParams {
     /// Penalty weight per edge.

@@ -160,9 +160,29 @@ impl VarStore {
 
     /// Copies `z` into `z_prev` (called once per iteration before the
     /// z-update so the dual residual can be formed).
+    ///
+    /// Execution backends that overwrite *every* variable's `z` each
+    /// iteration prefer [`VarStore::swap_z`], which records the same
+    /// previous-iterate information without the O(|V|·d) copy.
     #[inline]
     pub fn snapshot_z(&mut self) {
         self.z_prev.copy_from_slice(&self.z);
+    }
+
+    /// Exchanges the `z` and `z_prev` buffers — an O(1) pointer swap.
+    ///
+    /// This is the double-buffered alternative to [`VarStore::snapshot_z`]:
+    /// after the swap, `z_prev` holds the previous iterate exactly, and
+    /// the z-update writes the new iterate into `z` (whose contents are
+    /// two iterations stale and must be fully overwritten — variables of
+    /// degree 0 must be copied forward from `z_prev`, see
+    /// `paradmm_core`'s `z_update_swapped_range`). Both buffers stay
+    /// materialized, so call sites that slice `z_prev` (batch extraction,
+    /// sharded gather, residual checks) observe the same values as under
+    /// the copying schedule.
+    #[inline]
+    pub fn swap_z(&mut self) {
+        std::mem::swap(&mut self.z, &mut self.z_prev);
     }
 
     /// Total `f64` footprint, matching the paper's memory accounting

@@ -54,9 +54,10 @@ pub use paradmm_svm as svm;
 pub mod prelude {
     pub use paradmm_core::{
         AdmmProblem, AsyncBackend, AutoBackend, BarrierBackend, BatchReport, BatchSolver,
-        InstanceReport, ProxCtx, ProxOp, RayonBackend, Residuals, Scheduler, SerialBackend,
-        ShardedBackend, Solver, SolverOptions, SolverReport, StopReason, StoppingCriteria,
-        SweepExecutor, UpdateKind, UpdateTimings, WorkStealingBackend,
+        InstanceReport, Pass, PassKind, Planner, ProxCtx, ProxOp, RayonBackend, Residuals,
+        Scheduler, SerialBackend, ShardedBackend, Solver, SolverOptions, SolverReport, StopReason,
+        StoppingCriteria, SweepCosts, SweepExecutor, SweepPlan, UpdateKind, UpdateTimings,
+        WorkStealingBackend,
     };
     pub use paradmm_gpusim::GpuSimBackend;
     pub use paradmm_graph::{

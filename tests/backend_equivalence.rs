@@ -16,9 +16,9 @@
 //! fixed point on a convex instance, not bitwise equality.
 
 use paradmm::core::{
-    AdmmProblem, AsyncBackend, AutoBackend, BarrierBackend, BatchSolver, RayonBackend, Scheduler,
-    SerialBackend, ShardedBackend, Solver, SolverOptions, StoppingCriteria, SweepExecutor,
-    UpdateTimings, WorkStealingBackend,
+    barriers_per_iteration, AdmmProblem, AsyncBackend, AutoBackend, BarrierBackend, BatchSolver,
+    RayonBackend, Scheduler, SerialBackend, ShardedBackend, Solver, SolverOptions,
+    StoppingCriteria, SweepExecutor, SweepPlan, UpdateTimings, WorkStealingBackend,
 };
 use paradmm::graph::{Partition, VarStore};
 use paradmm::mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
@@ -48,75 +48,101 @@ fn run_from_seeded_state(
     store
 }
 
-fn assert_bit_identical_across_sync_backends(problem: &AdmmProblem, iters: usize, label: &str) {
+fn assert_bit_identical_across_sync_backends(problem: &mut AdmmProblem, iters: usize, label: &str) {
+    // The reference is the seed five-sweep schedule: the explicit
+    // unfused plan on the serial backend.
+    problem.set_plan(SweepPlan::unfused(problem));
     let serial = run_from_seeded_state(problem, &mut SerialBackend, iters);
-    let assert_matches = |got: &VarStore, which: &str| {
-        assert_eq!(serial.z, got.z, "{label}: {which} z diverged");
-        assert_eq!(serial.x, got.x, "{label}: {which} x diverged");
-        assert_eq!(serial.u, got.u, "{label}: {which} u diverged");
-        assert_eq!(serial.n, got.n, "{label}: {which} n diverged");
-    };
-    for threads in [1usize, 2, 3] {
-        let rayon = run_from_seeded_state(problem, &mut RayonBackend::new(Some(threads)), iters);
-        assert_matches(&rayon, &format!("rayon({threads})"));
+    problem.clear_plan();
 
-        let barrier = run_from_seeded_state(problem, &mut BarrierBackend::new(threads), iters);
-        assert_matches(&barrier, &format!("barrier({threads})"));
+    // Every backend must reproduce it under BOTH the default fused
+    // three-pass plan and the explicit unfused five-pass plan.
+    for fused in [true, false] {
+        if fused {
+            problem.clear_plan(); // default = SweepPlan::fused
+            assert!(
+                barriers_per_iteration(problem) <= 3,
+                "{label}: default plan must cost ≤ 3 barriers/iteration"
+            );
+        } else {
+            problem.set_plan(SweepPlan::unfused(problem));
+        }
+        let plan_label = if fused { "fused" } else { "unfused" };
+        let assert_matches = |got: &VarStore, which: &str| {
+            assert_eq!(serial.z, got.z, "{label}[{plan_label}]: {which} z diverged");
+            assert_eq!(serial.x, got.x, "{label}[{plan_label}]: {which} x diverged");
+            assert_eq!(serial.u, got.u, "{label}[{plan_label}]: {which} u diverged");
+            assert_eq!(serial.n, got.n, "{label}[{plan_label}]: {which} n diverged");
+        };
 
-        let ws = run_from_seeded_state(problem, &mut WorkStealingBackend::new(threads), iters);
-        assert_matches(&ws, &format!("worksteal({threads})"));
+        let serial_again = run_from_seeded_state(problem, &mut SerialBackend, iters);
+        assert_matches(&serial_again, "serial");
 
-        // Tiny chunks force real chunk contention on every sweep.
-        let ws_tiny = run_from_seeded_state(
-            problem,
-            &mut WorkStealingBackend::with_chunk(threads, 2),
-            iters,
-        );
-        assert_matches(&ws_tiny, &format!("worksteal({threads}, chunk=2)"));
+        for threads in [1usize, 2, 3] {
+            let rayon =
+                run_from_seeded_state(problem, &mut RayonBackend::new(Some(threads)), iters);
+            assert_matches(&rayon, &format!("rayon({threads})"));
+
+            let barrier = run_from_seeded_state(problem, &mut BarrierBackend::new(threads), iters);
+            assert_matches(&barrier, &format!("barrier({threads})"));
+
+            let ws = run_from_seeded_state(problem, &mut WorkStealingBackend::new(threads), iters);
+            assert_matches(&ws, &format!("worksteal({threads})"));
+
+            // Tiny chunks force real chunk contention on every pass.
+            let ws_tiny = run_from_seeded_state(
+                problem,
+                &mut WorkStealingBackend::with_chunk(threads, 2),
+                iters,
+            );
+            assert_matches(&ws_tiny, &format!("worksteal({threads}, chunk=2)"));
+        }
+        // Sharded execution: partition-local stores with a real halo
+        // exchange per iteration must replay the serial fold exactly, for
+        // both the BFS-grown partition and a contiguous one (whose halo
+        // variables interleave their edges across shards — the hard case
+        // for an ordered reduce).
+        for parts in [1usize, 2, 4] {
+            let sharded = run_from_seeded_state(problem, &mut ShardedBackend::new(parts), iters);
+            assert_matches(&sharded, &format!("sharded({parts})"));
+
+            let contiguous = Partition::contiguous(problem.graph(), parts);
+            let sharded_cont = run_from_seeded_state(
+                problem,
+                &mut ShardedBackend::with_partition(contiguous),
+                iters,
+            );
+            assert_matches(&sharded_cont, &format!("sharded({parts}, contiguous)"));
+        }
+        // AutoBackend probes all five sync candidates on a clone and locks
+        // in one of them — whichever wins, iterates must match serial
+        // bitwise.
+        let mut auto = AutoBackend::new(2);
+        let auto_store = run_from_seeded_state(problem, &mut auto, iters);
+        let selected = auto.selected().expect("auto probe must run");
+        assert_matches(&auto_store, &format!("auto→{selected}"));
     }
-    // Sharded execution: partition-local stores with a real halo
-    // exchange per iteration must replay the serial fold exactly, for
-    // both the BFS-grown partition and a contiguous one (whose halo
-    // variables interleave their edges across shards — the hard case
-    // for an ordered reduce).
-    for parts in [1usize, 2, 4] {
-        let sharded = run_from_seeded_state(problem, &mut ShardedBackend::new(parts), iters);
-        assert_matches(&sharded, &format!("sharded({parts})"));
-
-        let contiguous = Partition::contiguous(problem.graph(), parts);
-        let sharded_cont = run_from_seeded_state(
-            problem,
-            &mut ShardedBackend::with_partition(contiguous),
-            iters,
-        );
-        assert_matches(&sharded_cont, &format!("sharded({parts}, contiguous)"));
-    }
-    // AutoBackend probes all five sync candidates on a clone and locks in
-    // one of them — whichever wins, iterates must match serial bitwise.
-    let mut auto = AutoBackend::new(2);
-    let auto_store = run_from_seeded_state(problem, &mut auto, iters);
-    let selected = auto.selected().expect("auto probe must run");
-    assert_matches(&auto_store, &format!("auto→{selected}"));
+    problem.clear_plan();
 }
 
 #[test]
 fn packing_generator_bit_identical() {
-    let (_, problem) = PackingProblem::build(PackingConfig::new(10));
-    assert_bit_identical_across_sync_backends(&problem, 60, "packing");
+    let (_, mut problem) = PackingProblem::build(PackingConfig::new(10));
+    assert_bit_identical_across_sync_backends(&mut problem, 60, "packing");
 }
 
 #[test]
 fn mpc_generator_bit_identical() {
-    let (_, problem) = MpcProblem::build(MpcConfig::new(25), paper_plant());
-    assert_bit_identical_across_sync_backends(&problem, 60, "mpc");
+    let (_, mut problem) = MpcProblem::build(MpcConfig::new(25), paper_plant());
+    assert_bit_identical_across_sync_backends(&mut problem, 60, "mpc");
 }
 
 #[test]
 fn svm_generator_bit_identical() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
     let data = gaussian_mixture(60, 2, 4.0, &mut rng);
-    let (_, problem) = SvmProblem::build(&data, SvmConfig::default());
-    assert_bit_identical_across_sync_backends(&problem, 60, "svm");
+    let (_, mut problem) = SvmProblem::build(&data, SvmConfig::default());
+    assert_bit_identical_across_sync_backends(&mut problem, 60, "svm");
 }
 
 #[test]
@@ -128,8 +154,8 @@ fn imbalanced_degree_graph_bit_identical() {
     // may never leak into iterates. 7 hubs of degree 23: indivisible
     // heavy z-tasks, plus leaf counts that don't divide evenly into
     // chunks or thread counts.
-    let problem = paradmm_bench::imbalanced_problem(7, 23);
-    assert_bit_identical_across_sync_backends(&problem, 60, "imbalanced");
+    let mut problem = paradmm_bench::imbalanced_problem(7, 23);
+    assert_bit_identical_across_sync_backends(&mut problem, 60, "imbalanced");
 }
 
 #[test]

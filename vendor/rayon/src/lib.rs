@@ -142,6 +142,17 @@ impl<T: Send> ParIter<T> {
         self
     }
 
+    /// Pairs items positionally with another parallel iterator's items,
+    /// like `Iterator::zip` (rayon's indexed zip; used for fused passes
+    /// that write two arrays chunk-by-chunk). Truncates to the shorter
+    /// side, matching rayon.
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+            min_len: self.min_len.max(other.min_len),
+        }
+    }
+
     /// Applies `f` to every item, distributing contiguous batches across
     /// scoped worker threads; returns when all items are processed.
     pub fn for_each<F>(self, f: F)
@@ -258,6 +269,24 @@ mod tests {
                 sum.fetch_add(i, Ordering::Relaxed);
             });
         assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn zip_pairs_chunks_positionally() {
+        let mut a = vec![0.0f64; 30];
+        let mut b = vec![0.0f64; 30];
+        a.par_chunks_mut(3)
+            .zip(b.par_chunks_mut(3))
+            .enumerate()
+            .for_each(|(i, (ca, cb))| {
+                for (va, vb) in ca.iter_mut().zip(cb.iter_mut()) {
+                    *va = i as f64;
+                    *vb = -(i as f64);
+                }
+            });
+        assert_eq!(a[0], 0.0);
+        assert_eq!(a[29], 9.0);
+        assert_eq!(b[29], -9.0);
     }
 
     #[test]
