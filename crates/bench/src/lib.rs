@@ -21,12 +21,12 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use paradmm_core::{
-    AdmmProblem, AutoBackend, BarrierBackend, BatchSolver, Planner, RayonBackend, Scheduler,
-    SerialBackend, ShardedBackend, Solver, SolverOptions, StoppingCriteria, SweepExecutor,
-    SweepPlan, UpdateKind, UpdateTimings, WorkStealingBackend,
+    set_kernel_dispatch, AdmmProblem, AutoBackend, BarrierBackend, BatchSolver, KernelDispatch,
+    Planner, RayonBackend, Scheduler, SerialBackend, ShardedBackend, Solver, SolverOptions,
+    StoppingCriteria, SweepExecutor, SweepPlan, UpdateKind, UpdateTimings, WorkStealingBackend,
 };
 use paradmm_gpusim::{CpuModel, GpuAdmmEngine, MultiDevice, SimtDevice, WorkloadProfile};
-use paradmm_graph::{Partition, PartitionStats, VarStore};
+use paradmm_graph::{Partition, PartitionStats, Reordering, VarStore};
 
 /// One row of a GPU-vs-serial-CPU figure.
 #[derive(Debug, Clone)]
@@ -745,6 +745,162 @@ pub fn all_pairs_problem(n: usize) -> AdmmProblem {
     AdmmProblem::new(b.build(), proxes, 1.0, 1.0)
 }
 
+/// Result of [`simd_ablation`]: the kernel-specialization × locality
+/// ablation on one problem.
+#[derive(Debug, Clone)]
+pub struct SimdAblation {
+    /// One row per (dispatch, ordering) cell, named `serial[scalar]`,
+    /// `serial[simd]`, `serial[scalar+rcm]`, `serial[simd+rcm]`. Serial
+    /// backend only — the ablation isolates kernel and layout effects
+    /// from scheduling noise, and the perf gate matches rows by name.
+    pub rows: Vec<BenchJsonRow>,
+    /// Flat metrics: full-iteration `simd_speedup` / `rcm_speedup`,
+    /// per-kernel `kernel_speedup_*` (scalar ÷ specialized per-item
+    /// cost), per-kernel `*_gbps_simd` / `*_gbps_scalar` effective
+    /// throughput, and the `fold_span_*` locality figures.
+    pub meta: Vec<(String, f64)>,
+    /// Serial s/iter, scalar dispatch, natural order.
+    pub scalar_s: f64,
+    /// Serial s/iter, specialized dispatch, natural order.
+    pub simd_s: f64,
+    /// Serial s/iter, specialized dispatch, RCM order.
+    pub rcm_simd_s: f64,
+    /// Aggregate element-wise speedup: total measured scalar kernel time
+    /// per iteration ÷ total specialized time (m+z+u+n, item-weighted).
+    /// The acceptance check reads this rather than the full-iteration
+    /// ratio, which dilutes the kernels with prox time on operator-heavy
+    /// families (x dominates MPC, for instance).
+    pub elementwise_speedup: f64,
+    /// Per-kernel scalar ÷ specialized per-item cost, in m, z, u, n order.
+    pub kernel_speedups: [f64; 4],
+}
+
+/// `num / den`, zero when the denominator is degenerate (keeps the bench
+/// JSON free of NaN/inf).
+fn safe_ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// Measures the serial backend's s/iter over the 2×2 grid
+/// {scalar, specialized kernel dispatch} × {natural, RCM order} —
+/// min-of-`3` repetitions through [`measure_backend_s_per_iter`], like
+/// every other ablation harness — plus [`Planner::measure`]'s per-kernel
+/// per-item costs under both dispatch modes, turned into per-kernel
+/// speedups and effective GB/s.
+///
+/// Consumes the problem: [`AdmmProblem::reordered`] moves the proximal
+/// operators into the RCM layout. The global kernel dispatch is restored
+/// to the engine default ([`KernelDispatch::Specialized`]) on return;
+/// flipping it mid-measurement never changes any iterate (both paths are
+/// bit-identical — `tests/` pin this), only throughput.
+pub fn simd_ablation(problem: AdmmProblem, size: usize, min_seconds: f64) -> SimdAblation {
+    const REPEATS: usize = 3;
+    let g = problem.graph();
+    let edges = g.num_edges();
+    let (nv, ne, d) = (g.num_vars(), g.num_edges(), g.dims());
+    let mean_deg = if nv == 0 { 0.0 } else { ne as f64 / nv as f64 };
+    let row = |backend: &str, s: f64| BenchJsonRow {
+        size,
+        edges,
+        backend: backend.to_string(),
+        seconds_per_iteration: s,
+    };
+    let min_of_repeats = |problem: &AdmmProblem| {
+        (0..REPEATS)
+            .map(|_| measure_backend_s_per_iter(problem, &mut SerialBackend, min_seconds))
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    let rcm = Reordering::rcm(g);
+    let fold_span_natural = Reordering::identity(g).fold_span(g);
+    let fold_span_rcm = rcm.fold_span(g);
+
+    set_kernel_dispatch(KernelDispatch::Scalar);
+    let scalar_s = min_of_repeats(&problem);
+    let costs_scalar = Planner::new().measure(&problem);
+    set_kernel_dispatch(KernelDispatch::Specialized);
+    let simd_s = min_of_repeats(&problem);
+    let costs_simd = Planner::new().measure(&problem);
+
+    let reordered = problem.reordered(&rcm);
+    set_kernel_dispatch(KernelDispatch::Scalar);
+    let rcm_scalar_s = min_of_repeats(&reordered);
+    set_kernel_dispatch(KernelDispatch::Specialized); // engine default
+    let rcm_simd_s = min_of_repeats(&reordered);
+
+    // Per-item measured costs → per-kernel speedups and effective GB/s.
+    // Byte counts mirror `paradmm_core::diagnostics`: doubles each kernel
+    // body touches per item (m 3d, z deg·(d+1)+2d at mean degree, u 4d,
+    // n 3d), not cache-line traffic.
+    let per_item =
+        |c: &paradmm_core::SweepCosts| [c.m_per_edge, c.z_per_var, c.u_per_edge, c.n_per_edge];
+    let sc = per_item(&costs_scalar);
+    let sp = per_item(&costs_simd);
+    let kernel_speedups = [
+        safe_ratio(sc[0], sp[0]),
+        safe_ratio(sc[1], sp[1]),
+        safe_ratio(sc[2], sp[2]),
+        safe_ratio(sc[3], sp[3]),
+    ];
+    let items = [ne as f64, nv as f64, ne as f64, ne as f64];
+    let iter_total = |c: &[f64; 4]| {
+        c.iter()
+            .zip(items.iter())
+            .map(|(per, n)| per * n)
+            .sum::<f64>()
+    };
+    let elementwise_speedup = safe_ratio(iter_total(&sc), iter_total(&sp));
+    let bytes_per_item = [
+        (3 * d * 8) as f64,
+        (mean_deg * (d + 1) as f64 + (2 * d) as f64) * 8.0,
+        (4 * d * 8) as f64,
+        (3 * d * 8) as f64,
+    ];
+
+    let rows = vec![
+        row("serial[scalar]", scalar_s),
+        row("serial[simd]", simd_s),
+        row("serial[scalar+rcm]", rcm_scalar_s),
+        row("serial[simd+rcm]", rcm_simd_s),
+    ];
+    let mut meta: Vec<(String, f64)> = vec![
+        ("simd_speedup".to_string(), safe_ratio(scalar_s, simd_s)),
+        (
+            "simd_speedup_rcm".to_string(),
+            safe_ratio(rcm_scalar_s, rcm_simd_s),
+        ),
+        ("rcm_speedup".to_string(), safe_ratio(simd_s, rcm_simd_s)),
+        ("elementwise_simd_speedup".to_string(), elementwise_speedup),
+        ("fold_span_natural".to_string(), fold_span_natural),
+        ("fold_span_rcm".to_string(), fold_span_rcm),
+    ];
+    for (i, kernel) in ["m", "z", "u", "n"].iter().enumerate() {
+        meta.push((format!("kernel_speedup_{kernel}"), kernel_speedups[i]));
+        meta.push((
+            format!("{kernel}_gbps_simd"),
+            safe_ratio(bytes_per_item[i], sp[i]) / 1e9,
+        ));
+        meta.push((
+            format!("{kernel}_gbps_scalar"),
+            safe_ratio(bytes_per_item[i], sc[i]) / 1e9,
+        ));
+    }
+
+    SimdAblation {
+        rows,
+        meta,
+        scalar_s,
+        simd_s,
+        rcm_simd_s,
+        elementwise_speedup,
+        kernel_speedups,
+    }
+}
+
 /// One shard count's measurements in a [`ShardedAblation`].
 #[derive(Debug, Clone)]
 pub struct ShardedPoint {
@@ -1228,6 +1384,35 @@ mod tests {
         assert!(doc.contains("\"barrier[planned]\""));
         assert!(doc.contains("serial_fused_speedup"));
         assert!(doc.contains("barriers_per_iter_fused"));
+    }
+
+    /// Tiny-size smoke of the SIMD/layout ablation — the same code path
+    /// `ablation_simd` (the bin) runs at full size, so it can't bit-rot.
+    /// CI runs this under `cargo test --release`.
+    #[test]
+    fn simd_ablation_smoke() {
+        let p = chain_problem(24);
+        let r = simd_ablation(p, 24, 0.002);
+        assert_eq!(r.rows.len(), 4, "2 dispatch modes × 2 orderings");
+        assert!(r.rows.iter().all(|x| x.seconds_per_iteration > 0.0));
+        assert!(r.scalar_s > 0.0 && r.simd_s > 0.0 && r.rcm_simd_s > 0.0);
+        assert!(r.elementwise_speedup > 0.0);
+        assert!(r.kernel_speedups.iter().all(|&s| s > 0.0));
+        assert!(
+            matches!(
+                paradmm_core::kernel_dispatch(),
+                paradmm_core::KernelDispatch::Specialized
+            ),
+            "harness must restore the default dispatch"
+        );
+        let doc = bench_json_string_with_meta("simd_smoke", &r.rows, &r.meta);
+        assert!(doc.contains("\"serial[scalar]\""));
+        assert!(doc.contains("\"serial[simd+rcm]\""));
+        assert!(doc.contains("simd_speedup"));
+        assert!(doc.contains("elementwise_simd_speedup"));
+        assert!(doc.contains("kernel_speedup_z"));
+        assert!(doc.contains("m_gbps_simd"));
+        assert!(doc.contains("fold_span_rcm"));
     }
 
     /// Tiny-size smoke of the batch-throughput harness — the same code

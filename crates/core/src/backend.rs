@@ -33,7 +33,7 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 
-use paradmm_graph::{FactorId, VarId, VarStore};
+use paradmm_graph::{EdgeStream, FactorId, VarStore};
 
 use crate::asynchronous::run_async;
 use crate::kernels::{self, split_factor_blocks, x_update_factor, UpdateKind};
@@ -131,11 +131,24 @@ const MIN_CHUNK: usize = 1024;
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SerialBackend;
 
+/// Builds the dense per-edge parameter stream the specialized u/n kernels
+/// consume, or `None` under scalar dispatch. Executors call this once per
+/// block — adaptive-ρ policies mutate `params` *between* blocks, so the
+/// snapshot stays valid for the whole block.
+fn block_stream(problem: &AdmmProblem) -> Option<EdgeStream> {
+    kernels::specialized().then(|| EdgeStream::build(problem.graph(), problem.params()))
+}
+
 /// Runs one pass of a plan serially over its full index range.
 /// Exhaustively dispatches every [`PassKind`]; the Z pass swaps the
 /// `z`/`z_prev` buffers in place of the seed's snapshot copy (identical
 /// values — see [`kernels::z_update_swapped_range`]).
-fn run_pass_serial(problem: &AdmmProblem, store: &mut VarStore, pass: &Pass) {
+fn run_pass_serial(
+    problem: &AdmmProblem,
+    store: &mut VarStore,
+    pass: &Pass,
+    stream: Option<&EdgeStream>,
+) {
     let g = problem.graph();
     let params = problem.params();
     let items = pass.items();
@@ -175,20 +188,39 @@ fn run_pass_serial(problem: &AdmmProblem, store: &mut VarStore, pass: &Pass) {
                 items,
             );
         }
-        PassKind::U => {
-            kernels::u_update_range(g, params, &store.x, &store.z, &mut store.u, 0, items)
-        }
-        PassKind::N => kernels::n_update_range(g, &store.z, &store.u, &mut store.n, 0, items),
-        PassKind::Un => kernels::un_update_range(
-            g,
-            params,
-            &store.x,
-            &store.z,
-            &mut store.u,
-            &mut store.n,
-            0,
-            items,
-        ),
+        PassKind::U => match stream {
+            Some(s) => {
+                kernels::u_update_range_stream(s, &store.x, &store.z, &mut store.u, 0, items)
+            }
+            None => kernels::u_update_range(g, params, &store.x, &store.z, &mut store.u, 0, items),
+        },
+        PassKind::N => match stream {
+            Some(s) => {
+                kernels::n_update_range_stream(s, &store.z, &store.u, &mut store.n, 0, items)
+            }
+            None => kernels::n_update_range(g, &store.z, &store.u, &mut store.n, 0, items),
+        },
+        PassKind::Un => match stream {
+            Some(s) => kernels::un_update_range_stream(
+                s,
+                &store.x,
+                &store.z,
+                &mut store.u,
+                &mut store.n,
+                0,
+                items,
+            ),
+            None => kernels::un_update_range(
+                g,
+                params,
+                &store.x,
+                &store.z,
+                &mut store.u,
+                &mut store.n,
+                0,
+                items,
+            ),
+        },
     }
 }
 
@@ -205,10 +237,11 @@ impl SweepExecutor for SerialBackend {
         t: &mut UpdateTimings,
     ) {
         let plan = SweepPlan::resolve(problem);
+        let stream = block_stream(problem);
         for _ in 0..iters {
             for pass in plan.passes() {
                 let t0 = Instant::now();
-                run_pass_serial(problem, store, pass);
+                run_pass_serial(problem, store, pass, stream.as_ref());
                 t.add(pass.kind().timing_kind(), t0.elapsed());
             }
         }
@@ -263,10 +296,11 @@ impl SweepExecutor for RayonBackend {
 
 fn run_rayon(problem: &AdmmProblem, store: &mut VarStore, iters: usize, t: &mut UpdateTimings) {
     let plan = SweepPlan::resolve(problem);
+    let stream = block_stream(problem);
     for _ in 0..iters {
         for pass in plan.passes() {
             let t0 = Instant::now();
-            run_pass_rayon(problem, store, pass);
+            run_pass_rayon(problem, store, pass, stream.as_ref());
             t.add(pass.kind().timing_kind(), t0.elapsed());
         }
     }
@@ -275,13 +309,21 @@ fn run_rayon(problem: &AdmmProblem, store: &mut VarStore, iters: usize, t: &mut 
 /// Runs one pass of a plan as rayon data-parallel loops (one
 /// `par_iter` ≙ one `#pragma omp parallel for` of the paper's approach
 /// #1). Granularity comes from [`MIN_CHUNK`], not the pass's dynamic
-/// chunk size — rayon's join splitting already rebalances.
-fn run_pass_rayon(problem: &AdmmProblem, store: &mut VarStore, pass: &Pass) {
+/// chunk size — rayon's join splitting already rebalances. The
+/// element-wise sweeps hand each parallel chunk to the block-relative
+/// range kernels, so chunk shape only affects task boundaries, never any
+/// per-element operation order.
+fn run_pass_rayon(
+    problem: &AdmmProblem,
+    store: &mut VarStore,
+    pass: &Pass,
+    stream: Option<&EdgeStream>,
+) {
     let g = problem.graph();
     let params = problem.params();
     let d = g.dims();
     let chunk = MIN_CHUNK.max(d);
-    let var_min = (MIN_CHUNK / d.max(1)).max(1);
+    let var_chunk = (MIN_CHUNK / d.max(1)).max(1) * d;
 
     match pass.kind() {
         // x-update: one task per factor (each owns a contiguous x block).
@@ -307,9 +349,13 @@ fn run_pass_rayon(problem: &AdmmProblem, store: &mut VarStore, pass: &Pass) {
                 .enumerate()
                 .for_each(|(i, mc)| {
                     let lo = i * chunk;
-                    for (j, m) in mc.iter_mut().enumerate() {
-                        *m = x[lo + j] + u[lo + j];
-                    }
+                    kernels::m_update_range(
+                        &x[lo..lo + mc.len()],
+                        &u[lo..lo + mc.len()],
+                        mc,
+                        0,
+                        mc.len(),
+                    );
                 });
         }
         // Fused x+m: one task per factor writing its own x *and* m block.
@@ -327,87 +373,118 @@ fn run_pass_rayon(problem: &AdmmProblem, store: &mut VarStore, pass: &Pass) {
                     let fa = FactorId::from_usize(a);
                     x_update_factor(g, problem.prox(fa), params, n, xb, fa);
                     let lo = g.factor_edge_range(fa).start * d;
-                    for (j, m) in mb.iter_mut().enumerate() {
-                        *m = xb[j] + u[lo + j];
-                    }
+                    kernels::m_update_range(xb, &u[lo..lo + mb.len()], mb, 0, mb.len());
                 });
         }
-        // z-update on swapped buffers: one task per variable node, no
-        // z_prev copy (degree-0 variables carry forward from z_prev).
+        // z-update on swapped buffers: variable-aligned chunks, no z_prev
+        // copy (degree-0 variables carry forward from z_prev).
         PassKind::Z => {
             store.swap_z();
             let m = &store.m;
             let z_old = &store.z_prev;
             store
                 .z
-                .par_chunks_mut(d)
+                .par_chunks_mut(var_chunk)
                 .enumerate()
-                .with_min_len(var_min)
-                .for_each(|(b, zb)| {
-                    let lo = b * d;
-                    kernels::z_update_swapped_var(
+                .for_each(|(i, zc)| {
+                    let b_lo = i * var_chunk / d;
+                    kernels::z_update_swapped_block(
                         g,
                         params,
                         m,
-                        &z_old[lo..lo + d],
-                        zb,
-                        VarId::from_usize(b),
+                        z_old,
+                        zc,
+                        b_lo,
+                        b_lo + zc.len() / d,
                     );
                 });
         }
-        // u-update: one task per edge.
+        // u-update: edge-aligned chunks.
         PassKind::U => {
             let x = &store.x;
             let z = &store.z;
             store
                 .u
-                .par_chunks_mut(d)
+                .par_chunks_mut(var_chunk)
                 .enumerate()
-                .with_min_len(var_min)
-                .for_each(|(e, ue)| {
-                    kernels::u_update_edge(
-                        g,
-                        params,
-                        x,
-                        z,
-                        ue,
-                        paradmm_graph::EdgeId::from_usize(e),
-                    );
+                .for_each(|(i, uc)| {
+                    let e_lo = i * var_chunk / d;
+                    let e_hi = e_lo + uc.len() / d;
+                    match stream {
+                        Some(s) => kernels::u_update_range_stream(s, x, z, uc, e_lo, e_hi),
+                        None => {
+                            for e in e_lo..e_hi {
+                                let off = (e - e_lo) * d;
+                                kernels::u_update_edge(
+                                    g,
+                                    params,
+                                    x,
+                                    z,
+                                    &mut uc[off..off + d],
+                                    paradmm_graph::EdgeId::from_usize(e),
+                                );
+                            }
+                        }
+                    }
                 });
         }
-        // n-update: one task per edge.
+        // n-update: edge-aligned chunks.
         PassKind::N => {
             let z = &store.z;
             let u = &store.u;
             store
                 .n
-                .par_chunks_mut(d)
+                .par_chunks_mut(var_chunk)
                 .enumerate()
-                .with_min_len(var_min)
-                .for_each(|(e, ne)| {
-                    kernels::n_update_edge(g, z, u, ne, paradmm_graph::EdgeId::from_usize(e));
+                .for_each(|(i, nc)| {
+                    let e_lo = i * var_chunk / d;
+                    let e_hi = e_lo + nc.len() / d;
+                    match stream {
+                        Some(s) => kernels::n_update_range_stream(s, z, u, nc, e_lo, e_hi),
+                        None => {
+                            for e in e_lo..e_hi {
+                                let off = (e - e_lo) * d;
+                                kernels::n_update_edge(
+                                    g,
+                                    z,
+                                    u,
+                                    &mut nc[off..off + d],
+                                    paradmm_graph::EdgeId::from_usize(e),
+                                );
+                            }
+                        }
+                    }
                 });
         }
-        // Fused u+n: one task per edge writing its own u and n vectors.
+        // Fused u+n: edge-aligned chunks writing both u and n blocks.
         PassKind::Un => {
             let x = &store.x;
             let z = &store.z;
             store
                 .u
-                .par_chunks_mut(d)
-                .zip(store.n.par_chunks_mut(d))
+                .par_chunks_mut(var_chunk)
+                .zip(store.n.par_chunks_mut(var_chunk))
                 .enumerate()
-                .with_min_len(var_min)
-                .for_each(|(e, (ue, ne))| {
-                    kernels::un_update_edge(
-                        g,
-                        params,
-                        x,
-                        z,
-                        ue,
-                        ne,
-                        paradmm_graph::EdgeId::from_usize(e),
-                    );
+                .for_each(|(i, (uc, nc))| {
+                    let e_lo = i * var_chunk / d;
+                    let e_hi = e_lo + uc.len() / d;
+                    match stream {
+                        Some(s) => kernels::un_update_range_stream(s, x, z, uc, nc, e_lo, e_hi),
+                        None => {
+                            for e in e_lo..e_hi {
+                                let off = (e - e_lo) * d;
+                                kernels::un_update_edge(
+                                    g,
+                                    params,
+                                    x,
+                                    z,
+                                    &mut uc[off..off + d],
+                                    &mut nc[off..off + d],
+                                    paradmm_graph::EdgeId::from_usize(e),
+                                );
+                            }
+                        }
+                    }
                 });
         }
     }
@@ -535,6 +612,10 @@ struct SweepArrays<'a> {
     /// `[0]` views `store.z`, `[1]` views `store.z_prev`; which one holds
     /// the current iterate alternates per iteration (see struct docs).
     z_bufs: [RawArray; 2],
+    /// Dense per-edge parameter snapshot for the specialized u/n bodies
+    /// (`None` under scalar dispatch), captured once per block like the
+    /// raw pointers.
+    stream: Option<EdgeStream>,
 }
 
 impl<'a> SweepArrays<'a> {
@@ -555,6 +636,7 @@ impl<'a> SweepArrays<'a> {
                 RawArray::new(&mut store.z),
                 RawArray::new(&mut store.z_prev),
             ],
+            stream: block_stream(problem),
         }
     }
 
@@ -645,9 +727,13 @@ impl<'a> SweepArrays<'a> {
             let len = self.g.factor_degree(fa) * d;
             let xb = &mut x_block[offset..offset + len];
             x_update_factor(self.g, self.problem.prox(fa), self.params, n_all, xb, fa);
-            for j in 0..len {
-                m_block[offset + j] = xb[j] + u_all[base + offset + j];
-            }
+            kernels::m_update_range(
+                xb,
+                &u_all[base + offset..base + offset + len],
+                &mut m_block[offset..offset + len],
+                0,
+                len,
+            );
             offset += len;
         }
     }
@@ -662,10 +748,13 @@ impl<'a> SweepArrays<'a> {
         let m_block = self.m.range_mut(e_lo * d, e_hi * d);
         let x_all = self.x.whole();
         let u_all = self.u.whole();
-        for (j, mv) in m_block.iter_mut().enumerate() {
-            let idx = e_lo * d + j;
-            *mv = x_all[idx] + u_all[idx];
-        }
+        kernels::m_update_range(
+            &x_all[e_lo * d..e_hi * d],
+            &u_all[e_lo * d..e_hi * d],
+            m_block,
+            0,
+            (e_hi - e_lo) * d,
+        );
     }
 
     /// Z pass on swapped buffers over variables `[v_lo, v_hi)`: the
@@ -685,17 +774,7 @@ impl<'a> SweepArrays<'a> {
         let z_block = self.z_bufs[z_new].range_mut(v_lo * d, v_hi * d);
         let z_old_all = self.z_bufs[z_old].whole();
         let m_all = self.m.whole();
-        for b in v_lo..v_hi {
-            let off = (b - v_lo) * d;
-            kernels::z_update_swapped_var(
-                self.g,
-                self.params,
-                m_all,
-                &z_old_all[b * d..(b + 1) * d],
-                &mut z_block[off..off + d],
-                VarId::from_usize(b),
-            );
-        }
+        kernels::z_update_swapped_block(self.g, self.params, m_all, z_old_all, z_block, v_lo, v_hi);
     }
 
     /// U sweep (dual ascent) over edges `[e_lo, e_hi)`, reading z from
@@ -709,16 +788,21 @@ impl<'a> SweepArrays<'a> {
         let u_block = self.u.range_mut(e_lo * d, e_hi * d);
         let x_all = self.x.whole();
         let z_all = self.z_bufs[zi].whole();
-        for e in e_lo..e_hi {
-            let ue = &mut u_block[(e - e_lo) * d..(e - e_lo + 1) * d];
-            kernels::u_update_edge(
-                self.g,
-                self.params,
-                x_all,
-                z_all,
-                ue,
-                paradmm_graph::EdgeId::from_usize(e),
-            );
+        match &self.stream {
+            Some(s) => kernels::u_update_range_stream(s, x_all, z_all, u_block, e_lo, e_hi),
+            None => {
+                for e in e_lo..e_hi {
+                    let ue = &mut u_block[(e - e_lo) * d..(e - e_lo + 1) * d];
+                    kernels::u_update_edge(
+                        self.g,
+                        self.params,
+                        x_all,
+                        z_all,
+                        ue,
+                        paradmm_graph::EdgeId::from_usize(e),
+                    );
+                }
+            }
         }
     }
 
@@ -733,15 +817,20 @@ impl<'a> SweepArrays<'a> {
         let n_block = self.n.range_mut(e_lo * d, e_hi * d);
         let z_all = self.z_bufs[zi].whole();
         let u_all = self.u.whole();
-        for e in e_lo..e_hi {
-            let nb = &mut n_block[(e - e_lo) * d..(e - e_lo + 1) * d];
-            kernels::n_update_edge(
-                self.g,
-                z_all,
-                u_all,
-                nb,
-                paradmm_graph::EdgeId::from_usize(e),
-            );
+        match &self.stream {
+            Some(s) => kernels::n_update_range_stream(s, z_all, u_all, n_block, e_lo, e_hi),
+            None => {
+                for e in e_lo..e_hi {
+                    let nb = &mut n_block[(e - e_lo) * d..(e - e_lo + 1) * d];
+                    kernels::n_update_edge(
+                        self.g,
+                        z_all,
+                        u_all,
+                        nb,
+                        paradmm_graph::EdgeId::from_usize(e),
+                    );
+                }
+            }
         }
     }
 
@@ -760,17 +849,24 @@ impl<'a> SweepArrays<'a> {
         let n_block = self.n.range_mut(e_lo * d, e_hi * d);
         let x_all = self.x.whole();
         let z_all = self.z_bufs[zi].whole();
-        for e in e_lo..e_hi {
-            let off = (e - e_lo) * d;
-            kernels::un_update_edge(
-                self.g,
-                self.params,
-                x_all,
-                z_all,
-                &mut u_block[off..off + d],
-                &mut n_block[off..off + d],
-                paradmm_graph::EdgeId::from_usize(e),
-            );
+        match &self.stream {
+            Some(s) => {
+                kernels::un_update_range_stream(s, x_all, z_all, u_block, n_block, e_lo, e_hi)
+            }
+            None => {
+                for e in e_lo..e_hi {
+                    let off = (e - e_lo) * d;
+                    kernels::un_update_edge(
+                        self.g,
+                        self.params,
+                        x_all,
+                        z_all,
+                        &mut u_block[off..off + d],
+                        &mut n_block[off..off + d],
+                        paradmm_graph::EdgeId::from_usize(e),
+                    );
+                }
+            }
         }
     }
 }

@@ -38,10 +38,57 @@ pub fn plan_report(plan: &SweepPlan, costs: &SweepCosts, problem: &AdmmProblem) 
         costs.m_per_edge, costs.z_per_var, costs.u_per_edge, costs.n_per_edge
     ));
     out.push_str(&format!(
+        "kernel throughput ({:?} dispatch): m {:.2} | z {:.2} | u {:.2} | n {:.2} GB/s\n",
+        crate::kernels::kernel_dispatch(),
+        gb_per_s(m_bytes_per_edge(g.dims()), costs.m_per_edge),
+        gb_per_s(z_bytes_per_var(g), costs.z_per_var),
+        gb_per_s(u_bytes_per_edge(g.dims()), costs.u_per_edge),
+        gb_per_s(n_bytes_per_edge(g.dims()), costs.n_per_edge),
+    ));
+    out.push_str(&format!(
         "predicted serial iteration: {:.3e}s\n",
         costs.predicted_iteration_seconds(g.num_edges(), g.num_vars())
     ));
     out
+}
+
+// Effective memory traffic per item of each element-wise sweep, used to
+// turn the planner's measured per-item costs into GB/s figures. These
+// count the doubles each kernel body touches, not cache-line traffic:
+//  * m: read x_e, u_e; write m_e                      → 3·d·8 bytes/edge
+//  * u: read u_e, x_e, z_b; write u_e                 → 4·d·8 bytes/edge
+//  * n: read z_b, u_e; write n_e                      → 3·d·8 bytes/edge
+//  * z: per edge of the fold read ρ_e + m_e (d+1 doubles), plus read-
+//       modify-write of the d-vector accumulator     → (deg·(d+1) + 2·d)·8
+//       bytes/var at the variable's degree (mean degree = ne/nv here).
+
+fn m_bytes_per_edge(d: usize) -> f64 {
+    (3 * d * 8) as f64
+}
+
+fn u_bytes_per_edge(d: usize) -> f64 {
+    (4 * d * 8) as f64
+}
+
+fn n_bytes_per_edge(d: usize) -> f64 {
+    (3 * d * 8) as f64
+}
+
+fn z_bytes_per_var(g: &paradmm_graph::FactorGraph) -> f64 {
+    let d = g.dims();
+    let mean_deg = if g.num_vars() == 0 {
+        0.0
+    } else {
+        g.num_edges() as f64 / g.num_vars() as f64
+    };
+    (mean_deg * (d + 1) as f64 + (2 * d) as f64) * 8.0
+}
+
+fn gb_per_s(bytes_per_item: f64, seconds_per_item: f64) -> f64 {
+    if seconds_per_item <= 0.0 {
+        return 0.0;
+    }
+    bytes_per_item / seconds_per_item / 1e9
 }
 
 /// One trace sample.
@@ -174,5 +221,17 @@ mod tests {
     fn short_trace_counts_as_improving() {
         let trace = Trace::new();
         assert!(trace.is_improving(5));
+    }
+
+    #[test]
+    fn plan_report_includes_kernel_throughput() {
+        let p = problem();
+        let planner = crate::plan::Planner::new();
+        let costs = planner.measure(&p);
+        let plan = planner.plan_from_costs(&p, &costs);
+        let report = plan_report(&plan, &costs, &p);
+        assert!(report.contains("kernel throughput"), "{report}");
+        assert!(report.contains("GB/s"), "{report}");
+        assert!(report.contains("Specialized"), "{report}");
     }
 }

@@ -4,9 +4,413 @@
 //! all three schedulers: the serial baseline passes the full range, the
 //! barrier scheduler passes each worker's static partition, and the rayon
 //! scheduler maps the per-element bodies over parallel chunk iterators.
+//!
+//! # SIMD specialization
+//!
+//! The element-wise bodies (`m`, `z`, `u`, `n`, fused `u+n`, and the
+//! m-tail of the fused `x+m`) exist in two forms:
+//!
+//! * the original **scalar** loops with runtime `dims`, and
+//! * **specialized** monomorphized variants for `d ∈ {1, 2, 3, 4}` (the
+//!   paper families' dims) whose fixed trip-count inner loops the
+//!   compiler fully unrolls and vectorizes, plus a 4-wide manually
+//!   unrolled fallback for larger `d`.
+//!
+//! Both forms perform the *same per-output sequence of rounded
+//! floating-point operations* — specialization only removes loop/bounds
+//! overhead and improves instruction-level parallelism across
+//! *independent* outputs, never re-associating any individual
+//! accumulation — so iterates are bit-identical under either path (the
+//! `tests/plan_equivalence.rs` / `backend_equivalence.rs` suites pin
+//! this). [`set_kernel_dispatch`] selects the path process-wide; the
+//! executors read it once per pass. The u/n sweeps additionally have
+//! `*_stream` entry points driven by a dense
+//! [`EdgeStream`] instead of `EdgeId`
+//! accessor chains.
 
-use paradmm_graph::{EdgeParams, FactorGraph, FactorId, VarId};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use paradmm_graph::{EdgeParams, EdgeStream, FactorGraph, FactorId, VarId};
 use paradmm_prox::{ProxCtx, ProxOp};
+
+/// Which element-wise kernel bodies the executors run (see module docs).
+/// Both choices produce bit-identical iterates; `Scalar` exists so the
+/// SIMD ablation can measure the specialization honestly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelDispatch {
+    /// The original runtime-`dims` scalar loops.
+    Scalar,
+    /// Fixed-`dims` monomorphized bodies (d ≤ 4) / 4-wide unrolled
+    /// fallback, plus the [`EdgeStream`] path in the executors.
+    Specialized,
+}
+
+/// 0 = Specialized (default), 1 = Scalar.
+static KERNEL_DISPATCH: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the kernel dispatch mode process-wide (picked up at the next
+/// pass boundary). Defaults to [`KernelDispatch::Specialized`].
+pub fn set_kernel_dispatch(mode: KernelDispatch) {
+    KERNEL_DISPATCH.store(
+        matches!(mode, KernelDispatch::Scalar) as u8,
+        Ordering::Relaxed,
+    );
+}
+
+/// The current kernel dispatch mode.
+pub fn kernel_dispatch() -> KernelDispatch {
+    if KERNEL_DISPATCH.load(Ordering::Relaxed) == 0 {
+        KernelDispatch::Specialized
+    } else {
+        KernelDispatch::Scalar
+    }
+}
+
+#[inline]
+pub(crate) fn specialized() -> bool {
+    KERNEL_DISPATCH.load(Ordering::Relaxed) == 0
+}
+
+/// Per-edge `(α, flat z-base)` source for the u/n bodies: either the
+/// `EdgeId` accessor chain or the dense precomputed stream. Monomorphizing
+/// the bodies over this trait keeps the two paths literally the same code.
+trait EdgeCtx: Copy {
+    fn alpha(&self, e: usize) -> f64;
+    fn z_base(&self, e: usize) -> usize;
+}
+
+#[derive(Clone, Copy)]
+struct AccessorCtx<'a> {
+    graph: &'a FactorGraph,
+    params: &'a EdgeParams,
+    d: usize,
+}
+
+impl EdgeCtx for AccessorCtx<'_> {
+    #[inline]
+    fn alpha(&self, e: usize) -> f64 {
+        self.params.alpha(paradmm_graph::EdgeId::from_usize(e))
+    }
+    #[inline]
+    fn z_base(&self, e: usize) -> usize {
+        self.graph
+            .edge_var(paradmm_graph::EdgeId::from_usize(e))
+            .idx()
+            * self.d
+    }
+}
+
+/// Context for the n body, which never reads `α` — only the z-base map.
+#[derive(Clone, Copy)]
+struct GraphCtx<'a> {
+    graph: &'a FactorGraph,
+    d: usize,
+}
+
+impl EdgeCtx for GraphCtx<'_> {
+    #[inline]
+    fn alpha(&self, _e: usize) -> f64 {
+        unreachable!("n body never reads alpha")
+    }
+    #[inline]
+    fn z_base(&self, e: usize) -> usize {
+        self.graph
+            .edge_var(paradmm_graph::EdgeId::from_usize(e))
+            .idx()
+            * self.d
+    }
+}
+
+#[derive(Clone, Copy)]
+struct StreamCtx<'a>(&'a EdgeStream);
+
+impl EdgeCtx for StreamCtx<'_> {
+    #[inline]
+    fn alpha(&self, e: usize) -> f64 {
+        self.0.alpha()[e]
+    }
+    #[inline]
+    fn z_base(&self, e: usize) -> usize {
+        self.0.z_base()[e] as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Monomorphized element-wise bodies.
+//
+// Write slices are *block-relative*: `u_block`/`n_block`/`z_block` cover
+// exactly the range `[lo, hi)` being updated, so the same bodies serve
+// full-array calls (serial), static partitions (barrier), claimed chunks
+// (work-stealing) and rayon chunk iterators without aliasing whole
+// arrays. Read arrays are always the full flat arrays.
+// ---------------------------------------------------------------------------
+
+/// `m[i] = x[i] + u[i]` over equal-length slices, 4-wide unrolled.
+/// Element-wise with no accumulation, so unrolling is trivially
+/// reassociation-free.
+#[inline]
+fn add_block(x: &[f64], u: &[f64], m: &mut [f64]) {
+    let len = m.len();
+    debug_assert!(x.len() == len && u.len() == len);
+    let mut j = 0;
+    while j + 4 <= len {
+        m[j] = x[j] + u[j];
+        m[j + 1] = x[j + 1] + u[j + 1];
+        m[j + 2] = x[j + 2] + u[j + 2];
+        m[j + 3] = x[j + 3] + u[j + 3];
+        j += 4;
+    }
+    while j < len {
+        m[j] = x[j] + u[j];
+        j += 1;
+    }
+}
+
+#[inline]
+fn u_body_fixed<const D: usize, C: EdgeCtx>(
+    ctx: C,
+    x_all: &[f64],
+    z_all: &[f64],
+    u_block: &mut [f64],
+    e_lo: usize,
+    e_hi: usize,
+) {
+    for e in e_lo..e_hi {
+        let alpha = ctx.alpha(e);
+        let zb = ctx.z_base(e);
+        let xe = &x_all[e * D..e * D + D];
+        let z = &z_all[zb..zb + D];
+        let ue = &mut u_block[(e - e_lo) * D..(e - e_lo) * D + D];
+        for c in 0..D {
+            ue[c] += alpha * (xe[c] - z[c]);
+        }
+    }
+}
+
+#[inline]
+fn u_body_dyn<C: EdgeCtx>(
+    ctx: C,
+    d: usize,
+    x_all: &[f64],
+    z_all: &[f64],
+    u_block: &mut [f64],
+    e_lo: usize,
+    e_hi: usize,
+) {
+    for e in e_lo..e_hi {
+        let alpha = ctx.alpha(e);
+        let zb = ctx.z_base(e);
+        let xe = &x_all[e * d..e * d + d];
+        let z = &z_all[zb..zb + d];
+        let ue = &mut u_block[(e - e_lo) * d..(e - e_lo) * d + d];
+        let mut c = 0;
+        // Components are independent outputs: 4-wide unrolling changes
+        // no per-output operation order.
+        while c + 4 <= d {
+            ue[c] += alpha * (xe[c] - z[c]);
+            ue[c + 1] += alpha * (xe[c + 1] - z[c + 1]);
+            ue[c + 2] += alpha * (xe[c + 2] - z[c + 2]);
+            ue[c + 3] += alpha * (xe[c + 3] - z[c + 3]);
+            c += 4;
+        }
+        while c < d {
+            ue[c] += alpha * (xe[c] - z[c]);
+            c += 1;
+        }
+    }
+}
+
+#[inline]
+fn n_body_fixed<const D: usize, C: EdgeCtx>(
+    ctx: C,
+    z_all: &[f64],
+    u_all: &[f64],
+    n_block: &mut [f64],
+    e_lo: usize,
+    e_hi: usize,
+) {
+    for e in e_lo..e_hi {
+        let zb = ctx.z_base(e);
+        let z = &z_all[zb..zb + D];
+        let ue = &u_all[e * D..e * D + D];
+        let ne = &mut n_block[(e - e_lo) * D..(e - e_lo) * D + D];
+        for c in 0..D {
+            ne[c] = z[c] - ue[c];
+        }
+    }
+}
+
+#[inline]
+fn n_body_dyn<C: EdgeCtx>(
+    ctx: C,
+    d: usize,
+    z_all: &[f64],
+    u_all: &[f64],
+    n_block: &mut [f64],
+    e_lo: usize,
+    e_hi: usize,
+) {
+    for e in e_lo..e_hi {
+        let zb = ctx.z_base(e);
+        let z = &z_all[zb..zb + d];
+        let ue = &u_all[e * d..e * d + d];
+        let ne = &mut n_block[(e - e_lo) * d..(e - e_lo) * d + d];
+        let mut c = 0;
+        while c + 4 <= d {
+            ne[c] = z[c] - ue[c];
+            ne[c + 1] = z[c + 1] - ue[c + 1];
+            ne[c + 2] = z[c + 2] - ue[c + 2];
+            ne[c + 3] = z[c + 3] - ue[c + 3];
+            c += 4;
+        }
+        while c < d {
+            ne[c] = z[c] - ue[c];
+            c += 1;
+        }
+    }
+}
+
+#[inline]
+fn un_body_fixed<const D: usize, C: EdgeCtx>(
+    ctx: C,
+    x_all: &[f64],
+    z_all: &[f64],
+    u_block: &mut [f64],
+    n_block: &mut [f64],
+    e_lo: usize,
+    e_hi: usize,
+) {
+    for e in e_lo..e_hi {
+        let alpha = ctx.alpha(e);
+        let zb = ctx.z_base(e);
+        let xe = &x_all[e * D..e * D + D];
+        let z = &z_all[zb..zb + D];
+        let bo = (e - e_lo) * D;
+        let ue = &mut u_block[bo..bo + D];
+        let ne = &mut n_block[bo..bo + D];
+        for c in 0..D {
+            let u = ue[c] + alpha * (xe[c] - z[c]);
+            ue[c] = u;
+            ne[c] = z[c] - u;
+        }
+    }
+}
+
+#[inline]
+#[allow(clippy::too_many_arguments)] // internal body; mirrors un_body_fixed plus the runtime dims
+fn un_body_dyn<C: EdgeCtx>(
+    ctx: C,
+    d: usize,
+    x_all: &[f64],
+    z_all: &[f64],
+    u_block: &mut [f64],
+    n_block: &mut [f64],
+    e_lo: usize,
+    e_hi: usize,
+) {
+    for e in e_lo..e_hi {
+        let alpha = ctx.alpha(e);
+        let zb = ctx.z_base(e);
+        let xe = &x_all[e * d..e * d + d];
+        let z = &z_all[zb..zb + d];
+        let bo = (e - e_lo) * d;
+        let ue = &mut u_block[bo..bo + d];
+        let ne = &mut n_block[bo..bo + d];
+        let mut c = 0;
+        while c + 4 <= d {
+            let u0 = ue[c] + alpha * (xe[c] - z[c]);
+            let u1 = ue[c + 1] + alpha * (xe[c + 1] - z[c + 1]);
+            let u2 = ue[c + 2] + alpha * (xe[c + 2] - z[c + 2]);
+            let u3 = ue[c + 3] + alpha * (xe[c + 3] - z[c + 3]);
+            ue[c] = u0;
+            ue[c + 1] = u1;
+            ue[c + 2] = u2;
+            ue[c + 3] = u3;
+            ne[c] = z[c] - u0;
+            ne[c + 1] = z[c + 1] - u1;
+            ne[c + 2] = z[c + 2] - u2;
+            ne[c + 3] = z[c + 3] - u3;
+            c += 4;
+        }
+        while c < d {
+            let u = ue[c] + alpha * (xe[c] - z[c]);
+            ue[c] = u;
+            ne[c] = z[c] - u;
+            c += 1;
+        }
+    }
+}
+
+/// z body for `d = D`, copying schedule (degree-0 variables are left
+/// unchanged in `z_block`). The weighted sum accumulates into a stack
+/// array in *exactly* the fold order and association of the scalar path.
+#[inline]
+fn z_body_fixed<const D: usize>(
+    graph: &FactorGraph,
+    params: &EdgeParams,
+    m_all: &[f64],
+    z_block: &mut [f64],
+    b_lo: usize,
+    b_hi: usize,
+) {
+    for b in b_lo..b_hi {
+        let edges = graph.var_edges(VarId::from_usize(b));
+        if edges.is_empty() {
+            continue;
+        }
+        let mut acc = [0.0f64; D];
+        let mut rho_sum = 0.0;
+        for &e in edges {
+            let rho = params.rho(e);
+            rho_sum += rho;
+            let me = &m_all[e.idx() * D..e.idx() * D + D];
+            for c in 0..D {
+                acc[c] += rho * me[c];
+            }
+        }
+        let inv = 1.0 / rho_sum;
+        let out = &mut z_block[(b - b_lo) * D..(b - b_lo) * D + D];
+        for c in 0..D {
+            out[c] = acc[c] * inv;
+        }
+    }
+}
+
+/// z body for `d = D`, double-buffered schedule (degree-0 variables copy
+/// forward from `z_old`).
+#[inline]
+fn z_swapped_body_fixed<const D: usize>(
+    graph: &FactorGraph,
+    params: &EdgeParams,
+    m_all: &[f64],
+    z_old: &[f64],
+    z_block: &mut [f64],
+    b_lo: usize,
+    b_hi: usize,
+) {
+    for b in b_lo..b_hi {
+        let edges = graph.var_edges(VarId::from_usize(b));
+        let out = &mut z_block[(b - b_lo) * D..(b - b_lo) * D + D];
+        if edges.is_empty() {
+            out.copy_from_slice(&z_old[b * D..b * D + D]);
+            continue;
+        }
+        let mut acc = [0.0f64; D];
+        let mut rho_sum = 0.0;
+        for &e in edges {
+            let rho = params.rho(e);
+            rho_sum += rho;
+            let me = &m_all[e.idx() * D..e.idx() * D + D];
+            for c in 0..D {
+                acc[c] += rho * me[c];
+            }
+        }
+        let inv = 1.0 / rho_sum;
+        for c in 0..D {
+            out[c] = acc[c] * inv;
+        }
+    }
+}
 
 /// The five kinds of sweep in one ADMM iteration, in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,8 +505,12 @@ pub fn x_update_range(
 /// m-update over flat component range `[lo, hi)`: `m = x + u`.
 #[inline]
 pub fn m_update_range(x: &[f64], u: &[f64], m: &mut [f64], lo: usize, hi: usize) {
-    for j in lo..hi {
-        m[j] = x[j] + u[j];
+    if specialized() {
+        add_block(&x[lo..hi], &u[lo..hi], &mut m[lo..hi]);
+    } else {
+        for j in lo..hi {
+            m[j] = x[j] + u[j];
+        }
     }
 }
 
@@ -135,16 +543,34 @@ pub fn xm_update_range(
         let er = graph.factor_edge_range(fa);
         let (flo, fhi) = (er.start * d, er.end * d);
         x_update_factor(graph, &*proxes[a], params, n_all, &mut x_all[flo..fhi], fa);
-        for j in flo..fhi {
-            m_all[j] = x_all[j] + u_all[j];
+        if specialized() {
+            add_block(&x_all[flo..fhi], &u_all[flo..fhi], &mut m_all[flo..fhi]);
+        } else {
+            for j in flo..fhi {
+                m_all[j] = x_all[j] + u_all[j];
+            }
         }
     }
 }
+
+/// Dims threshold below which [`z_update_var`] accumulates on the stack.
+const Z_STACK_DIMS: usize = 8;
 
 /// z-update body for a single variable node `b`:
 /// `z_b = Σ_{e∈∂b} ρ_e m_e / Σ_{e∈∂b} ρ_e`, written into `z_b_out` (that
 /// variable's `dims`-slice of the global z array). Variables of degree 0
 /// are left unchanged (no information flows to them).
+///
+/// For `dims ≤ 8` the weighted sum accumulates into a stack array and
+/// `z_b_out` is written once, instead of the historical
+/// `fill(0.0)` / accumulate-in-place / scale-in-place triple pass over
+/// the output slice. This is bit-identical: the accumulator starts from
+/// the same `+0.0` the `fill` produced and the *first* contribution is
+/// still added to it (`0.0 + ρ·m`) rather than assigned — the two differ
+/// when `ρ·m` is `-0.0` (IEEE 754: `0.0 + (-0.0) = +0.0`) — every
+/// subsequent `+=` happens in the same fold order, and the final
+/// `acc · inv` is the very multiplication `*= inv` performed. Only the
+/// redundant memory traffic is gone.
 #[inline]
 pub fn z_update_var(
     graph: &FactorGraph,
@@ -159,18 +585,34 @@ pub fn z_update_var(
         return;
     }
     let mut rho_sum = 0.0;
-    z_b_out.fill(0.0);
-    for &e in edges {
-        let rho = params.rho(e);
-        rho_sum += rho;
-        let me = &m_all[e.idx() * d..(e.idx() + 1) * d];
-        for c in 0..d {
-            z_b_out[c] += rho * me[c];
+    if d <= Z_STACK_DIMS {
+        let mut acc = [0.0f64; Z_STACK_DIMS];
+        for &e in edges {
+            let rho = params.rho(e);
+            rho_sum += rho;
+            let me = &m_all[e.idx() * d..(e.idx() + 1) * d];
+            for c in 0..d {
+                acc[c] += rho * me[c];
+            }
         }
-    }
-    let inv = 1.0 / rho_sum;
-    for c in 0..d {
-        z_b_out[c] *= inv;
+        let inv = 1.0 / rho_sum;
+        for c in 0..d {
+            z_b_out[c] = acc[c] * inv;
+        }
+    } else {
+        z_b_out.fill(0.0);
+        for &e in edges {
+            let rho = params.rho(e);
+            rho_sum += rho;
+            let me = &m_all[e.idx() * d..(e.idx() + 1) * d];
+            for c in 0..d {
+                z_b_out[c] += rho * me[c];
+            }
+        }
+        let inv = 1.0 / rho_sum;
+        for c in 0..d {
+            z_b_out[c] *= inv;
+        }
     }
 }
 
@@ -185,6 +627,16 @@ pub fn z_update_range(
     b_hi: usize,
 ) {
     let d = graph.dims();
+    if specialized() {
+        let z_block = &mut z_all[b_lo * d..b_hi * d];
+        match d {
+            1 => return z_body_fixed::<1>(graph, params, m_all, z_block, b_lo, b_hi),
+            2 => return z_body_fixed::<2>(graph, params, m_all, z_block, b_lo, b_hi),
+            3 => return z_body_fixed::<3>(graph, params, m_all, z_block, b_lo, b_hi),
+            4 => return z_body_fixed::<4>(graph, params, m_all, z_block, b_lo, b_hi),
+            _ => {} // large dims: per-var body below (stack path covers d ≤ 8)
+        }
+    }
     for b in b_lo..b_hi {
         let zb = &mut z_all[b * d..(b + 1) * d];
         z_update_var(graph, params, m_all, zb, VarId::from_usize(b));
@@ -226,14 +678,57 @@ pub fn z_update_swapped_range(
     b_hi: usize,
 ) {
     let d = graph.dims();
+    z_update_swapped_block(
+        graph,
+        params,
+        m_all,
+        z_old,
+        &mut z_new[b_lo * d..b_hi * d],
+        b_lo,
+        b_hi,
+    );
+}
+
+/// [`z_update_swapped_range`] with a *block-relative* write slice:
+/// `z_block` covers exactly the variables `[b_lo, b_hi)` (`z_old` stays
+/// the full previous-iterate buffer), so parallel executors can pass the
+/// disjoint chunk they own.
+pub fn z_update_swapped_block(
+    graph: &FactorGraph,
+    params: &EdgeParams,
+    m_all: &[f64],
+    z_old: &[f64],
+    z_block: &mut [f64],
+    b_lo: usize,
+    b_hi: usize,
+) {
+    let d = graph.dims();
+    debug_assert_eq!(z_block.len(), (b_hi - b_lo) * d);
+    if specialized() {
+        match d {
+            1 => {
+                return z_swapped_body_fixed::<1>(graph, params, m_all, z_old, z_block, b_lo, b_hi)
+            }
+            2 => {
+                return z_swapped_body_fixed::<2>(graph, params, m_all, z_old, z_block, b_lo, b_hi)
+            }
+            3 => {
+                return z_swapped_body_fixed::<3>(graph, params, m_all, z_old, z_block, b_lo, b_hi)
+            }
+            4 => {
+                return z_swapped_body_fixed::<4>(graph, params, m_all, z_old, z_block, b_lo, b_hi)
+            }
+            _ => {} // large dims: per-var body below (stack path covers d ≤ 8)
+        }
+    }
     for b in b_lo..b_hi {
-        let r = b * d..(b + 1) * d;
+        let r = (b - b_lo) * d..(b - b_lo + 1) * d;
         z_update_swapped_var(
             graph,
             params,
             m_all,
-            &z_old[r.clone()],
-            &mut z_new[r],
+            &z_old[b * d..(b + 1) * d],
+            &mut z_block[r],
             VarId::from_usize(b),
         );
     }
@@ -271,6 +766,17 @@ pub fn u_update_range(
     e_hi: usize,
 ) {
     let d = graph.dims();
+    if specialized() {
+        let ctx = AccessorCtx { graph, params, d };
+        let u_block = &mut u_all[e_lo * d..e_hi * d];
+        return match d {
+            1 => u_body_fixed::<1, _>(ctx, x_all, z_all, u_block, e_lo, e_hi),
+            2 => u_body_fixed::<2, _>(ctx, x_all, z_all, u_block, e_lo, e_hi),
+            3 => u_body_fixed::<3, _>(ctx, x_all, z_all, u_block, e_lo, e_hi),
+            4 => u_body_fixed::<4, _>(ctx, x_all, z_all, u_block, e_lo, e_hi),
+            _ => u_body_dyn(ctx, d, x_all, z_all, u_block, e_lo, e_hi),
+        };
+    }
     for e in e_lo..e_hi {
         let ue = &mut u_all[e * d..(e + 1) * d];
         u_update_edge(
@@ -281,6 +787,28 @@ pub fn u_update_range(
             ue,
             paradmm_graph::EdgeId::from_usize(e),
         );
+    }
+}
+
+/// [`u_update_range`] driven by a dense [`EdgeStream`] instead of the
+/// `EdgeId` accessor chain; `u_block` is *block-relative* — it covers
+/// exactly the edges `[e_lo, e_hi)` — so parallel executors can pass the
+/// disjoint chunk they own. Always runs the specialized bodies.
+pub fn u_update_range_stream(
+    stream: &EdgeStream,
+    x_all: &[f64],
+    z_all: &[f64],
+    u_block: &mut [f64],
+    e_lo: usize,
+    e_hi: usize,
+) {
+    let ctx = StreamCtx(stream);
+    match stream.dims() {
+        1 => u_body_fixed::<1, _>(ctx, x_all, z_all, u_block, e_lo, e_hi),
+        2 => u_body_fixed::<2, _>(ctx, x_all, z_all, u_block, e_lo, e_hi),
+        3 => u_body_fixed::<3, _>(ctx, x_all, z_all, u_block, e_lo, e_hi),
+        4 => u_body_fixed::<4, _>(ctx, x_all, z_all, u_block, e_lo, e_hi),
+        d => u_body_dyn(ctx, d, x_all, z_all, u_block, e_lo, e_hi),
     }
 }
 
@@ -329,6 +857,18 @@ pub fn un_update_range(
     e_hi: usize,
 ) {
     let d = graph.dims();
+    if specialized() {
+        let ctx = AccessorCtx { graph, params, d };
+        let u_block = &mut u_all[e_lo * d..e_hi * d];
+        let n_block = &mut n_all[e_lo * d..e_hi * d];
+        return match d {
+            1 => un_body_fixed::<1, _>(ctx, x_all, z_all, u_block, n_block, e_lo, e_hi),
+            2 => un_body_fixed::<2, _>(ctx, x_all, z_all, u_block, n_block, e_lo, e_hi),
+            3 => un_body_fixed::<3, _>(ctx, x_all, z_all, u_block, n_block, e_lo, e_hi),
+            4 => un_body_fixed::<4, _>(ctx, x_all, z_all, u_block, n_block, e_lo, e_hi),
+            _ => un_body_dyn(ctx, d, x_all, z_all, u_block, n_block, e_lo, e_hi),
+        };
+    }
     for e in e_lo..e_hi {
         let lo = e * d;
         un_update_edge(
@@ -340,6 +880,28 @@ pub fn un_update_range(
             &mut n_all[lo..lo + d],
             paradmm_graph::EdgeId::from_usize(e),
         );
+    }
+}
+
+/// [`un_update_range`] driven by a dense [`EdgeStream`]; `u_block` and
+/// `n_block` are *block-relative* (they cover exactly `[e_lo, e_hi)`).
+/// Always runs the specialized bodies.
+pub fn un_update_range_stream(
+    stream: &EdgeStream,
+    x_all: &[f64],
+    z_all: &[f64],
+    u_block: &mut [f64],
+    n_block: &mut [f64],
+    e_lo: usize,
+    e_hi: usize,
+) {
+    let ctx = StreamCtx(stream);
+    match stream.dims() {
+        1 => un_body_fixed::<1, _>(ctx, x_all, z_all, u_block, n_block, e_lo, e_hi),
+        2 => un_body_fixed::<2, _>(ctx, x_all, z_all, u_block, n_block, e_lo, e_hi),
+        3 => un_body_fixed::<3, _>(ctx, x_all, z_all, u_block, n_block, e_lo, e_hi),
+        4 => un_body_fixed::<4, _>(ctx, x_all, z_all, u_block, n_block, e_lo, e_hi),
+        d => un_body_dyn(ctx, d, x_all, z_all, u_block, n_block, e_lo, e_hi),
     }
 }
 
@@ -371,6 +933,17 @@ pub fn n_update_range(
     e_hi: usize,
 ) {
     let d = graph.dims();
+    if specialized() {
+        let ctx = GraphCtx { graph, d };
+        let n_block = &mut n_all[e_lo * d..e_hi * d];
+        return match d {
+            1 => n_body_fixed::<1, _>(ctx, z_all, u_all, n_block, e_lo, e_hi),
+            2 => n_body_fixed::<2, _>(ctx, z_all, u_all, n_block, e_lo, e_hi),
+            3 => n_body_fixed::<3, _>(ctx, z_all, u_all, n_block, e_lo, e_hi),
+            4 => n_body_fixed::<4, _>(ctx, z_all, u_all, n_block, e_lo, e_hi),
+            _ => n_body_dyn(ctx, d, z_all, u_all, n_block, e_lo, e_hi),
+        };
+    }
     for e in e_lo..e_hi {
         let ne = &mut n_all[e * d..(e + 1) * d];
         n_update_edge(
@@ -380,6 +953,27 @@ pub fn n_update_range(
             ne,
             paradmm_graph::EdgeId::from_usize(e),
         );
+    }
+}
+
+/// [`n_update_range`] driven by a dense [`EdgeStream`]; `n_block` is
+/// *block-relative* (it covers exactly `[e_lo, e_hi)`). Always runs the
+/// specialized bodies.
+pub fn n_update_range_stream(
+    stream: &EdgeStream,
+    z_all: &[f64],
+    u_all: &[f64],
+    n_block: &mut [f64],
+    e_lo: usize,
+    e_hi: usize,
+) {
+    let ctx = StreamCtx(stream);
+    match stream.dims() {
+        1 => n_body_fixed::<1, _>(ctx, z_all, u_all, n_block, e_lo, e_hi),
+        2 => n_body_fixed::<2, _>(ctx, z_all, u_all, n_block, e_lo, e_hi),
+        3 => n_body_fixed::<3, _>(ctx, z_all, u_all, n_block, e_lo, e_hi),
+        4 => n_body_fixed::<4, _>(ctx, z_all, u_all, n_block, e_lo, e_hi),
+        d => n_body_dyn(ctx, d, z_all, u_all, n_block, e_lo, e_hi),
     }
 }
 
@@ -463,7 +1057,7 @@ mod tests {
     fn z_update_weighted_average() {
         let (g, mut p) = chain(1);
         // Variable 1 touches edges 1 (factor 0) and 2 (factor 1).
-        p.rho = vec![1.0, 2.0, 3.0, 1.0];
+        p.rho = vec![1.0, 2.0, 3.0, 1.0].into();
         let m = [0.0, 6.0, 12.0, 0.0];
         let mut z = [0.0; 3];
         z_update_range(&g, &p, &m, &mut z, 0, 3);
@@ -491,7 +1085,7 @@ mod tests {
     #[test]
     fn u_update_accumulates_scaled_residual() {
         let (g, mut p) = chain(1);
-        p.alpha = vec![0.5; 4];
+        p.alpha = vec![0.5; 4].into();
         let x = [2.0, 0.0, 0.0, 0.0];
         let z = [1.0, 0.0, 0.0];
         let mut u = [1.0, 0.0, 0.0, 0.0];
@@ -537,8 +1131,8 @@ mod tests {
     #[test]
     fn fused_un_matches_separate_sweeps_bitwise() {
         let (g, mut p) = chain(2);
-        p.alpha = vec![0.3, 0.7, 1.1, 0.9];
-        p.rho = vec![1.0, 2.0, 0.5, 3.0];
+        p.alpha = vec![0.3, 0.7, 1.1, 0.9].into();
+        p.rho = vec![1.0, 2.0, 0.5, 3.0].into();
         let x: Vec<f64> = (0..8).map(|i| (i as f64 * 0.9).sin()).collect();
         let z: Vec<f64> = (0..6).map(|i| (i as f64 * 0.4).cos()).collect();
         let u0: Vec<f64> = (0..8).map(|i| i as f64 * 0.25 - 1.0).collect();
@@ -559,7 +1153,7 @@ mod tests {
     #[test]
     fn fused_xm_matches_separate_sweeps_bitwise() {
         let (g, mut p) = chain(2);
-        p.rho = vec![1.0, 2.0, 0.5, 3.0];
+        p.rho = vec![1.0, 2.0, 0.5, 3.0].into();
         let proxes: Vec<Box<dyn ProxOp>> = vec![Box::new(ZeroProx), Box::new(ZeroProx)];
         let n: Vec<f64> = (0..8).map(|i| (i as f64 * 0.7).sin()).collect();
         let u: Vec<f64> = (0..8).map(|i| (i as f64 * 0.3).cos()).collect();
@@ -598,6 +1192,125 @@ mod tests {
         z_update_swapped_range(&g, &p, &m, &z_old, &mut z_new, 0, 3);
         assert_eq!(z_new, z_copy);
         assert_eq!(z_new[1], 7.0, "isolated var carried forward");
+    }
+
+    /// Serializes tests that flip the global dispatch mode. (Correctness
+    /// never depends on the mode — both paths are bit-identical — but a
+    /// concurrent toggler could make a mode *assertion* flaky.)
+    static DISPATCH_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// An irregular fixture: degrees 1..3, one isolated variable, varied
+    /// per-edge ρ/α, state arrays seeded with irrational-phase waves.
+    #[allow(clippy::type_complexity)]
+    fn irregular(
+        dims: usize,
+    ) -> (
+        FactorGraph,
+        EdgeParams,
+        Vec<f64>, // x   (edges)
+        Vec<f64>, // m0  (edges)
+        Vec<f64>, // u0  (edges)
+        Vec<f64>, // z0  (vars)
+    ) {
+        let mut b = GraphBuilder::new(dims);
+        let vs = b.add_vars(5); // vs[4] stays isolated
+        b.add_factor(&[vs[0], vs[1]]);
+        b.add_factor(&[vs[1], vs[2]]);
+        b.add_factor(&[vs[0], vs[2], vs[3]]);
+        b.add_factor(&[vs[3]]);
+        let g = b.build();
+        let mut p = EdgeParams::uniform(&g, 1.0, 1.0);
+        for (i, r) in p.rho.as_mut_slice().iter_mut().enumerate() {
+            *r = 0.5 + (i as f64 * 0.37).sin().abs();
+        }
+        for (i, a) in p.alpha.as_mut_slice().iter_mut().enumerate() {
+            *a = 0.3 + (i as f64 * 0.23).cos().abs();
+        }
+        let (ne, nv) = (g.num_edges(), g.num_vars());
+        let x = (0..ne * dims).map(|i| (i as f64 * 0.9).sin()).collect();
+        let m0 = (0..ne * dims).map(|i| (i as f64 * 0.7).cos()).collect();
+        let u0 = (0..ne * dims).map(|i| (i as f64 * 0.31).sin()).collect();
+        let z0 = (0..nv * dims).map(|i| (i as f64 * 0.11).cos()).collect();
+        (g, p, x, m0, u0, z0)
+    }
+
+    /// The specialized bodies (fixed-D for d ≤ 4, 4-wide unrolled beyond)
+    /// must be bit-identical to the scalar loops for every kernel.
+    #[test]
+    fn specialized_matches_scalar_bitwise() {
+        let _guard = DISPATCH_LOCK.lock().unwrap();
+        for dims in [1usize, 2, 3, 4, 6, 9] {
+            let (g, p, x, m0, u0, z0) = irregular(dims);
+            let (ne, nv) = (g.num_edges(), g.num_vars());
+            let run = |mode: KernelDispatch| {
+                set_kernel_dispatch(mode);
+                let mut m = vec![0.0; ne * dims];
+                m_update_range(&x, &u0, &mut m, 0, ne * dims);
+                let mut z = z0.clone();
+                z_update_range(&g, &p, &m0, &mut z, 0, nv);
+                let mut z_sw = vec![0.0; nv * dims];
+                z_update_swapped_range(&g, &p, &m0, &z0, &mut z_sw, 0, nv);
+                let mut u = u0.clone();
+                u_update_range(&g, &p, &x, &z0, &mut u, 0, ne);
+                let mut n = vec![0.0; ne * dims];
+                n_update_range(&g, &z0, &u0, &mut n, 0, ne);
+                let mut uf = u0.clone();
+                let mut nf = vec![0.0; ne * dims];
+                un_update_range(&g, &p, &x, &z0, &mut uf, &mut nf, 0, ne);
+                set_kernel_dispatch(KernelDispatch::Specialized);
+                (m, z, z_sw, u, n, uf, nf)
+            };
+            let scalar = run(KernelDispatch::Scalar);
+            let fast = run(KernelDispatch::Specialized);
+            assert_eq!(scalar, fast, "dims {dims}");
+        }
+    }
+
+    /// The `EdgeStream`-driven entry points must match the accessor path,
+    /// including on partial (block-relative) ranges.
+    #[test]
+    fn stream_kernels_match_accessor_path() {
+        for dims in [1usize, 2, 3, 4, 6] {
+            let (g, p, x, _m0, u0, z0) = irregular(dims);
+            let ne = g.num_edges();
+            let stream = EdgeStream::build(&g, &p);
+
+            let mut u_acc = u0.clone();
+            u_update_range(&g, &p, &x, &z0, &mut u_acc, 0, ne);
+            let mut u_st = u0.clone();
+            u_update_range_stream(&stream, &x, &z0, &mut u_st, 0, ne);
+            assert_eq!(u_acc, u_st, "u dims {dims}");
+
+            let mut n_acc = vec![0.0; ne * dims];
+            n_update_range(&g, &z0, &u0, &mut n_acc, 0, ne);
+            let mut n_st = vec![0.0; ne * dims];
+            n_update_range_stream(&stream, &z0, &u0, &mut n_st, 0, ne);
+            assert_eq!(n_acc, n_st, "n dims {dims}");
+
+            let mut uf_acc = u0.clone();
+            let mut nf_acc = vec![0.0; ne * dims];
+            un_update_range(&g, &p, &x, &z0, &mut uf_acc, &mut nf_acc, 0, ne);
+            let mut uf_st = u0.clone();
+            let mut nf_st = vec![0.0; ne * dims];
+            un_update_range_stream(&stream, &x, &z0, &mut uf_st, &mut nf_st, 0, ne);
+            assert_eq!((uf_acc, nf_acc), (uf_st, nf_st), "un dims {dims}");
+
+            // Block-relative partial range: edges [1, ne-1).
+            let (lo, hi) = (1, ne - 1);
+            let mut u_blk = u0[lo * dims..hi * dims].to_vec();
+            u_update_range_stream(&stream, &x, &z0, &mut u_blk, lo, hi);
+            assert_eq!(u_blk, u_acc[lo * dims..hi * dims], "u block dims {dims}");
+        }
+    }
+
+    #[test]
+    fn dispatch_mode_round_trips() {
+        let _guard = DISPATCH_LOCK.lock().unwrap();
+        assert_eq!(kernel_dispatch(), KernelDispatch::Specialized);
+        set_kernel_dispatch(KernelDispatch::Scalar);
+        assert_eq!(kernel_dispatch(), KernelDispatch::Scalar);
+        set_kernel_dispatch(KernelDispatch::Specialized);
+        assert_eq!(kernel_dispatch(), KernelDispatch::Specialized);
     }
 
     #[test]

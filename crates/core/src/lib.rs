@@ -77,7 +77,7 @@ pub use backend::{
 };
 pub use batch::{BatchReport, BatchSolver, InstanceReport};
 pub use diagnostics::{plan_report, Trace, TracePoint};
-pub use kernels::UpdateKind;
+pub use kernels::{kernel_dispatch, set_kernel_dispatch, KernelDispatch, UpdateKind};
 pub use paradmm_prox::{ProxCtx, ProxOp};
 pub use plan::{Pass, PassKind, PassSpace, PlanError, Planner, SweepPlan};
 pub use problem::AdmmProblem;

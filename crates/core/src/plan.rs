@@ -500,6 +500,13 @@ impl Planner {
 
     /// Times every proximal operator and the four element-wise sweeps on
     /// scratch state (min over [`Planner::reps`] repetitions).
+    ///
+    /// The sweeps run through the same dispatch the executors use — under
+    /// [`crate::kernels::KernelDispatch::Specialized`] that is the
+    /// fixed-`dims` bodies, with u/n driven by the dense
+    /// [`EdgeStream`](paradmm_graph::EdgeStream) — so the measured
+    /// per-item costs (and the chunk sizes / weighted splits derived from
+    /// them) always describe the kernels that will actually execute.
     pub fn measure(&self, problem: &AdmmProblem) -> SweepCosts {
         let g = problem.graph();
         let d = g.dims();
@@ -557,11 +564,14 @@ impl Planner {
         let z_s = time_sweep(&mut |s: &mut VarStore| {
             kernels::z_update_range(g, params, &s.m, &mut s.z, 0, nv)
         });
-        let u_s = time_sweep(&mut |s: &mut VarStore| {
-            kernels::u_update_range(g, params, &s.x, &s.z, &mut s.u, 0, ne)
+        let stream = kernels::specialized().then(|| paradmm_graph::EdgeStream::build(g, params));
+        let u_s = time_sweep(&mut |s: &mut VarStore| match &stream {
+            Some(st) => kernels::u_update_range_stream(st, &s.x, &s.z, &mut s.u, 0, ne),
+            None => kernels::u_update_range(g, params, &s.x, &s.z, &mut s.u, 0, ne),
         });
-        let n_s = time_sweep(&mut |s: &mut VarStore| {
-            kernels::n_update_range(g, &s.z, &s.u, &mut s.n, 0, ne)
+        let n_s = time_sweep(&mut |s: &mut VarStore| match &stream {
+            Some(st) => kernels::n_update_range_stream(st, &s.z, &s.u, &mut s.n, 0, ne),
+            None => kernels::n_update_range(g, &s.z, &s.u, &mut s.n, 0, ne),
         });
         let per = |total: f64, items: usize| {
             if items == 0 {

@@ -1,6 +1,6 @@
 //! A factor graph paired with one proximal operator per factor.
 
-use paradmm_graph::{EdgeParams, FactorGraph, FactorId};
+use paradmm_graph::{EdgeParams, FactorGraph, FactorId, Reordering};
 use paradmm_prox::ProxOp;
 
 use crate::plan::SweepPlan;
@@ -130,6 +130,41 @@ impl AdmmProblem {
     /// problem and must be rebuilt for whatever the parts become.
     pub fn into_parts(self) -> (FactorGraph, Vec<Box<dyn ProxOp>>, EdgeParams) {
         (self.graph, self.proxes, self.params)
+    }
+
+    /// The problem with a locality [`Reordering`] applied: graph, per-edge
+    /// parameters and proximal operators are permuted consistently (the
+    /// operator of old factor `a` moves to `reordering.factor_perm()[a]`).
+    /// Any installed [`SweepPlan`] is dropped — it indexed the old layout.
+    ///
+    /// Iterates on the reordered problem are **bit-identical** to the
+    /// original's up to the same permutation of state (see
+    /// [`Reordering::apply_store`] / [`Reordering::restore_store`]): the
+    /// reordered graph's z-fold order tracks the original var_edges order,
+    /// so every floating-point operation sequence is preserved. Pinned by
+    /// `tests/reorder_equivalence.rs`.
+    ///
+    /// # Panics
+    /// If the reordering was built for a different graph shape.
+    pub fn reordered(self, reordering: &Reordering) -> AdmmProblem {
+        let (graph, proxes, params) = self.into_parts();
+        assert_eq!(
+            reordering.factor_perm().len(),
+            graph.num_factors(),
+            "reordering was built for a different graph shape"
+        );
+        let new_graph = reordering.apply_graph(&graph);
+        let new_params = reordering.apply_params(&params);
+        let mut new_proxes: Vec<Option<Box<dyn ProxOp>>> =
+            (0..proxes.len()).map(|_| None).collect();
+        for (old, prox) in proxes.into_iter().enumerate() {
+            new_proxes[reordering.factor_perm()[old] as usize] = Some(prox);
+        }
+        let new_proxes = new_proxes
+            .into_iter()
+            .map(|p| p.expect("factor_perm is a permutation"))
+            .collect();
+        AdmmProblem::with_params(new_graph, new_proxes, new_params)
     }
 }
 

@@ -1,0 +1,271 @@
+//! Cache-line-aligned `f64` storage for the hot sweep arrays.
+//!
+//! `Vec<f64>` only guarantees 8-byte alignment, so a flat state array can
+//! start mid-cache-line and every SIMD load in the sweep kernels has to be
+//! unaligned. [`AlignedVec`] is a minimal fixed-length buffer whose
+//! allocation is aligned to [`CACHE_LINE`] (64 bytes — one x86-64 cache
+//! line, and wide enough for any AVX-512 vector). It dereferences to
+//! `[f64]`, so all existing slice-based code (kernels, accessors,
+//! serialization, `rayon` chunking) keeps working unchanged; only
+//! construction sites change.
+//!
+//! The buffer is deliberately *not* growable: sweep state is sized once
+//! from the graph and never reallocated mid-solve, and keeping length ==
+//! capacity makes the `Drop` layout trivially correct. [`AlignedVec::truncate`]
+//! exists for shape-corruption tests and keeps the original allocation.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Alignment (bytes) of every [`AlignedVec`] allocation.
+pub const CACHE_LINE: usize = 64;
+
+/// A fixed-length, 64-byte-aligned `f64` buffer that derefs to `[f64]`.
+pub struct AlignedVec {
+    ptr: NonNull<f64>,
+    /// Visible length (`<= cap`; differs only after [`AlignedVec::truncate`]).
+    len: usize,
+    /// Allocated length, remembered so `Drop` frees the original layout.
+    cap: usize,
+}
+
+// The buffer uniquely owns its allocation of plain `f64`s.
+unsafe impl Send for AlignedVec {}
+unsafe impl Sync for AlignedVec {}
+
+impl AlignedVec {
+    fn layout(cap: usize) -> Layout {
+        Layout::from_size_align(cap * std::mem::size_of::<f64>(), CACHE_LINE)
+            .expect("allocation size overflow")
+    }
+
+    /// A zero-initialized buffer of `len` doubles.
+    pub fn zeros(len: usize) -> Self {
+        if len == 0 {
+            return AlignedVec {
+                ptr: NonNull::dangling(),
+                len: 0,
+                cap: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<f64>()) else {
+            handle_alloc_error(layout)
+        };
+        AlignedVec { ptr, len, cap: len }
+    }
+
+    /// A buffer of `len` copies of `value`.
+    pub fn splat(value: f64, len: usize) -> Self {
+        let mut v = Self::zeros(len);
+        v.fill(value);
+        v
+    }
+
+    /// An aligned copy of `values`.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut v = Self::zeros(values.len());
+        v.copy_from_slice(values);
+        v
+    }
+
+    /// Shortens the visible length to `len` (no-op if already shorter).
+    /// The allocation is retained, so this is O(1) and exact-inverse-free —
+    /// it exists for tests that corrupt shapes on purpose.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len {
+            self.len = len;
+        }
+    }
+
+    /// The contents as a plain slice (also available via deref).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        self
+    }
+
+    /// The contents as a plain mutable slice (also available via deref).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        self
+    }
+}
+
+impl Deref for AlignedVec {
+    type Target = [f64];
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        // SAFETY: `ptr` is valid for `len` initialized doubles (or dangling
+        // with len 0, which `from_raw_parts` permits for empty slices).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl DerefMut for AlignedVec {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f64] {
+        // SAFETY: as above, plus `&mut self` guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for AlignedVec {
+    fn drop(&mut self) {
+        if self.cap > 0 {
+            // SAFETY: allocated in `zeros` with exactly this layout.
+            unsafe { dealloc(self.ptr.as_ptr().cast(), Self::layout(self.cap)) }
+        }
+    }
+}
+
+impl Clone for AlignedVec {
+    fn clone(&self) -> Self {
+        Self::from_slice(self)
+    }
+}
+
+impl Default for AlignedVec {
+    fn default() -> Self {
+        Self::zeros(0)
+    }
+}
+
+impl std::fmt::Debug for AlignedVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl From<Vec<f64>> for AlignedVec {
+    fn from(values: Vec<f64>) -> Self {
+        Self::from_slice(&values)
+    }
+}
+
+impl From<&[f64]> for AlignedVec {
+    fn from(values: &[f64]) -> Self {
+        Self::from_slice(values)
+    }
+}
+
+impl FromIterator<f64> for AlignedVec {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let staged: Vec<f64> = iter.into_iter().collect();
+        Self::from_slice(&staged)
+    }
+}
+
+impl<'a> IntoIterator for &'a AlignedVec {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut AlignedVec {
+    type Item = &'a mut f64;
+    type IntoIter = std::slice::IterMut<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+impl PartialEq for AlignedVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[f64]> for AlignedVec {
+    fn eq(&self, other: &[f64]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[f64]> for AlignedVec {
+    fn eq(&self, other: &&[f64]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<f64>> for AlignedVec {
+    fn eq(&self, other: &Vec<f64>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<AlignedVec> for Vec<f64> {
+    fn eq(&self, other: &AlignedVec) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[f64; N]> for AlignedVec {
+    fn eq(&self, other: &[f64; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_cache_line_aligned() {
+        for len in [1usize, 3, 7, 64, 1000, 4097] {
+            let v = AlignedVec::zeros(len);
+            assert_eq!(v.as_ptr() as usize % CACHE_LINE, 0, "len {len}");
+            assert_eq!(v.len(), len);
+            assert!(v.iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn empty_buffer_is_valid() {
+        let v = AlignedVec::zeros(0);
+        assert!(v.is_empty());
+        assert_eq!(v.as_slice(), &[] as &[f64]);
+        let w = v.clone();
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn slice_semantics_via_deref() {
+        let mut v = AlignedVec::zeros(8);
+        v[3] = 2.5;
+        v[4..6].copy_from_slice(&[1.0, -1.0]);
+        assert_eq!(v[3], 2.5);
+        assert_eq!(&v[4..6], &[1.0, -1.0]);
+        assert_eq!(v.iter().sum::<f64>(), 2.5);
+    }
+
+    #[test]
+    fn conversions_and_equality() {
+        let v: AlignedVec = vec![1.0, 2.0, 3.0].into();
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+        assert_eq!(v, [1.0, 2.0, 3.0]);
+        let w: AlignedVec = [1.0, 2.0, 3.0].iter().copied().collect();
+        assert_eq!(v, w);
+        assert_eq!(AlignedVec::splat(7.0, 4), vec![7.0; 4]);
+        assert_eq!(AlignedVec::from_slice(&[5.0]).clone(), vec![5.0]);
+    }
+
+    #[test]
+    fn truncate_keeps_prefix() {
+        let mut v = AlignedVec::from_slice(&[1.0, 2.0, 3.0]);
+        v.truncate(2);
+        assert_eq!(v, vec![1.0, 2.0]);
+        v.truncate(5); // no-op
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn debug_prints_like_a_slice() {
+        let v = AlignedVec::from_slice(&[1.5]);
+        assert_eq!(format!("{v:?}"), "[1.5]");
+    }
+}

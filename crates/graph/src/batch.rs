@@ -317,7 +317,10 @@ impl BatchStore {
             alpha.extend_from_slice(&m.params.alpha);
         }
         let graph = b.build();
-        let params = EdgeParams { rho, alpha };
+        let params = EdgeParams {
+            rho: rho.into(),
+            alpha: alpha.into(),
+        };
         debug_assert!(params.validate(&graph).is_ok());
 
         let mut store = VarStore::zeros(&graph);

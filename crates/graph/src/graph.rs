@@ -73,6 +73,23 @@ impl FactorGraph {
         }
     }
 
+    /// Re-sorts each variable's edge list by `key`.
+    ///
+    /// The z-update folds each variable's messages in `var_edges` order,
+    /// so this order **is** the floating-point association of the
+    /// consensus average. [`from_parts`](FactorGraph::from_parts) builds
+    /// it ascending by edge id; the reorder module uses this hook to make
+    /// a permuted graph fold in its *source* graph's order (bit-identical
+    /// solves), and sharding uses it to make shard-local graphs fold in
+    /// the global graph's order. Keys must be distinct per variable.
+    pub(crate) fn sort_var_edges_by_key(&mut self, mut key: impl FnMut(EdgeId) -> u64) {
+        for b in 0..self.num_vars {
+            let lo = self.var_offsets[b] as usize;
+            let hi = self.var_offsets[b + 1] as usize;
+            self.var_edges[lo..hi].sort_unstable_by_key(|&e| key(e));
+        }
+    }
+
     /// Components per edge vector (`d`).
     #[inline]
     pub fn dims(&self) -> usize {

@@ -120,7 +120,10 @@ pub fn decode_params(mut buf: &[u8], graph: &FactorGraph) -> Result<EdgeParams, 
     need(&buf, 16 * n)?;
     let rho: Vec<f64> = (0..n).map(|_| buf.get_f64_le()).collect();
     let alpha: Vec<f64> = (0..n).map(|_| buf.get_f64_le()).collect();
-    let params = EdgeParams { rho, alpha };
+    let params = EdgeParams {
+        rho: rho.into(),
+        alpha: alpha.into(),
+    };
     params.validate(graph).map_err(IoError::Corrupt)?;
     Ok(params)
 }

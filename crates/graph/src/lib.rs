@@ -26,6 +26,7 @@
 //! engine crate (`paradmm-core`) pairs a `FactorGraph` with one prox per
 //! factor.
 
+pub mod aligned;
 pub mod batch;
 pub mod builder;
 pub(crate) mod byteio;
@@ -34,16 +35,21 @@ pub mod ids;
 pub mod io;
 pub mod params;
 pub mod partition;
+pub mod reorder;
 pub mod shard;
 pub mod stats;
 pub mod store;
+pub mod stream;
 
+pub use aligned::AlignedVec;
 pub use batch::{BatchInstance, BatchLayout, BatchStore};
 pub use builder::GraphBuilder;
 pub use graph::FactorGraph;
 pub use ids::{EdgeId, FactorId, VarId};
 pub use params::EdgeParams;
 pub use partition::Partition;
+pub use reorder::Reordering;
 pub use shard::{HaloExchangePlan, HaloReduceTask, HaloVarPlan, Shard, ShardedStore};
 pub use stats::{GraphStats, PartitionStats};
 pub use store::VarStore;
+pub use stream::EdgeStream;

@@ -1,5 +1,6 @@
 //! Per-edge penalty (`ρ`) and over-relaxation (`α`) parameters.
 
+use crate::aligned::AlignedVec;
 use crate::graph::FactorGraph;
 use crate::ids::EdgeId;
 
@@ -8,13 +9,15 @@ use crate::ids::EdgeId;
 /// Classical ADMM keeps these constant (the paper's
 /// `initialize_RHOS_APHAS(&graph, rho, alpha)`), but the engine also
 /// supports the three-weight update schemes of Derbinsky et al. (paper
-/// ref \[9\]), which mutate `ρ` per edge between iterations.
+/// ref \[9\]), which mutate `ρ` per edge between iterations. Both arrays
+/// are cache-line-aligned ([`AlignedVec`]) since the z/u sweeps stream
+/// them.
 #[derive(Debug, Clone)]
 pub struct EdgeParams {
     /// Penalty weight per edge.
-    pub rho: Vec<f64>,
+    pub rho: AlignedVec,
     /// Dual step size per edge.
-    pub alpha: Vec<f64>,
+    pub alpha: AlignedVec,
 }
 
 impl EdgeParams {
@@ -32,8 +35,8 @@ impl EdgeParams {
             "alpha must be positive and finite"
         );
         EdgeParams {
-            rho: vec![rho; graph.num_edges()],
-            alpha: vec![alpha; graph.num_edges()],
+            rho: AlignedVec::splat(rho, graph.num_edges()),
+            alpha: AlignedVec::splat(alpha, graph.num_edges()),
         }
     }
 
@@ -121,7 +124,7 @@ mod tests {
         p.rho[0] = f64::NAN;
         assert!(p.validate(&g).is_err());
         let mut p2 = EdgeParams::uniform(&g, 1.0, 1.0);
-        p2.rho.pop();
+        p2.rho.truncate(p2.rho.len() - 1);
         assert!(p2.validate(&g).is_err());
     }
 }

@@ -13,18 +13,22 @@
 //!   `paradmm-gpusim` computes its predicted exchange volume from this
 //!   *same* plan, so model-vs-measured drift is a testable quantity.
 //! * [`HaloReduceTask`] — per halo variable, the precomputed weighted-sum
-//!   scratch (`Σρ` folded in ascending global edge order) and the
-//!   `(shard, stage slot)` list of staged `ρ·(x+u)` contributions, again
-//!   in ascending global edge order. Folding staged contributions in that
+//!   scratch (`Σρ` folded in the global graph's `var_edges` order) and
+//!   the `(shard, stage slot)` list of staged `ρ·(x+u)` contributions, in
+//!   that same order. Folding staged contributions in the global fold
 //!   order reproduces the serial z-update's exact sequence of rounded
 //!   operations, which is what keeps a sharded sweep **bit-identical** to
 //!   `SerialBackend` — summing per-shard partial sums instead would
 //!   re-associate the floating-point fold and drift in the last ulp.
 //!
-//! Local renumbering preserves global order: shard factors ascend by
-//! global id, their edges stay factor-contiguous, so ascending local edge
-//! order equals ascending global edge order — interior variables'
-//! z-averages therefore fold in exactly the serial order too.
+//! Local renumbering preserves the global fold order: shard-local graphs
+//! have each variable's edge list re-sorted to the global graph's
+//! `var_edges` order (`FactorGraph::sort_var_edges_by_key`), so interior
+//! variables' z-averages fold in exactly the serial order too. On a
+//! naturally built graph that order is ascending global edge id and the
+//! re-sort is a no-op; on a reordered graph (`crate::reorder`) the global
+//! fold order deliberately differs from ascending edge id, and the
+//! re-sort is what keeps sharded execution bit-identical there as well.
 
 use crate::builder::GraphBuilder;
 use crate::graph::FactorGraph;
@@ -244,6 +248,17 @@ impl ShardedStore {
             }
         }
 
+        // Rank of every edge within its variable's global fold list: the
+        // key that re-sorts shard-local fold lists into the global
+        // z-fold order (a no-op on naturally built graphs, load-bearing
+        // on reordered ones — see the module docs).
+        let mut fold_rank = vec![0u32; ne];
+        for b in graph.vars() {
+            for (i, &e) in graph.var_edges(b).iter().enumerate() {
+                fold_rank[e.idx()] = i as u32;
+            }
+        }
+
         // Build every shard's local topology, parameters and stage map.
         let mut shards = Vec::with_capacity(parts);
         let mut stage_slots: Vec<Vec<u32>> = Vec::with_capacity(parts);
@@ -267,7 +282,10 @@ impl ShardedStore {
                     .collect();
                 builder.add_factor(&vs);
             }
-            let local_graph = builder.build();
+            let mut local_graph = builder.build();
+            // Local fold lists follow the global z-fold order exactly.
+            let eg = &edge_global[p];
+            local_graph.sort_var_edges_by_key(|le| fold_rank[eg[le.idx()].idx()] as u64);
             let local_params = EdgeParams {
                 rho: edge_global[p].iter().map(|&e| params.rho(e)).collect(),
                 alpha: edge_global[p].iter().map(|&e| params.alpha(e)).collect(),
@@ -313,8 +331,9 @@ impl ShardedStore {
             stage_slots.push(slots);
         }
 
-        // Reduce recipes: contributions and Σρ in ascending global edge
-        // order — the serial fold order.
+        // Reduce recipes: contributions and Σρ in the global graph's
+        // var_edges order — the serial fold order (ascending edge id on
+        // naturally built graphs).
         let mut reduce = Vec::with_capacity(plan.vars.len());
         for hv in &plan.vars {
             let mut rho_sum = 0.0;

@@ -1,5 +1,6 @@
 //! Flat structure-of-arrays storage for the five ADMM auxiliary variables.
 
+use crate::aligned::AlignedVec;
 use crate::graph::FactorGraph;
 use crate::ids::{EdgeId, FactorId, VarId};
 
@@ -12,22 +13,24 @@ use crate::ids::{EdgeId, FactorId, VarId};
 ///
 /// The engine hands mutable sub-slices of these arrays to parallel update
 /// loops; the flat layout is what gives coalesced access on the simulated
-/// GPU and streaming access on the CPU.
+/// GPU and streaming access on the CPU. Each array is an [`AlignedVec`]
+/// (64-byte-aligned allocation, derefs to `[f64]`), so the SIMD sweep
+/// kernels always see cache-line-aligned bases.
 #[derive(Debug, Clone)]
 pub struct VarStore {
     dims: usize,
     /// Per-edge `x`, the proximal-operator outputs.
-    pub x: Vec<f64>,
+    pub x: AlignedVec,
     /// Per-edge `m = x + u`, messages into the z-average.
-    pub m: Vec<f64>,
+    pub m: AlignedVec,
     /// Per-edge scaled dual `u`.
-    pub u: Vec<f64>,
+    pub u: AlignedVec,
     /// Per-edge `n = z − u`, the proximal-operator inputs.
-    pub n: Vec<f64>,
+    pub n: AlignedVec,
     /// Per-variable consensus `z`.
-    pub z: Vec<f64>,
+    pub z: AlignedVec,
     /// Previous iteration's `z`, for the dual-residual stopping criterion.
-    pub z_prev: Vec<f64>,
+    pub z_prev: AlignedVec,
 }
 
 impl VarStore {
@@ -45,12 +48,12 @@ impl VarStore {
         let nv = num_vars * dims;
         VarStore {
             dims,
-            x: vec![0.0; ne],
-            m: vec![0.0; ne],
-            u: vec![0.0; ne],
-            n: vec![0.0; ne],
-            z: vec![0.0; nv],
-            z_prev: vec![0.0; nv],
+            x: AlignedVec::zeros(ne),
+            m: AlignedVec::zeros(ne),
+            u: AlignedVec::zeros(ne),
+            n: AlignedVec::zeros(ne),
+            z: AlignedVec::zeros(nv),
+            z_prev: AlignedVec::zeros(nv),
         }
     }
 

@@ -53,16 +53,16 @@ pub use paradmm_svm as svm;
 /// Convenient glob-import of the most common types.
 pub mod prelude {
     pub use paradmm_core::{
-        AdmmProblem, AsyncBackend, AutoBackend, BarrierBackend, BatchReport, BatchSolver,
-        InstanceReport, Pass, PassKind, Planner, ProxCtx, ProxOp, RayonBackend, Residuals,
-        Scheduler, SerialBackend, ShardedBackend, Solver, SolverOptions, SolverReport, StopReason,
-        StoppingCriteria, SweepCosts, SweepExecutor, SweepPlan, UpdateKind, UpdateTimings,
-        WorkStealingBackend,
+        kernel_dispatch, set_kernel_dispatch, AdmmProblem, AsyncBackend, AutoBackend,
+        BarrierBackend, BatchReport, BatchSolver, InstanceReport, KernelDispatch, Pass, PassKind,
+        Planner, ProxCtx, ProxOp, RayonBackend, Residuals, Scheduler, SerialBackend,
+        ShardedBackend, Solver, SolverOptions, SolverReport, StopReason, StoppingCriteria,
+        SweepCosts, SweepExecutor, SweepPlan, UpdateKind, UpdateTimings, WorkStealingBackend,
     };
     pub use paradmm_gpusim::GpuSimBackend;
     pub use paradmm_graph::{
-        BatchInstance, BatchLayout, BatchStore, EdgeId, EdgeParams, FactorGraph, FactorId,
-        GraphBuilder, GraphStats, VarId, VarStore,
+        AlignedVec, BatchInstance, BatchLayout, BatchStore, EdgeId, EdgeParams, EdgeStream,
+        FactorGraph, FactorId, GraphBuilder, GraphStats, Reordering, VarId, VarStore,
     };
     pub use paradmm_prox::{
         AffineEqualityProx, BoxProx, ConsensusEqualityProx, HalfspaceProx, HingeProx, L1Prox,
