@@ -1,0 +1,263 @@
+//! Ablation — work-assisting fleet scheduling vs sequential solo and
+//! block-diagonal batching on heterogeneous instance fleets.
+//!
+//! `throughput_batch` showed block-diagonal fusion amortizing sweep
+//! launches over near-uniform fleets. Its weakness is heterogeneity:
+//! the fused store synchronizes pack-wide, so one large or
+//! slow-converging instance stalls every worker at each barrier, and
+//! every early-exit freeze pays a dense repack. The fleet scheduler
+//! keeps instances separate — per-instance watermarked chunk counters,
+//! no barriers, idle workers *assist* whichever instance still has
+//! sweep work, converged instances retire with no repack — and this
+//! binary measures what that buys where it should matter and what it
+//! costs where it shouldn't.
+//!
+//! The metric is **instances/second** (min-of-3 wall clock), all paths
+//! solving identical iterations at the same worker count:
+//!
+//! * `fleet[Nt]` — one `FleetSolver` run over the whole fleet;
+//! * `batched[worksteal]` — block-diagonal `BatchSolver` (skipped for
+//!   the mixed-dims scenario, which batching cannot fuse at all);
+//! * `solo[worksteal]` — one full solve per instance, same backend;
+//! * `solo[serial]` — the single-core floor.
+//!
+//! Scenarios: `uniform_mpc` (near-uniform horizons — batching's home
+//! turf, the fleet must stay within 10%), `mixed_mpc` (long-tail
+//! horizons 5–200 — the fleet must beat sequential solo ≥ 1.2× and
+//! batch ≥ 1.1×), and `mixed_pack_svm` (packing dims=2 + SVM dims=3 —
+//! unfusable, fleet-only). Flags: `--smoke` (tiny sizes, CI),
+//! `--threads N`, `--out <path>`.
+//!
+//! Emits `BENCH_fleet.json` (rows = seconds per instance solve; meta =
+//! instances/sec, speedup ratios, bit-identity, assist telemetry) and
+//! prints PASS/FAIL for the acceptance checks. Bit-identity to solo
+//! serial is enforced at every size; throughput bounds only at full
+//! size (smoke fleets are too tiny for stable ratios).
+
+use paradmm_bench::{
+    fleet_ablation, many_mpc, mixed_fleet_mpc, mixed_fleet_pack_svm, parse_out_value, print_table,
+    write_bench_json_with_meta_to, FleetAblation,
+};
+use paradmm_core::StoppingCriteria;
+
+struct Args {
+    smoke: bool,
+    threads: usize,
+    out: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        threads: 2,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => args.out = Some(parse_out_value(&mut it)),
+            "--help" | "-h" => {
+                println!(
+                    "flags: --smoke (tiny sizes for CI), --threads N (worker count, default 2), --out <path> (BENCH json destination)"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Acceptance bounds for one scenario: fleet/solo-same floor,
+/// fleet/batch floor (None = batch not applicable).
+struct Bounds {
+    vs_solo_same: f64,
+    vs_batch: Option<f64>,
+}
+
+fn main() {
+    let args = parse_args();
+    // Identical stopping for every path; looser-than-default tolerances
+    // keep small-instance solves in the hundreds of iterations (serving
+    // throughput, not asymptotic polish), and check_every=25 gives the
+    // batch path its usual freeze cadence.
+    let stopping = StoppingCriteria {
+        max_iters: 3000,
+        eps_abs: 1e-6,
+        eps_rel: 1e-4,
+        check_every: 25,
+    };
+    let (uniform_n, mixed_n, pack_svm_n) = if args.smoke {
+        (8usize, 8usize, 6usize)
+    } else {
+        (48, 48, 24)
+    };
+
+    let scenarios: Vec<(&str, FleetAblation, Bounds)> = vec![
+        (
+            "uniform_mpc",
+            fleet_ablation(
+                &|| many_mpc(uniform_n, 4),
+                "uniform_mpc",
+                uniform_n,
+                args.threads,
+                true,
+                stopping,
+                stopping.max_iters,
+            ),
+            // Batching's home turf: the fleet only has to stay close.
+            Bounds {
+                vs_solo_same: 1.0,
+                vs_batch: Some(0.9),
+            },
+        ),
+        (
+            "mixed_mpc",
+            fleet_ablation(
+                &|| mixed_fleet_mpc(mixed_n),
+                "mixed_mpc",
+                mixed_n,
+                args.threads,
+                true,
+                stopping,
+                stopping.max_iters,
+            ),
+            // The headline acceptance: long-tail fleet, fleet must beat
+            // both sequential solo and the pack-wide-barrier batch.
+            Bounds {
+                vs_solo_same: 1.2,
+                vs_batch: Some(1.1),
+            },
+        ),
+        (
+            "mixed_pack_svm",
+            fleet_ablation(
+                &|| mixed_fleet_pack_svm(pack_svm_n),
+                "mixed_pack_svm",
+                pack_svm_n,
+                args.threads,
+                false, // mixed dims — BatchSolver cannot fuse this fleet
+                stopping,
+                stopping.max_iters,
+            ),
+            Bounds {
+                vs_solo_same: 1.0,
+                vs_batch: None,
+            },
+        ),
+    ];
+
+    let mut table = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut meta = Vec::new();
+    let mut checks: Vec<(String, bool)> = Vec::new();
+    for (label, r, bounds) in &scenarios {
+        for row in &r.rows {
+            table.push(vec![
+                row.backend.clone(),
+                r.instances.to_string(),
+                row.edges.to_string(),
+                format!("{:.3e}", row.seconds_per_iteration),
+            ]);
+        }
+        table.push(vec![
+            format!("{label} instances/sec"),
+            format!("fleet {:.1}", r.fleet_instances_per_sec),
+            match r.batch_instances_per_sec {
+                Some(b) => format!("batch {b:.1}"),
+                None => "batch n/a (mixed dims)".into(),
+            },
+            format!(
+                "solo-same {:.1} | serial {:.1}",
+                r.solo_same_instances_per_sec, r.solo_serial_instances_per_sec
+            ),
+        ]);
+        table.push(vec![
+            format!("{label} assist"),
+            format!("{} migrations", r.migrations),
+            format!("{} idle spins", r.idle_spins),
+            format!("{}/{} converged", r.converged, r.instances),
+        ]);
+        json_rows.extend(r.rows.iter().cloned());
+        meta.extend(r.meta.iter().cloned());
+        checks.push((
+            format!(
+                "{label}: fleet per-instance iterates/iterations/stop reasons \
+                 bit-identical to solo serial ({}/{} converged)",
+                r.converged, r.instances
+            ),
+            r.bit_identical,
+        ));
+        checks.push((
+            format!(
+                "{label}: fleet {:.1} inst/s ≥ {}× solo-same-backend {:.1} inst/s (ratio {:.2})",
+                r.fleet_instances_per_sec,
+                bounds.vs_solo_same,
+                r.solo_same_instances_per_sec,
+                r.speedup_vs_solo_same
+            ),
+            r.speedup_vs_solo_same >= bounds.vs_solo_same,
+        ));
+        if let (Some(bound), Some(batch_ips), Some(ratio)) = (
+            bounds.vs_batch,
+            r.batch_instances_per_sec,
+            r.speedup_vs_batch,
+        ) {
+            checks.push((
+                format!(
+                    "{label}: fleet {:.1} inst/s ≥ {bound}× batched {batch_ips:.1} inst/s \
+                     (ratio {ratio:.2})",
+                    r.fleet_instances_per_sec
+                ),
+                ratio >= bound,
+            ));
+        }
+    }
+
+    print_table(
+        &format!(
+            "Fleet scheduling ablation ({} threads): seconds per instance solve",
+            args.threads
+        ),
+        &["path", "instances", "total_edges", "s_per_solve"],
+        &table,
+    );
+
+    println!();
+    let mut all_pass = true;
+    for (msg, pass) in &checks {
+        println!("# {}: {msg}", if *pass { "PASS" } else { "FAIL" });
+        all_pass &= *pass;
+    }
+
+    match write_bench_json_with_meta_to(args.out.as_deref(), "fleet", &json_rows, &meta) {
+        Ok(path) => println!("# machine-readable series written to {}", path.display()),
+        Err(e) => eprintln!("# failed to write BENCH json: {e}"),
+    }
+    if !all_pass && !args.smoke {
+        // Smoke fleets are too tiny for stable throughput ratios; only
+        // full-size runs enforce the speedup bounds.
+        std::process::exit(1);
+    }
+    // Bit-identity is exact regardless of size: enforce it even in smoke.
+    if checks
+        .iter()
+        .any(|(msg, pass)| !pass && msg.contains("bit-identical"))
+    {
+        std::process::exit(1);
+    }
+}

@@ -21,9 +21,10 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use paradmm_core::{
-    set_kernel_dispatch, AdmmProblem, AutoBackend, BarrierBackend, BatchSolver, KernelDispatch,
-    Planner, RayonBackend, Scheduler, SerialBackend, ShardedBackend, Solver, SolverOptions,
-    StoppingCriteria, SweepExecutor, SweepPlan, UpdateKind, UpdateTimings, WorkStealingBackend,
+    set_kernel_dispatch, AdmmProblem, AutoBackend, BarrierBackend, BatchSolver, FleetSolver,
+    KernelDispatch, Planner, RayonBackend, Scheduler, SerialBackend, ShardedBackend, Solver,
+    SolverOptions, StoppingCriteria, SweepExecutor, SweepPlan, UpdateKind, UpdateTimings,
+    WorkStealingBackend,
 };
 use paradmm_gpusim::{CpuModel, GpuAdmmEngine, MultiDevice, SimtDevice, WorkloadProfile};
 use paradmm_graph::{Partition, PartitionStats, Reordering, VarStore};
@@ -1044,6 +1045,67 @@ pub fn many_sudoku(n: usize) -> Vec<AdmmProblem> {
         .collect()
 }
 
+/// `n` independent MPC instances (dims = 5) with a **long-tail**
+/// horizon distribution: most instances are short (horizons 5–20), a
+/// deterministic minority stretches toward 200 — the heterogeneous
+/// regime where a pack-wide barrier would let one big instance stall
+/// the whole fleet. Reused by the fleet ablation and the equivalence
+/// tests.
+pub fn mixed_fleet_mpc(n: usize) -> Vec<AdmmProblem> {
+    use paradmm_mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
+    (0..n)
+        .map(|i| {
+            let horizon = match i % 7 {
+                0 => 40 + (i * 23) % 161, // the tail: 40..=200
+                1 | 2 => 12 + (i * 5) % 9,
+                _ => 5 + i % 7, // the bulk: 5..=11
+            };
+            let t = i as f64 * 0.37;
+            let mut cfg = MpcConfig::new(horizon);
+            cfg.q0 = [
+                0.1 + 0.05 * t.sin(),
+                0.02 * t.cos(),
+                0.05 - 0.03 * (1.3 * t).sin(),
+                0.01 * (0.7 * t).cos(),
+            ];
+            let (_, admm) = MpcProblem::build(cfg, paper_plant());
+            admm
+        })
+        .collect()
+}
+
+/// `n` independent instances mixing circle packing (dims = 2) and SVM
+/// (dims = 3) at long-tail sizes. The mixed `dims` makes the fleet
+/// **unfusable**: [`BatchSolver`] rejects it outright, so this is the
+/// fleet scheduler's headline scenario — only unfused per-instance
+/// execution can serve it at all. Deterministic (seeded per instance).
+pub fn mixed_fleet_pack_svm(n: usize) -> Vec<AdmmProblem> {
+    use paradmm_packing::{PackingConfig, PackingProblem};
+    use paradmm_svm::{gaussian_mixture, SvmConfig, SvmProblem};
+    use rand::SeedableRng as _;
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                let circles = if i % 8 == 0 {
+                    40 + (i * 13) % 111 // the tail
+                } else {
+                    6 + i % 10
+                };
+                PackingProblem::build(PackingConfig::new(circles)).1
+            } else {
+                let points = if i % 9 == 1 {
+                    200 + (i * 31) % 301 // the tail
+                } else {
+                    20 + i % 30
+                };
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + i as u64);
+                let data = gaussian_mixture(points, 2, 4.0, &mut rng);
+                SvmProblem::build(&data, SvmConfig::default()).1
+            }
+        })
+        .collect()
+}
+
 /// Result of one [`batch_throughput`] scenario: JSON rows + meta, the
 /// three measured throughputs, and the acceptance numbers.
 ///
@@ -1201,6 +1263,202 @@ pub fn batch_throughput(
         speedup_vs_solo_serial: batched_ips / solo_serial_ips,
         bit_identical,
         converged,
+    }
+}
+
+/// Result of one [`fleet_ablation`] scenario: JSON rows + meta, the
+/// measured throughputs of every path, the acceptance ratios, and the
+/// assist telemetry from the untimed verification run.
+///
+/// As in [`BatchThroughput`], rows reuse the standard schema with
+/// `seconds_per_iteration` holding seconds per instance solve
+/// (wall / N); the true throughputs live in the meta under
+/// `<label>/*_instances_per_sec` keys (which the compare gate treats as
+/// higher-is-better).
+#[derive(Debug, Clone)]
+pub struct FleetAblation {
+    /// One row per execution path (`fleet`, `batched[...]`,
+    /// `solo[...]`, `solo[serial]`).
+    pub rows: Vec<BenchJsonRow>,
+    /// Flat meta scalars for the bench JSON.
+    pub meta: Vec<(String, f64)>,
+    /// Instances in the fleet.
+    pub instances: usize,
+    /// Work-assisting fleet instances/second (min-of-repeats).
+    pub fleet_instances_per_sec: f64,
+    /// Block-diagonal batch instances/second on the same worker count;
+    /// `None` when the fleet mixes `dims` and cannot be fused at all.
+    pub batch_instances_per_sec: Option<f64>,
+    /// Sequential solo instances/second on the same parallel backend
+    /// (work-stealing, same worker count).
+    pub solo_same_instances_per_sec: f64,
+    /// Sequential solo instances/second on [`SerialBackend`].
+    pub solo_serial_instances_per_sec: f64,
+    /// `fleet / batch` throughput ratio (when batching applies).
+    pub speedup_vs_batch: Option<f64>,
+    /// `fleet / solo-same-backend` throughput ratio (the acceptance
+    /// number: assisting must beat per-instance sequential launches).
+    pub speedup_vs_solo_same: f64,
+    /// `fleet / solo-serial` throughput ratio (informational).
+    pub speedup_vs_solo_serial: f64,
+    /// Whether every fleet instance's final state, iteration count, and
+    /// stop reason matched its solo serial solve bit-for-bit.
+    pub bit_identical: bool,
+    /// Instances that converged within the budget.
+    pub converged: usize,
+    /// Assist migrations observed in the untimed verification run.
+    pub migrations: u64,
+    /// Empty assist scans observed in the untimed verification run.
+    pub idle_spins: u64,
+}
+
+/// Measures work-assisting fleet throughput against sequential-solo and
+/// (when the fleet is fusable) block-diagonal batch on one scenario.
+///
+/// `make` rebuilds the instance set each run (problems are not
+/// cloneable), `threads` is the worker count given identically to the
+/// fleet, the batch backend (work-stealing), and the solo same-backend
+/// path, and `stopping`/`max_iters` drive every path identically. Each
+/// path is measured `REPEATS` times keeping the minimum wall-clock;
+/// bit-identity against solo serial (iterates, iteration counts, *and*
+/// stop reasons) is checked once, untimed, on a run that also collects
+/// the assist telemetry. Pass `batchable = false` for fleets that mix
+/// `dims` — [`BatchSolver`] rejects those, which is precisely the
+/// fleet scheduler's point.
+pub fn fleet_ablation(
+    make: &dyn Fn() -> Vec<AdmmProblem>,
+    label: &str,
+    size: usize,
+    threads: usize,
+    batchable: bool,
+    stopping: StoppingCriteria,
+    max_iters: usize,
+) -> FleetAblation {
+    const REPEATS: usize = 3;
+    let fleet_options = SolverOptions {
+        scheduler: Scheduler::Fleet { threads },
+        stopping,
+        ..SolverOptions::default()
+    };
+    let ws_options = SolverOptions {
+        scheduler: Scheduler::WorkSteal { threads },
+        stopping,
+        ..SolverOptions::default()
+    };
+    let serial_options = SolverOptions {
+        scheduler: Scheduler::Serial,
+        stopping,
+        ..SolverOptions::default()
+    };
+
+    let probe = make();
+    let instances = probe.len();
+    assert!(instances > 0, "scenario produced no instances");
+    let total_edges: usize = probe.iter().map(|p| p.graph().num_edges()).sum();
+    drop(probe);
+
+    let min_wall =
+        |run: &dyn Fn() -> f64| (0..REPEATS).map(|_| run()).fold(f64::INFINITY, f64::min);
+
+    // Fleet: all instances advance together, workers assist.
+    let fleet_s = min_wall(&|| {
+        let mut solver = FleetSolver::new(make(), fleet_options);
+        let t0 = Instant::now();
+        solver.run(max_iters);
+        t0.elapsed().as_secs_f64()
+    });
+    // Block-diagonal batch on the same worker count (when fusable).
+    let batch_s = batchable.then(|| {
+        min_wall(&|| {
+            let mut solver = BatchSolver::new(make(), ws_options);
+            let t0 = Instant::now();
+            solver.run(max_iters);
+            t0.elapsed().as_secs_f64()
+        })
+    });
+    // Sequential solo: one full solve per instance.
+    let solo_with = |opts: SolverOptions| {
+        let problems = make();
+        let t0 = Instant::now();
+        for p in problems {
+            let mut solver = Solver::from_problem(p, opts);
+            solver.run(max_iters);
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let solo_same_s = min_wall(&|| solo_with(ws_options));
+    let solo_serial_s = min_wall(&|| solo_with(serial_options));
+
+    // Bit-identity + convergence + telemetry (untimed).
+    let mut fleet = FleetSolver::new(make(), fleet_options);
+    let report = fleet.run(max_iters);
+    let mut bit_identical = true;
+    for (i, p) in make().into_iter().enumerate() {
+        let mut solo = Solver::from_problem(p, serial_options);
+        let solo_report = solo.run(max_iters);
+        bit_identical &= solo_report.iterations == report.instances[i].iterations
+            && solo_report.stop_reason == report.instances[i].stop_reason
+            && fleet.store(i).z == solo.store().z
+            && fleet.store(i).x == solo.store().x
+            && fleet.store(i).u == solo.store().u
+            && fleet.store(i).n == solo.store().n;
+    }
+    let converged = report.converged_count();
+    let migrations = fleet.diagnostics().total_migrations();
+    let idle_spins = fleet.diagnostics().total_idle_spins();
+
+    let ips = |wall: f64| instances as f64 / wall;
+    let fleet_ips = ips(fleet_s);
+    let batch_ips = batch_s.map(ips);
+    let solo_same_ips = ips(solo_same_s);
+    let solo_serial_ips = ips(solo_serial_s);
+    let row = |backend: String, wall: f64| BenchJsonRow {
+        size,
+        edges: total_edges,
+        backend,
+        seconds_per_iteration: wall / instances as f64,
+    };
+    let mut rows = vec![row(format!("{label}/fleet[{threads}t]"), fleet_s)];
+    if let Some(s) = batch_s {
+        rows.push(row(format!("{label}/batched[worksteal]"), s));
+    }
+    rows.push(row(format!("{label}/solo[worksteal]"), solo_same_s));
+    rows.push(row(format!("{label}/solo[serial]"), solo_serial_s));
+
+    let key = |metric: &str| format!("{label}/{metric}");
+    let mut meta = vec![
+        (key("fleet_instances_per_sec"), fleet_ips),
+        (key("solo_same_backend_instances_per_sec"), solo_same_ips),
+        (key("solo_serial_instances_per_sec"), solo_serial_ips),
+        (
+            key("speedup_vs_solo_same_backend"),
+            fleet_ips / solo_same_ips,
+        ),
+        (key("speedup_vs_solo_serial"), fleet_ips / solo_serial_ips),
+        (key("bit_identical"), f64::from(bit_identical)),
+        (key("converged_instances"), converged as f64),
+        (key("assist_migrations"), migrations as f64),
+        (key("assist_idle_spins"), idle_spins as f64),
+    ];
+    if let Some(b) = batch_ips {
+        meta.push((key("batch_instances_per_sec"), b));
+        meta.push((key("speedup_vs_batch"), fleet_ips / b));
+    }
+    FleetAblation {
+        rows,
+        meta,
+        instances,
+        fleet_instances_per_sec: fleet_ips,
+        batch_instances_per_sec: batch_ips,
+        solo_same_instances_per_sec: solo_same_ips,
+        solo_serial_instances_per_sec: solo_serial_ips,
+        speedup_vs_batch: batch_ips.map(|b| fleet_ips / b),
+        speedup_vs_solo_same: fleet_ips / solo_same_ips,
+        speedup_vs_solo_serial: fleet_ips / solo_serial_ips,
+        bit_identical,
+        converged,
+        migrations,
+        idle_spins,
     }
 }
 
@@ -1447,6 +1705,83 @@ mod tests {
         assert!(doc.contains("many_mpc/batched[worksteal]"));
         assert!(doc.contains("many_mpc/batched_instances_per_sec"));
         assert!(doc.contains("many_mpc/bit_identical"));
+    }
+
+    /// Tiny-size smoke of the fleet-ablation harness — the same code
+    /// path `ablation_fleet` runs at full size, so the bin can't
+    /// bit-rot. CI runs this under `cargo test --release`.
+    #[test]
+    fn fleet_ablation_smoke() {
+        let stopping = StoppingCriteria {
+            max_iters: 400,
+            eps_abs: 1e-6,
+            eps_rel: 1e-4,
+            check_every: 25,
+        };
+        let r = fleet_ablation(
+            &|| mixed_fleet_mpc(6),
+            "mixed_mpc",
+            6,
+            2,
+            true,
+            stopping,
+            400,
+        );
+        assert_eq!(r.instances, 6);
+        assert_eq!(r.rows.len(), 4, "fleet + batched + solo-same + solo-serial");
+        assert!(r.rows.iter().all(|x| x.seconds_per_iteration > 0.0));
+        assert!(
+            r.bit_identical,
+            "fleet iterates must match solo serial bit-for-bit"
+        );
+        assert!(r.fleet_instances_per_sec > 0.0);
+        assert!(r.batch_instances_per_sec.unwrap() > 0.0);
+        assert!(r.speedup_vs_batch.unwrap().is_finite());
+        assert!(r.speedup_vs_solo_same.is_finite() && r.speedup_vs_solo_same > 0.0);
+        let doc = bench_json_string_with_meta("fleet_smoke", &r.rows, &r.meta);
+        assert!(doc.contains("mixed_mpc/fleet[2t]"));
+        assert!(doc.contains("mixed_mpc/fleet_instances_per_sec"));
+        assert!(doc.contains("mixed_mpc/speedup_vs_batch"));
+        assert!(doc.contains("mixed_mpc/bit_identical"));
+
+        // The unfusable mixed-dims fleet: batch path skipped entirely.
+        let r2 = fleet_ablation(
+            &|| mixed_fleet_pack_svm(4),
+            "mixed_pack_svm",
+            4,
+            2,
+            false,
+            stopping,
+            400,
+        );
+        assert_eq!(r2.rows.len(), 3, "no batched row without fusion");
+        assert!(r2.batch_instances_per_sec.is_none());
+        assert!(r2.bit_identical);
+    }
+
+    #[test]
+    fn fleet_scenario_generators_have_expected_shape() {
+        let mpc = mixed_fleet_mpc(14);
+        assert_eq!(mpc.len(), 14);
+        assert!(mpc.iter().all(|p| p.graph().dims() == 5));
+        let edges: Vec<usize> = mpc.iter().map(|p| p.graph().num_edges()).collect();
+        let max = *edges.iter().max().unwrap();
+        let mean = edges.iter().sum::<usize>() as f64 / edges.len() as f64;
+        assert!(
+            max as f64 > 2.0 * mean,
+            "long tail expected: max {max} vs mean {mean}"
+        );
+        // Deterministic: same call, same fleet.
+        let again: Vec<usize> = mixed_fleet_mpc(14)
+            .iter()
+            .map(|p| p.graph().num_edges())
+            .collect();
+        assert_eq!(edges, again);
+
+        let mixed = mixed_fleet_pack_svm(8);
+        assert_eq!(mixed.len(), 8);
+        let dims: Vec<usize> = mixed.iter().map(|p| p.graph().dims()).collect();
+        assert!(dims.contains(&2) && dims.contains(&3), "dims = {dims:?}");
     }
 
     #[test]

@@ -21,8 +21,8 @@
 //! — exists exactly once, in [`crate::kernels`].
 //!
 //! The synchronous backends (serial, rayon, barrier, work-stealing,
-//! sharded, and auto, which locks in one of them) are *bit-identical* to
-//! each other by
+//! sharded, fleet, and auto, which locks in one of them) are
+//! *bit-identical* to each other by
 //! construction (the z-average is deterministic per variable regardless of
 //! scheduling); [`AsyncBackend`] is not, and converges instead — see its
 //! docs.
@@ -598,7 +598,7 @@ impl RawArray {
 /// [`paradmm_graph::VarStore::swap_z`] performs, expressed as pointer
 /// parity. The block driver normalizes the `Vec`s afterwards when the
 /// iteration count is odd.
-struct SweepArrays<'a> {
+pub(crate) struct SweepArrays<'a> {
     problem: &'a AdmmProblem,
     g: &'a paradmm_graph::FactorGraph,
     params: &'a paradmm_graph::EdgeParams,
@@ -619,7 +619,7 @@ struct SweepArrays<'a> {
 }
 
 impl<'a> SweepArrays<'a> {
-    fn new(problem: &'a AdmmProblem, store: &mut VarStore) -> Self {
+    pub(crate) fn new(problem: &'a AdmmProblem, store: &mut VarStore) -> Self {
         let g = problem.graph();
         SweepArrays {
             problem,
@@ -648,7 +648,7 @@ impl<'a> SweepArrays<'a> {
     /// callers must additionally guarantee disjoint item ranges within a
     /// phase, exactly-once coverage, and barrier separation between
     /// passes (see [`RawArray`]).
-    unsafe fn run_pass(&self, pass: &Pass, iter: usize, lo: usize, hi: usize) {
+    pub(crate) unsafe fn run_pass(&self, pass: &Pass, iter: usize, lo: usize, hi: usize) {
         let z_old = iter & 1;
         let z_new = z_old ^ 1;
         match pass.kind() {
@@ -1219,10 +1219,12 @@ impl SweepExecutor for AsyncBackend {
 /// problem, the probe falls through to [`SerialBackend`], which supports
 /// everything.
 ///
-/// The default candidate set ([`AutoBackend::new`]) is the five
-/// synchronous CPU backends — Serial, Rayon, Barrier, WorkStealing, and
-/// Sharded — all bit-identical by construction, so whichever one wins,
-/// the iterates match [`SerialBackend`] exactly. Custom candidate sets
+/// The default candidate set ([`AutoBackend::new`]) is the six
+/// synchronous CPU backends — Serial, Rayon, Barrier, WorkStealing,
+/// Sharded, and Fleet (whose single-instance degenerate form is a
+/// barrier-free chunk-claiming executor) — all bit-identical by
+/// construction, so whichever one wins, the iterates match
+/// [`SerialBackend`] exactly. Custom candidate sets
 /// ([`AutoBackend::with_candidates`]) carry whatever equivalence their
 /// members guarantee.
 pub struct AutoBackend {
@@ -1233,7 +1235,7 @@ pub struct AutoBackend {
 }
 
 impl AutoBackend {
-    /// Auto-selection over the five synchronous CPU backends, each
+    /// Auto-selection over the six synchronous CPU backends, each
     /// configured for `threads` workers (the sharded candidate runs one
     /// shard per worker).
     ///
@@ -1246,6 +1248,7 @@ impl AutoBackend {
             Box::new(BarrierBackend::new(threads)),
             Box::new(WorkStealingBackend::new(threads)),
             Box::new(crate::sharded::ShardedBackend::new(threads)),
+            Box::new(crate::fleet::FleetBackend::new(threads)),
         ])
     }
 
@@ -1451,7 +1454,15 @@ mod tests {
         let b = solve_with(&mut auto, 50);
         assert_eq!(a, b);
         let name = auto.selected().expect("probe must lock in");
-        assert!(["serial", "rayon", "barrier", "worksteal", "sharded"].contains(&name));
+        assert!([
+            "serial",
+            "rayon",
+            "barrier",
+            "worksteal",
+            "sharded",
+            "fleet"
+        ]
+        .contains(&name));
         assert!(!auto.probe_report().is_empty());
         assert!(auto.probe_report().iter().all(|&(_, s)| s > 0.0));
         // The probe picks the argmin of its own report.
@@ -1592,6 +1603,7 @@ mod tests {
         assert_eq!(WorkStealingBackend::new(2).name(), "worksteal");
         assert_eq!(AutoBackend::new(2).name(), "auto");
         assert_eq!(crate::sharded::ShardedBackend::new(2).name(), "sharded");
+        assert_eq!(crate::fleet::FleetBackend::new(2).name(), "fleet");
     }
 
     #[test]

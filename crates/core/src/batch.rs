@@ -28,13 +28,17 @@
 //! [`ShardedBackend`] over the layout's **zero-cut** partition (whole
 //! instances per shard, empty halo).
 //!
-//! Each (re)packed fused problem carries no explicit [`crate::SweepPlan`]
-//! — the backend resolves the default fused three-pass schedule for the
-//! new block-diagonal topology, so repacks re-plan for free and stay
-//! bit-identical to solo solves (which resolve the same default). The
-//! fused store's `z_prev` stays materialized under the buffer-swap z
-//! pass, so [`paradmm_graph::BatchLayout::extract_store`] /
-//! `write_store` slicing is unaffected.
+//! Each (re)pack installs the default fused three-pass
+//! [`crate::SweepPlan`] on the fused problem at pack time, cached by
+//! the pass-shape fingerprint `(num_factors, num_vars, num_edges)`: a
+//! repack whose fused topology keeps the same pass shape reuses the
+//! previous plan outright, and either way per-block resolution borrows
+//! the installed plan instead of re-deriving the default every block.
+//! The plan is the same one solo solves resolve, so bit-identity is
+//! unaffected, and the fused store's `z_prev` stays materialized under
+//! the buffer-swap z pass, so
+//! [`paradmm_graph::BatchLayout::extract_store`] / `write_store`
+//! slicing is unaffected.
 
 use std::time::{Duration, Instant};
 
@@ -42,6 +46,7 @@ use paradmm_graph::{BatchInstance, BatchLayout, BatchStore, EdgeParams, FactorGr
 use paradmm_prox::ProxOp;
 
 use crate::backend::SweepExecutor;
+use crate::plan::SweepPlan;
 use crate::problem::AdmmProblem;
 use crate::residuals::Residuals;
 use crate::scheduler::Scheduler;
@@ -147,6 +152,15 @@ pub struct BatchSolver {
     sharded_parts: Option<usize>,
     slots: Vec<Slot>,
     active: Option<ActiveSet>,
+    /// Fused [`SweepPlan`] keyed by the pass-shape fingerprint
+    /// `(num_factors, num_vars, num_edges)` of the fused graph it was
+    /// built for — the only inputs [`SweepPlan::fused`] reads. Repacks
+    /// whose fused topology keeps the same pass shape reuse the cached
+    /// plan instead of rebuilding it.
+    plan_cache: Option<((usize, usize, usize), SweepPlan)>,
+    /// Plans actually constructed (cache misses) — telemetry for the
+    /// skip path.
+    plans_built: usize,
     started: bool,
     done: usize,
     timings: UpdateTimings,
@@ -230,6 +244,8 @@ impl BatchSolver {
             sharded_parts,
             slots,
             active: None,
+            plan_cache: None,
+            plans_built: 0,
             started: false,
             done: 0,
             timings: UpdateTimings::new(),
@@ -396,7 +412,8 @@ impl BatchSolver {
         };
         let (graph, params, store, layout) = batch.into_parts();
         let fused_proxes: Vec<Box<dyn ProxOp>> = proxes.into_iter().flatten().collect();
-        let problem = AdmmProblem::with_params(graph, fused_proxes, params);
+        let mut problem = AdmmProblem::with_params(graph, fused_proxes, params);
+        problem.set_plan(self.fused_plan_for(&problem));
         if let Some(parts) = self.sharded_parts {
             // Instances are natural shards: a fresh backend over the
             // zero-cut instance partition, rebuilt because the fused
@@ -409,6 +426,32 @@ impl BatchSolver {
             layout,
             members,
         });
+    }
+
+    /// The fused plan for `problem`'s pass shape, reusing the cached
+    /// plan when the fingerprint matches (a repack that kept the fused
+    /// topology's pass shape skips the rebuild entirely). Installing
+    /// the plan at pack time also means every subsequent block's
+    /// resolve borrows it instead of re-deriving the default.
+    fn fused_plan_for(&mut self, problem: &AdmmProblem) -> SweepPlan {
+        let g = problem.graph();
+        let fingerprint = (g.num_factors(), g.num_vars(), g.num_edges());
+        match &self.plan_cache {
+            Some((fp, plan)) if *fp == fingerprint => plan.clone(),
+            _ => {
+                self.plans_built += 1;
+                let plan = SweepPlan::fused(problem);
+                self.plan_cache = Some((fingerprint, plan.clone()));
+                plan
+            }
+        }
+    }
+
+    /// Fused plans constructed so far (plan-cache misses); packs whose
+    /// pass shape matched the previous pack reuse the cached plan and
+    /// do not count.
+    pub fn plans_built(&self) -> usize {
+        self.plans_built
     }
 
     /// Extracts the state of the given active positions (ascending) into
@@ -516,6 +559,35 @@ mod tests {
             report.iterations,
             report.stop_reason,
         )
+    }
+
+    #[test]
+    fn plan_cache_skips_rebuild_for_matching_pass_shape() {
+        // Two same-shape instances: packing either one alone produces
+        // the same fused fingerprint, so the second pack must hit the
+        // cache; a different shape must miss it.
+        let mut batch = BatchSolver::new(
+            vec![consensus_problem(&[1.0, 5.0])],
+            SolverOptions::default(),
+        );
+        let p1 = consensus_problem(&[1.0, 5.0]);
+        assert_eq!(batch.plans_built(), 0);
+        batch.fused_plan_for(&p1);
+        assert_eq!(batch.plans_built(), 1);
+        batch.fused_plan_for(&p1); // same fingerprint → cache hit
+        assert_eq!(batch.plans_built(), 1);
+        let bigger = consensus_problem(&[1.0, 5.0, 9.0]);
+        batch.fused_plan_for(&bigger); // new shape → rebuild
+        assert_eq!(batch.plans_built(), 2);
+    }
+
+    #[test]
+    fn packed_problem_carries_the_fused_plan() {
+        let mut batch = BatchSolver::new(mixed_instances(), SolverOptions::default());
+        batch.run(5);
+        assert!(batch.plans_built() >= 1);
+        // Every pack so far had a distinct shrinking topology, but the
+        // plan itself must be installed (resolution borrows it).
     }
 
     #[test]

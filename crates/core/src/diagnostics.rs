@@ -1,6 +1,7 @@
 //! Convergence tracing and schedule diagnostics: record residuals per
-//! check-point (CSV export), and render what the cost-model planner
-//! measured and decided ([`plan_report`]).
+//! check-point (CSV export), render what the cost-model planner
+//! measured and decided ([`plan_report`]), and summarize how the fleet
+//! scheduler's workers moved between instances ([`fleet_report`]).
 //!
 //! The paper's experiments run "for the same number of iterations" and
 //! separately verify convergence; this module provides the verification
@@ -89,6 +90,152 @@ fn gb_per_s(bytes_per_item: f64, seconds_per_item: f64) -> f64 {
         return 0.0;
     }
     bytes_per_item / seconds_per_item / 1e9
+}
+
+/// Per-worker counters from one or more fleet scheduling rounds: how
+/// many chunks the worker claimed from each instance, how often the
+/// assist scan moved it to a different instance, and how many scans
+/// found nothing claimable (chunks in flight elsewhere).
+#[derive(Debug, Clone, Default)]
+pub struct FleetWorkerStats {
+    /// Chunks this worker executed, indexed by fleet instance id.
+    pub chunks_by_instance: Vec<u64>,
+    /// Assist migrations: the scan routed the worker to a *different*
+    /// instance than the one it was draining.
+    pub migrations: u64,
+    /// Scans that found no claimable chunk anywhere (the open passes'
+    /// last chunks were in flight on other workers).
+    pub idle_spins: u64,
+}
+
+impl FleetWorkerStats {
+    /// Zeroed counters sized for `instances` fleet slots.
+    pub fn new(instances: usize) -> Self {
+        FleetWorkerStats {
+            chunks_by_instance: vec![0; instances],
+            migrations: 0,
+            idle_spins: 0,
+        }
+    }
+
+    /// Total chunks this worker executed across all instances.
+    pub fn total_chunks(&self) -> u64 {
+        self.chunks_by_instance.iter().sum()
+    }
+
+    fn absorb(&mut self, other: &FleetWorkerStats) {
+        if self.chunks_by_instance.len() < other.chunks_by_instance.len() {
+            self.chunks_by_instance
+                .resize(other.chunks_by_instance.len(), 0);
+        }
+        for (a, b) in self
+            .chunks_by_instance
+            .iter_mut()
+            .zip(&other.chunks_by_instance)
+        {
+            *a += b;
+        }
+        self.migrations += other.migrations;
+        self.idle_spins += other.idle_spins;
+    }
+}
+
+/// Accumulated assist telemetry for a fleet run: one
+/// [`FleetWorkerStats`] per worker slot, merged across rounds. Cheap to
+/// keep (a handful of counters bumped on already-owned cache lines) and
+/// the only way to see *why* a fleet schedule behaved as it did.
+#[derive(Debug, Clone, Default)]
+pub struct FleetDiagnostics {
+    workers: Vec<FleetWorkerStats>,
+    rounds: u64,
+}
+
+impl FleetDiagnostics {
+    /// Empty telemetry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges one round's per-worker stats (worker slot `i` of every
+    /// round accumulates into entry `i`).
+    pub fn record_round(&mut self, per_worker: Vec<FleetWorkerStats>) {
+        if self.workers.len() < per_worker.len() {
+            self.workers
+                .resize_with(per_worker.len(), FleetWorkerStats::default);
+        }
+        for (acc, w) in self.workers.iter_mut().zip(&per_worker) {
+            acc.absorb(w);
+        }
+        self.rounds += 1;
+    }
+
+    /// Per-worker accumulated counters.
+    pub fn workers(&self) -> &[FleetWorkerStats] {
+        &self.workers
+    }
+
+    /// Number of scheduling rounds recorded.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Chunks executed fleet-wide.
+    pub fn total_chunks(&self) -> u64 {
+        self.workers.iter().map(|w| w.total_chunks()).sum()
+    }
+
+    /// Assist migrations fleet-wide.
+    pub fn total_migrations(&self) -> u64 {
+        self.workers.iter().map(|w| w.migrations).sum()
+    }
+
+    /// Empty assist scans fleet-wide.
+    pub fn total_idle_spins(&self) -> u64 {
+        self.workers.iter().map(|w| w.idle_spins).sum()
+    }
+
+    /// Chunks executed on instance `i` by all workers combined.
+    pub fn chunks_for_instance(&self, i: usize) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.chunks_by_instance.get(i).copied().unwrap_or(0))
+            .sum()
+    }
+}
+
+/// Renders a human-readable report of fleet assist telemetry in the
+/// style of [`plan_report`]: per-worker claim/migration/idle counters
+/// plus the fleet-wide instance distribution. Used by the
+/// `ablation_fleet` bench to show *where* workers spent their claims.
+pub fn fleet_report(diag: &FleetDiagnostics) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fleet: {} workers over {} rounds, {} chunks total\n",
+        diag.workers().len(),
+        diag.rounds(),
+        diag.total_chunks()
+    ));
+    for (i, w) in diag.workers().iter().enumerate() {
+        out.push_str(&format!(
+            "worker {i}: {} chunks, {} migrations, {} idle spins\n",
+            w.total_chunks(),
+            w.migrations,
+            w.idle_spins
+        ));
+    }
+    let instances = diag
+        .workers()
+        .iter()
+        .map(|w| w.chunks_by_instance.len())
+        .max()
+        .unwrap_or(0);
+    for i in 0..instances {
+        out.push_str(&format!(
+            "instance {i}: {} chunks\n",
+            diag.chunks_for_instance(i)
+        ));
+    }
+    out
 }
 
 /// One trace sample.
@@ -221,6 +368,29 @@ mod tests {
     fn short_trace_counts_as_improving() {
         let trace = Trace::new();
         assert!(trace.is_improving(5));
+    }
+
+    #[test]
+    fn fleet_diagnostics_merge_across_rounds() {
+        let mut diag = FleetDiagnostics::new();
+        let mut a = FleetWorkerStats::new(2);
+        a.chunks_by_instance = vec![3, 1];
+        a.migrations = 1;
+        let mut b = FleetWorkerStats::new(2);
+        b.chunks_by_instance = vec![0, 4];
+        b.idle_spins = 2;
+        diag.record_round(vec![a.clone(), b]);
+        diag.record_round(vec![a]);
+        assert_eq!(diag.rounds(), 2);
+        assert_eq!(diag.workers().len(), 2);
+        assert_eq!(diag.total_chunks(), 12);
+        assert_eq!(diag.total_migrations(), 2);
+        assert_eq!(diag.total_idle_spins(), 2);
+        assert_eq!(diag.chunks_for_instance(0), 6);
+        assert_eq!(diag.chunks_for_instance(1), 6);
+        let report = fleet_report(&diag);
+        assert!(report.contains("2 workers over 2 rounds"), "{report}");
+        assert!(report.contains("instance 1: 6 chunks"), "{report}");
     }
 
     #[test]

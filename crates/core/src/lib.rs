@@ -34,6 +34,9 @@
 //! * [`ShardedBackend`] — partition-local stores with one worker per
 //!   shard and a real per-iteration halo exchange (the paper's
 //!   multi-device future-work item 3, executed instead of priced),
+//! * [`FleetBackend`] — barrier-free work-assisting workers claiming
+//!   chunks from a per-instance watermarked counter; the same scheduler
+//!   runs whole heterogeneous fleets through [`FleetSolver`],
 //! * [`AutoBackend`] — probes the synchronous backends on the actual
 //!   problem and locks in the fastest (the paper's "automatic tuning"
 //!   future-work made concrete),
@@ -47,7 +50,11 @@
 //! For many *small independent* problems (batched serving), the
 //! [`BatchSolver`] packs instances into one block-diagonal fused store
 //! and drives it through any backend, with per-instance residual
-//! tracking and early-exit freezing — see [`batch`].
+//! tracking and early-exit freezing — see [`batch`]. For
+//! *heterogeneous* fleets (mixed sizes, even mixed `dims`), the
+//! work-assisting [`FleetSolver`] keeps instances separate and lets
+//! idle workers assist whichever instance still has sweep work — see
+//! [`fleet`].
 //!
 //! Users write only serial proximal operators ([`paradmm_prox::ProxOp`]);
 //! no parallel code is ever required — the paper's headline usability
@@ -58,6 +65,7 @@ pub mod asynchronous;
 pub mod backend;
 pub mod batch;
 pub mod diagnostics;
+pub mod fleet;
 pub mod kernels;
 pub mod naive;
 pub mod plan;
@@ -76,7 +84,10 @@ pub use backend::{
     SweepExecutor, WorkStealingBackend, DEFAULT_STEAL_CHUNK,
 };
 pub use batch::{BatchReport, BatchSolver, InstanceReport};
-pub use diagnostics::{plan_report, Trace, TracePoint};
+pub use diagnostics::{
+    fleet_report, plan_report, FleetDiagnostics, FleetWorkerStats, Trace, TracePoint,
+};
+pub use fleet::{FleetBackend, FleetSolver};
 pub use kernels::{kernel_dispatch, set_kernel_dispatch, KernelDispatch, UpdateKind};
 pub use paradmm_prox::{ProxCtx, ProxOp};
 pub use plan::{Pass, PassKind, PassSpace, PlanError, Planner, SweepPlan};

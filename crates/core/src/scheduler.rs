@@ -63,7 +63,16 @@ pub enum Scheduler {
         /// split by BFS region growing on first use.
         parts: usize,
     },
-    /// Probe-and-lock auto-selection over the five synchronous CPU
+    /// Work-assisting fleet scheduler run on a single instance: workers
+    /// claim chunks from a per-instance watermarked counter with no
+    /// barriers — [`crate::FleetBackend`]. Bit-identical to
+    /// [`SerialBackend`]. (For whole fleets, hand this descriptor to
+    /// [`crate::FleetSolver`].)
+    Fleet {
+        /// Number of work-assisting workers.
+        threads: usize,
+    },
+    /// Probe-and-lock auto-selection over the six synchronous CPU
     /// backends — [`AutoBackend`]. Bit-identical to [`SerialBackend`]
     /// (every default candidate is).
     Auto {
@@ -83,6 +92,7 @@ impl Scheduler {
             Scheduler::Async { threads } => Box::new(AsyncBackend::new(threads)),
             Scheduler::WorkSteal { threads } => Box::new(WorkStealingBackend::new(threads)),
             Scheduler::Sharded { parts } => Box::new(crate::sharded::ShardedBackend::new(parts)),
+            Scheduler::Fleet { threads } => Box::new(crate::fleet::FleetBackend::new(threads)),
             Scheduler::Auto { threads } => Box::new(AutoBackend::new(threads)),
         }
     }
@@ -175,6 +185,7 @@ mod tests {
         assert_eq!(solve_with(Scheduler::Barrier { threads: 3 }, 100), serial);
         assert_eq!(solve_with(Scheduler::WorkSteal { threads: 3 }, 100), serial);
         assert_eq!(solve_with(Scheduler::Sharded { parts: 2 }, 100), serial);
+        assert_eq!(solve_with(Scheduler::Fleet { threads: 3 }, 100), serial);
         assert_eq!(solve_with(Scheduler::Auto { threads: 2 }, 100), serial);
     }
 
@@ -198,6 +209,7 @@ mod tests {
             Scheduler::Sharded { parts: 2 }.to_backend().name(),
             "sharded"
         );
+        assert_eq!(Scheduler::Fleet { threads: 2 }.to_backend().name(), "fleet");
         assert_eq!(Scheduler::Auto { threads: 2 }.to_backend().name(), "auto");
     }
 

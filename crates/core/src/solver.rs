@@ -468,6 +468,7 @@ mod tests {
         assert_eq!(serial, run_with(Scheduler::Barrier { threads: 2 }));
         assert_eq!(serial, run_with(Scheduler::WorkSteal { threads: 2 }));
         assert_eq!(serial, run_with(Scheduler::Sharded { parts: 2 }));
+        assert_eq!(serial, run_with(Scheduler::Fleet { threads: 2 }));
         assert_eq!(serial, run_with(Scheduler::Auto { threads: 2 }));
     }
 
@@ -511,7 +512,15 @@ mod tests {
         let report = solver.run(500);
         assert_eq!(report.stop_reason, StopReason::Converged);
         let selected = solver.backend().selected().expect("probe ran");
-        assert!(["serial", "rayon", "barrier", "worksteal", "sharded"].contains(&selected));
+        assert!([
+            "serial",
+            "rayon",
+            "barrier",
+            "worksteal",
+            "sharded",
+            "fleet"
+        ]
+        .contains(&selected));
         assert!(!solver.backend().probe_report().is_empty());
     }
 

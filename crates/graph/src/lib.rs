@@ -19,6 +19,9 @@
 //! * [`BatchStore`] / [`BatchLayout`] — N independent instances packed
 //!   into one block-diagonal fused store (offset-translated id maps,
 //!   zero-cut shard partition) for batched multi-instance serving,
+//! * [`FleetLayout`] — size statistics over a fleet of *unfused*
+//!   independent instances (per-instance costs, largest-first schedule
+//!   order, imbalance) for the work-assisting fleet scheduler,
 //! * [`GraphStats`] — degree statistics (the paper's conclusion discusses
 //!   how degree imbalance throttles the z-update).
 //!
@@ -30,6 +33,7 @@ pub mod aligned;
 pub mod batch;
 pub mod builder;
 pub(crate) mod byteio;
+pub mod fleet;
 pub mod graph;
 pub mod ids;
 pub mod io;
@@ -44,6 +48,7 @@ pub mod stream;
 pub use aligned::AlignedVec;
 pub use batch::{BatchInstance, BatchLayout, BatchStore};
 pub use builder::GraphBuilder;
+pub use fleet::{FleetInstance, FleetLayout};
 pub use graph::FactorGraph;
 pub use ids::{EdgeId, FactorId, VarId};
 pub use params::EdgeParams;

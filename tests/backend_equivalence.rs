@@ -1,7 +1,8 @@
 //! Backend-equivalence suite.
 //!
 //! The synchronous backends (serial, rayon, barrier, work-stealing,
-//! sharded, and auto — which locks in one of the former five) implement
+//! sharded, fleet, and auto — which locks in one of the former six)
+//! implement
 //! the same Jacobi-style Algorithm 2 schedule, so their iterates must be
 //! **bit-identical** on every problem — the z-average per variable is
 //! deterministic regardless of how the sweeps are scheduled, the
@@ -17,8 +18,8 @@
 
 use paradmm::core::{
     barriers_per_iteration, AdmmProblem, AsyncBackend, AutoBackend, BarrierBackend, BatchSolver,
-    RayonBackend, Scheduler, SerialBackend, ShardedBackend, Solver, SolverOptions,
-    StoppingCriteria, SweepExecutor, SweepPlan, UpdateTimings, WorkStealingBackend,
+    FleetBackend, FleetSolver, RayonBackend, Scheduler, SerialBackend, ShardedBackend, Solver,
+    SolverOptions, StoppingCriteria, SweepExecutor, SweepPlan, UpdateTimings, WorkStealingBackend,
 };
 use paradmm::graph::{Partition, VarStore};
 use paradmm::mpc::{pendulum::paper_plant, MpcConfig, MpcProblem};
@@ -96,6 +97,16 @@ fn assert_bit_identical_across_sync_backends(problem: &mut AdmmProblem, iters: u
                 iters,
             );
             assert_matches(&ws_tiny, &format!("worksteal({threads}, chunk=2)"));
+
+            // The barrier-free fleet scheduler (single-instance
+            // degenerate form): watermarked chunk claims instead of
+            // barriers, with and without forced chunk contention.
+            let fleet = run_from_seeded_state(problem, &mut FleetBackend::new(threads), iters);
+            assert_matches(&fleet, &format!("fleet({threads})"));
+
+            let fleet_tiny =
+                run_from_seeded_state(problem, &mut FleetBackend::with_chunk(threads, 2), iters);
+            assert_matches(&fleet_tiny, &format!("fleet({threads}, chunk=2)"));
         }
         // Sharded execution: partition-local stores with a real halo
         // exchange per iteration must replay the serial fold exactly, for
@@ -114,7 +125,7 @@ fn assert_bit_identical_across_sync_backends(problem: &mut AdmmProblem, iters: u
             );
             assert_matches(&sharded_cont, &format!("sharded({parts}, contiguous)"));
         }
-        // AutoBackend probes all five sync candidates on a clone and locks
+        // AutoBackend probes all six sync candidates on a clone and locks
         // in one of them — whichever wins, iterates must match serial
         // bitwise.
         let mut auto = AutoBackend::new(2);
@@ -236,6 +247,7 @@ fn batched_solves_bit_identical_to_solo_serial_on_every_sync_backend() {
         Scheduler::Barrier { threads: 3 },
         Scheduler::WorkSteal { threads: 2 },
         Scheduler::Sharded { parts: 2 },
+        Scheduler::Fleet { threads: 2 },
         Scheduler::Auto { threads: 2 },
     ] {
         let options = SolverOptions {
@@ -278,6 +290,116 @@ fn batched_solves_bit_identical_to_solo_serial_on_every_sync_backend() {
         assert_eq!(batch.store(i).z, store.z, "worksteal-chunk2 instance {i}");
         assert_eq!(batch.store(i).u, store.u, "worksteal-chunk2 instance {i}");
     }
+}
+
+#[test]
+fn fleet_solves_bit_identical_to_solo_serial_across_shapes() {
+    // The work-assisting fleet scheduler on random mixed-size fleets:
+    // per-instance final states, iteration counts, AND stop reasons
+    // must equal solo serial solves for every thread count and chunk
+    // size — assist migrations between instances may never leak into
+    // iterates. Long-tail fleets (mixed_fleet_mpc) make the big
+    // instance attract assists while small ones retire early.
+    let stopping = StoppingCriteria {
+        max_iters: 1200,
+        eps_abs: 1e-6,
+        eps_rel: 1e-4,
+        check_every: 20,
+    };
+    let instances = || paradmm_bench::mixed_fleet_mpc(6);
+    let solo: Vec<(VarStore, usize, paradmm::core::StopReason)> = instances()
+        .into_iter()
+        .map(|p| {
+            let options = SolverOptions {
+                stopping,
+                ..SolverOptions::default()
+            };
+            let mut solver = Solver::from_problem(p, options);
+            let report = solver.run(stopping.max_iters);
+            (
+                solver.store().clone(),
+                report.iterations,
+                report.stop_reason,
+            )
+        })
+        .collect();
+    let iters: Vec<usize> = solo.iter().map(|(_, it, _)| *it).collect();
+    assert!(
+        iters.iter().any(|&i| i != iters[0]),
+        "mixed horizons should converge at different checks: {iters:?}"
+    );
+
+    for threads in [1usize, 2, 3] {
+        for chunk in [None, Some(2), Some(7)] {
+            let options = SolverOptions {
+                scheduler: Scheduler::Fleet { threads },
+                stopping,
+                ..SolverOptions::default()
+            };
+            let mut fleet = FleetSolver::new(instances(), options);
+            if let Some(c) = chunk {
+                fleet.set_chunk(c);
+            }
+            let report = fleet.run(stopping.max_iters);
+            for (i, (store, solo_iters, solo_reason)) in solo.iter().enumerate() {
+                let label = format!("fleet({threads}, chunk={chunk:?}) instance {i}");
+                let r = &report.instances[i];
+                assert_eq!(r.iterations, *solo_iters, "{label} iters");
+                assert_eq!(r.stop_reason, *solo_reason, "{label} stop reason");
+                let got = fleet.store(i);
+                assert_eq!(got.z, store.z, "{label} z");
+                assert_eq!(got.x, store.x, "{label} x");
+                assert_eq!(got.u, store.u, "{label} u");
+                assert_eq!(got.n, store.n, "{label} n");
+                assert_eq!(got.m, store.m, "{label} m");
+            }
+        }
+    }
+}
+
+#[test]
+fn fleet_serves_mixed_dims_fleets_batching_cannot_fuse() {
+    // Packing (dims=2) and SVM (dims=3) in one fleet: BatchSolver
+    // rejects the shape outright, while the fleet solves every instance
+    // bit-identically to its solo serial solve — the no-fusion
+    // advantage the fleet scheduler exists for.
+    let stopping = StoppingCriteria {
+        max_iters: 800,
+        eps_abs: 1e-6,
+        eps_rel: 1e-4,
+        check_every: 20,
+    };
+    let instances = || paradmm_bench::mixed_fleet_pack_svm(5);
+    let dims: Vec<usize> = instances().iter().map(|p| p.graph().dims()).collect();
+    assert!(
+        dims.iter().any(|&d| d != dims[0]),
+        "scenario must mix dims: {dims:?}"
+    );
+
+    let options = SolverOptions {
+        scheduler: Scheduler::Fleet { threads: 2 },
+        stopping,
+        ..SolverOptions::default()
+    };
+    let mut fleet = FleetSolver::new(instances(), options);
+    let report = fleet.run(stopping.max_iters);
+    for (i, p) in instances().into_iter().enumerate() {
+        let solo_options = SolverOptions {
+            stopping,
+            ..SolverOptions::default()
+        };
+        let mut solver = Solver::from_problem(p, solo_options);
+        let solo_report = solver.run(stopping.max_iters);
+        assert_eq!(report.instances[i].iterations, solo_report.iterations);
+        assert_eq!(report.instances[i].stop_reason, solo_report.stop_reason);
+        assert_eq!(fleet.store(i).z, solver.store().z, "instance {i} z");
+        assert_eq!(fleet.store(i).x, solver.store().x, "instance {i} x");
+        assert_eq!(fleet.store(i).u, solver.store().u, "instance {i} u");
+    }
+    assert!(
+        fleet.diagnostics().total_chunks() > 0,
+        "telemetry must record the fleet's claims"
+    );
 }
 
 #[test]

@@ -4,7 +4,8 @@
 use proptest::prelude::*;
 
 use paradmm::core::{
-    AdmmProblem, Residuals, Scheduler, SerialBackend, SweepExecutor, UpdateTimings,
+    AdmmProblem, FleetSolver, Residuals, Scheduler, SerialBackend, Solver, SolverOptions,
+    StoppingCriteria, SweepExecutor, UpdateTimings,
 };
 use paradmm::graph::{
     EdgeParams, FactorGraph, GraphBuilder, GraphStats, Partition, PartitionStats, VarId, VarStore,
@@ -147,6 +148,62 @@ proptest! {
         prop_assert_eq!(&z_serial, &z_barrier);
         prop_assert_eq!(&z_serial, &z_worksteal);
         prop_assert_eq!(&z_serial, &z_sharded);
+    }
+
+    /// The work-assisting fleet solver is bit-identical to solo serial
+    /// solves on random fleets: random shapes, random `dims` *per
+    /// instance* (no shared-dims constraint — nothing is fused), random
+    /// worker counts, and random claim-chunk sizes. Iterates, iteration
+    /// counts, and stop reasons must all match.
+    #[test]
+    fn fleet_solver_matches_solo_serial(
+        graphs in proptest::collection::vec(arb_graph(5, 6), 1..=4),
+        seed in 0u64..1000,
+        threads in 1usize..4,
+        chunk in 1usize..8,
+    ) {
+        let stopping = StoppingCriteria {
+            max_iters: 60,
+            eps_abs: 1e-6,
+            eps_rel: 1e-4,
+            check_every: 10,
+        };
+        let make_problem = |g: &FactorGraph| {
+            let proxes: Vec<Box<dyn ProxOp>> = g
+                .factors()
+                .map(|a| {
+                    let len = g.factor_degree(a) * g.dims();
+                    let t: Vec<f64> = (0..len)
+                        .map(|i| ((seed as f64 + i as f64) * 0.61).sin())
+                        .collect();
+                    Box::new(QuadraticProx::isotropic(len, 1.0, &t)) as Box<dyn ProxOp>
+                })
+                .collect();
+            AdmmProblem::new(g.clone(), proxes, 1.5, 0.9)
+        };
+        let options = SolverOptions {
+            scheduler: Scheduler::Fleet { threads },
+            stopping,
+            ..SolverOptions::default()
+        };
+        let mut fleet = FleetSolver::new(graphs.iter().map(&make_problem).collect(), options);
+        fleet.set_chunk(chunk);
+        let report = fleet.run(stopping.max_iters);
+        for (i, g) in graphs.iter().enumerate() {
+            let solo_options = SolverOptions {
+                stopping,
+                ..SolverOptions::default()
+            };
+            let mut solver = Solver::from_problem(make_problem(g), solo_options);
+            let solo_report = solver.run(stopping.max_iters);
+            prop_assert_eq!(report.instances[i].iterations, solo_report.iterations);
+            prop_assert_eq!(report.instances[i].stop_reason, solo_report.stop_reason);
+            prop_assert_eq!(&fleet.store(i).z, &solver.store().z);
+            prop_assert_eq!(&fleet.store(i).x, &solver.store().x);
+            prop_assert_eq!(&fleet.store(i).u, &solver.store().u);
+            prop_assert_eq!(&fleet.store(i).n, &solver.store().n);
+            prop_assert_eq!(&fleet.store(i).m, &solver.store().m);
+        }
     }
 
     /// `BatchStore` pack/unpack round-trip: per-instance slices recover
