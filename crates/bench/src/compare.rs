@@ -374,16 +374,25 @@ fn is_throughput_key(key: &str) -> bool {
     key.ends_with("_instances_per_sec")
 }
 
-/// Matching key for a row's backend label: `AutoBackend` rows embed the
-/// probe's pick (`auto:serial`, `auto:worksteal`, …), which legitimately
-/// differs between hosts — a multicore CI runner picks a parallel
-/// candidate where a single-core baseline machine picked serial. Those
-/// all match as plain `auto`; what is gated is auto's measured cost, not
-/// its choice.
+/// Matching key for a row's backend label: the label's last
+/// `/`-segment is parsed as a [`paradmm_core::BackendSpec`] and, when
+/// it parses, replaced with the spec's canonical text form. That
+/// absorbs `AutoBackend` rows embedding the probe's pick
+/// (`auto:serial`, `auto:worksteal`, …) — which legitimately differs
+/// between hosts; a multicore CI runner picks a parallel candidate
+/// where a single-core baseline machine picked serial — into plain
+/// `auto`: what is gated is auto's measured cost, not its choice.
+/// Labels that are not backend specs (`batched[worksteal]`,
+/// `fleet[2t]`, `cpu-model`, …) pass through untouched.
 fn canonical_backend(name: &str) -> String {
-    match name.find("auto:") {
-        Some(i) => format!("{}auto", &name[..i]),
-        None => name.to_string(),
+    use paradmm_core::BackendSpec;
+    let (prefix, tail) = match name.rfind('/') {
+        Some(i) => name.split_at(i + 1),
+        None => ("", name),
+    };
+    match tail.parse::<BackendSpec>() {
+        Ok(spec) => format!("{prefix}{spec}"),
+        Err(_) => name.to_string(),
     }
 }
 
@@ -622,6 +631,28 @@ mod tests {
             cmp.missing
         );
         assert!(cmp.entries.iter().any(|e| e.name == "row:svm/auto@10"));
+    }
+
+    #[test]
+    fn non_spec_labels_pass_through_canonicalization() {
+        // Bracket labels and model names are not backend specs; they
+        // must match only themselves, byte for byte.
+        let base = doc(
+            &[
+                ("many_mpc/batched[worksteal]", 1e-3),
+                ("fleet[2t]", 1e-3),
+                ("cpu-model", 1e-3),
+                ("rayon:4", 1e-3),
+            ],
+            &[],
+        );
+        let cmp = compare_docs(&base, &base, &CompareOptions::default());
+        assert!(cmp.passed(), "missing {:?}", cmp.missing);
+        assert!(cmp
+            .entries
+            .iter()
+            .any(|e| e.name == "row:many_mpc/batched[worksteal]@10"));
+        assert!(cmp.entries.iter().any(|e| e.name == "row:rayon:4@10"));
     }
 
     #[test]

@@ -253,6 +253,56 @@ impl BatchSolver {
         }
     }
 
+    /// Batches a group of [`crate::SolveRequest`]s: the unified-API
+    /// entry point. The group must agree on stopping criteria and
+    /// backend (one fused execution has one of each — the serving
+    /// layer's admission queue groups requests accordingly); warm
+    /// starts are applied per request, and deadline/priority hints are
+    /// scheduling metadata for the caller, not this engine. Plan
+    /// overrides are ignored: the fused problem resolves its own fused
+    /// plan (identical numerics either way).
+    ///
+    /// # Panics
+    /// As [`BatchSolver::new`], plus if the group disagrees on
+    /// stopping criteria or backend.
+    pub fn from_requests(requests: Vec<crate::SolveRequest>) -> Self {
+        let (problems, warm, stopping, backend) = crate::request::group_parts(requests);
+        let options = SolverOptions {
+            scheduler: backend.to_scheduler(),
+            stopping,
+            ..SolverOptions::default()
+        };
+        let mut batch = Self::new(problems, options);
+        for (i, ws) in warm.into_iter().enumerate() {
+            if let Some(store) = ws {
+                batch.warm_start(i, store);
+            }
+        }
+        batch
+    }
+
+    /// Runs a request group to completion and returns one
+    /// [`crate::SolveOutcome`] per request, in order — the thin-adapter
+    /// form of batched execution ([`BatchSolver::from_requests`] +
+    /// [`BatchSolver::run_default`] + per-instance readback).
+    pub fn solve_requests(requests: Vec<crate::SolveRequest>) -> Vec<crate::SolveOutcome> {
+        let mut batch = Self::from_requests(requests);
+        let report = batch.run_default();
+        (0..batch.num_instances())
+            .map(|i| {
+                let r = &report.instances[i];
+                crate::SolveOutcome {
+                    store: batch.store(i).clone(),
+                    iterations: r.iterations,
+                    stop_reason: r.stop_reason,
+                    final_residuals: r.final_residuals,
+                    residual_trace: Vec::new(),
+                    elapsed: report.elapsed,
+                }
+            })
+            .collect()
+    }
+
     /// Number of batched instances.
     pub fn num_instances(&self) -> usize {
         self.slots.len()
@@ -761,6 +811,35 @@ mod tests {
         assert_eq!(report.converged_count(), 3);
         assert!(report.instances_per_second() > 0.0);
         assert!(batch.timings().iterations > 0);
+    }
+
+    #[test]
+    fn request_group_adapter_matches_solo_requests() {
+        use crate::request::SolveRequest;
+        let outcomes = BatchSolver::solve_requests(
+            mixed_instances()
+                .into_iter()
+                .map(SolveRequest::new)
+                .collect(),
+        );
+        assert_eq!(outcomes.len(), 3);
+        for (i, problem) in mixed_instances().into_iter().enumerate() {
+            let solo = SolveRequest::new(problem).solve();
+            assert_eq!(outcomes[i].iterations, solo.iterations, "instance {i}");
+            assert_eq!(outcomes[i].stop_reason, solo.stop_reason);
+            assert_eq!(outcomes[i].store.z, solo.store.z, "instance {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees on stopping")]
+    fn request_group_requires_uniform_stopping() {
+        use crate::request::SolveRequest;
+        let _ = BatchSolver::from_requests(vec![
+            SolveRequest::new(consensus_problem(&[1.0])),
+            SolveRequest::new(consensus_problem(&[2.0]))
+                .with_stopping(StoppingCriteria::fixed_iterations(5)),
+        ]);
     }
 
     #[test]

@@ -539,6 +539,54 @@ impl FleetSolver {
         }
     }
 
+    /// Builds a fleet from a group of [`crate::SolveRequest`]s: the
+    /// unified-API entry point. The group must agree on stopping
+    /// criteria and backend; unlike [`crate::BatchSolver`] the
+    /// instances may disagree on `dims` (nothing is fused). Warm
+    /// starts are applied per request; deadline/priority hints are
+    /// scheduling metadata for the caller; plan overrides are ignored
+    /// (each instance resolves its own plan — identical numerics).
+    ///
+    /// # Panics
+    /// As [`FleetSolver::new`], plus if the group disagrees on
+    /// stopping criteria or backend.
+    pub fn from_requests(requests: Vec<crate::SolveRequest>) -> Self {
+        let (problems, warm, stopping, backend) = crate::request::group_parts(requests);
+        let options = SolverOptions {
+            scheduler: backend.to_scheduler(),
+            stopping,
+            ..SolverOptions::default()
+        };
+        let mut fleet = Self::new(problems, options);
+        for (i, ws) in warm.into_iter().enumerate() {
+            if let Some(store) = ws {
+                fleet.warm_start(i, store);
+            }
+        }
+        fleet
+    }
+
+    /// Runs a request group to completion and returns one
+    /// [`crate::SolveOutcome`] per request, in order — the thin-adapter
+    /// form of fleet execution.
+    pub fn solve_requests(requests: Vec<crate::SolveRequest>) -> Vec<crate::SolveOutcome> {
+        let mut fleet = Self::from_requests(requests);
+        let report = fleet.run_default();
+        (0..fleet.num_instances())
+            .map(|i| {
+                let r = &report.instances[i];
+                crate::SolveOutcome {
+                    store: fleet.store(i).clone(),
+                    iterations: r.iterations,
+                    stop_reason: r.stop_reason,
+                    final_residuals: r.final_residuals,
+                    residual_trace: Vec::new(),
+                    elapsed: report.elapsed,
+                }
+            })
+            .collect()
+    }
+
     /// Overrides every pass's claim granularity (the
     /// [`FleetBackend::with_chunk`] knob for the whole fleet).
     ///
@@ -733,6 +781,24 @@ mod tests {
         backend.run_block(&problem, &mut store, iters, &mut t);
         assert_eq!(t.iterations, iters);
         store.z[0]
+    }
+
+    #[test]
+    fn request_group_adapter_matches_solo_requests() {
+        use crate::request::SolveRequest;
+        let backend: crate::BackendSpec = "fleet:2".parse().unwrap();
+        let outcomes = FleetSolver::solve_requests(
+            mixed_instances()
+                .into_iter()
+                .map(|p| SolveRequest::new(p).with_backend(backend))
+                .collect(),
+        );
+        assert_eq!(outcomes.len(), 3);
+        for (i, problem) in mixed_instances().into_iter().enumerate() {
+            let solo = SolveRequest::new(problem).solve();
+            assert_eq!(outcomes[i].iterations, solo.iterations, "instance {i}");
+            assert_eq!(outcomes[i].store.z, solo.store.z, "instance {i}");
+        }
     }
 
     #[test]

@@ -70,10 +70,12 @@ pub mod kernels;
 pub mod naive;
 pub mod plan;
 pub mod problem;
+pub mod request;
 pub mod residuals;
 pub mod scheduler;
 pub mod sharded;
 pub mod solver;
+pub mod spec;
 pub mod timing;
 pub mod twa;
 
@@ -92,9 +94,11 @@ pub use kernels::{kernel_dispatch, set_kernel_dispatch, KernelDispatch, UpdateKi
 pub use paradmm_prox::{ProxCtx, ProxOp};
 pub use plan::{Pass, PassKind, PassSpace, PlanError, Planner, SweepPlan};
 pub use problem::AdmmProblem;
+pub use request::{Priority, SolveOutcome, SolveRequest, SolveRequestParts};
 pub use residuals::{Residuals, StoppingCriteria};
 pub use scheduler::Scheduler;
 pub use sharded::ShardedBackend;
 pub use solver::{Solver, SolverOptions, SolverReport, StopReason};
+pub use spec::{BackendSpec, ParseBackendSpecError, BACKEND_FAMILIES};
 pub use timing::{SweepCosts, UpdateTimings};
 pub use twa::{TwaWeights, WeightClass};

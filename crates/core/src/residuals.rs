@@ -82,7 +82,7 @@ impl Residuals {
 }
 
 /// When to stop iterating.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StoppingCriteria {
     /// Hard iteration cap.
     pub max_iters: usize,

@@ -240,6 +240,25 @@ impl<B: SweepExecutor + ?Sized> Solver<B> {
     /// Runs at most `max_iters` iterations, checking the configured
     /// stopping criteria every `check_every` iterations.
     pub fn run(&mut self, max_iters: usize) -> SolverReport {
+        self.run_impl(max_iters, None)
+    }
+
+    /// Like [`Solver::run`], additionally appending `(iteration,
+    /// residuals)` to `trace` at every convergence check — the residual
+    /// trace a [`crate::SolveOutcome`] carries.
+    pub fn run_traced(
+        &mut self,
+        max_iters: usize,
+        trace: &mut Vec<(usize, Residuals)>,
+    ) -> SolverReport {
+        self.run_impl(max_iters, Some(trace))
+    }
+
+    fn run_impl(
+        &mut self,
+        max_iters: usize,
+        mut trace: Option<&mut Vec<(usize, Residuals)>>,
+    ) -> SolverReport {
         let stopping = self.options.stopping;
         let check_every = stopping.check_every;
         let n_components = self.problem.graph().num_edges() * self.problem.graph().dims();
@@ -261,6 +280,9 @@ impl<B: SweepExecutor + ?Sized> Solver<B> {
             if check_every != usize::MAX {
                 let r = self.residuals();
                 let conv = r.converged(n_components, stopping.eps_abs, stopping.eps_rel);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push((done, r));
+                }
                 final_residuals = Some(r);
                 if conv {
                     stop_reason = StopReason::Converged;
@@ -280,6 +302,13 @@ impl<B: SweepExecutor + ?Sized> Solver<B> {
     /// Runs with the options' own `max_iters` budget.
     pub fn run_default(&mut self) -> SolverReport {
         self.run(self.options.stopping.max_iters)
+    }
+
+    /// Consumes the solver and returns the final ADMM state without
+    /// copying it — how [`crate::SolveRequest::solve`] hands the state
+    /// to its [`crate::SolveOutcome`].
+    pub fn into_store(self) -> VarStore {
+        self.store
     }
 
     /// Serializes the full ADMM state (x, m, u, n, z) into a byte buffer

@@ -1,0 +1,338 @@
+//! Parseable backend descriptor: the string form of the execution
+//! strategy.
+//!
+//! The legacy [`Scheduler`] enum is a fine in-process descriptor but has
+//! no canonical text form, so every binary that took a `--backend` flag
+//! grew its own ad-hoc `match` over strings (and `compare.rs` grew a
+//! special case to strip `auto:<pick>` suffixes out of bench labels).
+//! [`BackendSpec`] replaces all of that with one `FromStr`/`Display`
+//! roundtrip:
+//!
+//! ```text
+//! serial | rayon[:N] | barrier[:N] | async[:N] | worksteal[:N]
+//!        | sharded[:N] | fleet[:N] | auto[:N]
+//! ```
+//!
+//! An omitted `:N` means "backend default" (rayon's global pool, or the
+//! host's available parallelism), and `Display` preserves the omission,
+//! so `parse ∘ to_string` is the identity. The legacy bench-label form
+//! `auto:<backend-name>` (an [`crate::AutoBackend`] that recorded its
+//! pick) also parses, canonicalizing to plain `auto` — that is the
+//! special case this type absorbs from `compare.rs`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::backend::SweepExecutor;
+use crate::scheduler::Scheduler;
+
+/// Worker-count used when a spec omits `:N` and the backend needs a
+/// concrete count.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+}
+
+/// Parseable descriptor of the built-in execution backends — the
+/// [`Scheduler`] family with a stable text form. See the module docs
+/// for the grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendSpec {
+    /// [`crate::SerialBackend`].
+    #[default]
+    Serial,
+    /// [`crate::RayonBackend`]; `None` = rayon's global pool.
+    Rayon {
+        /// Worker count, `None` = the global pool.
+        threads: Option<usize>,
+    },
+    /// [`crate::BarrierBackend`].
+    Barrier {
+        /// Worker count, `None` = available parallelism.
+        threads: Option<usize>,
+    },
+    /// [`crate::AsyncBackend`] (convergent, not bit-identical).
+    Async {
+        /// Worker count, `None` = available parallelism.
+        threads: Option<usize>,
+    },
+    /// [`crate::WorkStealingBackend`].
+    WorkSteal {
+        /// Worker count, `None` = available parallelism.
+        threads: Option<usize>,
+    },
+    /// [`crate::ShardedBackend`].
+    Sharded {
+        /// Shard count, `None` = available parallelism.
+        parts: Option<usize>,
+    },
+    /// [`crate::FleetBackend`].
+    Fleet {
+        /// Worker count, `None` = available parallelism.
+        threads: Option<usize>,
+    },
+    /// [`crate::AutoBackend`] probe-and-lock selection.
+    Auto {
+        /// Worker count handed to the parallel candidates, `None` =
+        /// available parallelism.
+        threads: Option<usize>,
+    },
+}
+
+/// The family names [`BackendSpec`] parses, in declaration order.
+pub const BACKEND_FAMILIES: [&str; 8] = [
+    "serial",
+    "rayon",
+    "barrier",
+    "async",
+    "worksteal",
+    "sharded",
+    "fleet",
+    "auto",
+];
+
+impl BackendSpec {
+    /// The spec's family name — the text form without any `:N` suffix.
+    pub fn family(&self) -> &'static str {
+        match self {
+            BackendSpec::Serial => "serial",
+            BackendSpec::Rayon { .. } => "rayon",
+            BackendSpec::Barrier { .. } => "barrier",
+            BackendSpec::Async { .. } => "async",
+            BackendSpec::WorkSteal { .. } => "worksteal",
+            BackendSpec::Sharded { .. } => "sharded",
+            BackendSpec::Fleet { .. } => "fleet",
+            BackendSpec::Auto { .. } => "auto",
+        }
+    }
+
+    /// The explicit worker/shard count, if one was given.
+    pub fn count(&self) -> Option<usize> {
+        match *self {
+            BackendSpec::Serial => None,
+            BackendSpec::Rayon { threads }
+            | BackendSpec::Barrier { threads }
+            | BackendSpec::Async { threads }
+            | BackendSpec::WorkSteal { threads }
+            | BackendSpec::Fleet { threads }
+            | BackendSpec::Auto { threads } => threads,
+            BackendSpec::Sharded { parts } => parts,
+        }
+    }
+
+    /// Resolves the spec to the legacy [`Scheduler`] descriptor,
+    /// substituting the host's available parallelism for an omitted
+    /// count (except `rayon`, whose `None` means the global pool).
+    pub fn to_scheduler(&self) -> Scheduler {
+        let n = |t: Option<usize>| t.unwrap_or_else(default_threads);
+        match *self {
+            BackendSpec::Serial => Scheduler::Serial,
+            BackendSpec::Rayon { threads } => Scheduler::Rayon { threads },
+            BackendSpec::Barrier { threads } => Scheduler::Barrier {
+                threads: n(threads),
+            },
+            BackendSpec::Async { threads } => Scheduler::Async {
+                threads: n(threads),
+            },
+            BackendSpec::WorkSteal { threads } => Scheduler::WorkSteal {
+                threads: n(threads),
+            },
+            BackendSpec::Sharded { parts } => Scheduler::Sharded { parts: n(parts) },
+            BackendSpec::Fleet { threads } => Scheduler::Fleet {
+                threads: n(threads),
+            },
+            BackendSpec::Auto { threads } => Scheduler::Auto {
+                threads: n(threads),
+            },
+        }
+    }
+
+    /// Constructs the backend this spec names.
+    pub fn to_backend(&self) -> Box<dyn SweepExecutor> {
+        self.to_scheduler().to_backend()
+    }
+}
+
+impl From<Scheduler> for BackendSpec {
+    fn from(s: Scheduler) -> Self {
+        match s {
+            Scheduler::Serial => BackendSpec::Serial,
+            Scheduler::Rayon { threads } => BackendSpec::Rayon { threads },
+            Scheduler::Barrier { threads } => BackendSpec::Barrier {
+                threads: Some(threads),
+            },
+            Scheduler::Async { threads } => BackendSpec::Async {
+                threads: Some(threads),
+            },
+            Scheduler::WorkSteal { threads } => BackendSpec::WorkSteal {
+                threads: Some(threads),
+            },
+            Scheduler::Sharded { parts } => BackendSpec::Sharded { parts: Some(parts) },
+            Scheduler::Fleet { threads } => BackendSpec::Fleet {
+                threads: Some(threads),
+            },
+            Scheduler::Auto { threads } => BackendSpec::Auto {
+                threads: Some(threads),
+            },
+        }
+    }
+}
+
+impl fmt::Display for BackendSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.count() {
+            Some(n) => write!(f, "{}:{n}", self.family()),
+            None => f.write_str(self.family()),
+        }
+    }
+}
+
+/// Error from parsing a [`BackendSpec`] string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendSpecError {
+    input: String,
+}
+
+impl fmt::Display for ParseBackendSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown backend spec {:?}; expected one of {} with an optional :N worker count",
+            self.input,
+            BACKEND_FAMILIES.join(" | "),
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendSpecError {}
+
+impl FromStr for BackendSpec {
+    type Err = ParseBackendSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseBackendSpecError { input: s.into() };
+        let (family, arg) = match s.split_once(':') {
+            Some((f, a)) => (f, Some(a)),
+            None => (s, None),
+        };
+        let count = match arg {
+            None => None,
+            Some(a) => match a.parse::<usize>() {
+                Ok(n) if n >= 1 => Some(n),
+                // The legacy recorded-pick label `auto:<backend>` from
+                // AutoBackend bench rows: canonicalize to plain auto.
+                _ if family == "auto" && BACKEND_FAMILIES.contains(&a) => {
+                    return Ok(BackendSpec::Auto { threads: None });
+                }
+                _ => return Err(err()),
+            },
+        };
+        match family {
+            "serial" if count.is_none() => Ok(BackendSpec::Serial),
+            "rayon" => Ok(BackendSpec::Rayon { threads: count }),
+            "barrier" => Ok(BackendSpec::Barrier { threads: count }),
+            "async" => Ok(BackendSpec::Async { threads: count }),
+            "worksteal" => Ok(BackendSpec::WorkSteal { threads: count }),
+            "sharded" => Ok(BackendSpec::Sharded { parts: count }),
+            "fleet" => Ok(BackendSpec::Fleet { threads: count }),
+            "auto" => Ok(BackendSpec::Auto { threads: count }),
+            _ => Err(err()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let specs = [
+            BackendSpec::Serial,
+            BackendSpec::Rayon { threads: None },
+            BackendSpec::Rayon { threads: Some(4) },
+            BackendSpec::Barrier { threads: Some(2) },
+            BackendSpec::Async { threads: None },
+            BackendSpec::WorkSteal { threads: Some(8) },
+            BackendSpec::Sharded { parts: Some(3) },
+            BackendSpec::Fleet { threads: None },
+            BackendSpec::Auto { threads: Some(2) },
+        ];
+        for spec in specs {
+            let text = spec.to_string();
+            assert_eq!(text.parse::<BackendSpec>().unwrap(), spec, "{text}");
+        }
+    }
+
+    #[test]
+    fn every_family_name_parses_bare() {
+        for family in BACKEND_FAMILIES {
+            let spec: BackendSpec = family.parse().unwrap();
+            assert_eq!(spec.family(), family);
+            assert_eq!(spec.count(), None);
+            assert_eq!(spec.to_string(), family);
+        }
+    }
+
+    #[test]
+    fn legacy_auto_pick_labels_canonicalize() {
+        for label in ["auto:serial", "auto:worksteal", "auto:fleet"] {
+            assert_eq!(
+                label.parse::<BackendSpec>().unwrap(),
+                BackendSpec::Auto { threads: None },
+                "{label}"
+            );
+        }
+    }
+
+    #[test]
+    fn junk_rejected() {
+        for junk in [
+            "",
+            "gpu",
+            "serial:2",
+            "worksteal:0",
+            "worksteal:two",
+            "rayon:-1",
+            "auto:warp",
+            "fleet[2t]",
+            "batched[worksteal]",
+        ] {
+            assert!(junk.parse::<BackendSpec>().is_err(), "{junk:?}");
+        }
+    }
+
+    #[test]
+    fn resolves_to_matching_scheduler_and_backend() {
+        assert_eq!(
+            "worksteal:3".parse::<BackendSpec>().unwrap().to_scheduler(),
+            Scheduler::WorkSteal { threads: 3 }
+        );
+        assert_eq!(
+            "rayon".parse::<BackendSpec>().unwrap().to_scheduler(),
+            Scheduler::Rayon { threads: None }
+        );
+        for family in BACKEND_FAMILIES {
+            let spec: BackendSpec = family.parse().unwrap();
+            assert_eq!(spec.to_backend().name(), family);
+        }
+    }
+
+    #[test]
+    fn scheduler_conversion_roundtrips_family() {
+        for scheduler in [
+            Scheduler::Serial,
+            Scheduler::Rayon { threads: Some(2) },
+            Scheduler::Barrier { threads: 2 },
+            Scheduler::Async { threads: 2 },
+            Scheduler::WorkSteal { threads: 2 },
+            Scheduler::Sharded { parts: 2 },
+            Scheduler::Fleet { threads: 2 },
+            Scheduler::Auto { threads: 2 },
+        ] {
+            let spec = BackendSpec::from(scheduler);
+            assert_eq!(spec.to_scheduler(), scheduler);
+        }
+    }
+}

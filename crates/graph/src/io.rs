@@ -209,6 +209,130 @@ pub fn decode_store(mut buf: &[u8], graph: &FactorGraph) -> Result<VarStore, IoE
     Ok(store)
 }
 
+/// Largest frame payload [`read_frame`] will accept (64 MiB). A
+/// length prefix beyond this is rejected before any allocation — a
+/// corrupt or hostile 4-byte header must not OOM the server.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Frame-level transport errors for the length-prefixed stream codec.
+///
+/// Unlike [`IoError`] this wraps [`std::io::Error`] (sockets fail in
+/// ways in-memory buffers cannot), so it is not `Clone`/`PartialEq`.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying reader/writer failed.
+    Io(std::io::Error),
+    /// The length prefix exceeded [`MAX_FRAME_LEN`].
+    Oversized(usize),
+    /// The stream ended mid-frame (after a partial prefix or payload).
+    Truncated,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame transport error: {e}"),
+            FrameError::Oversized(n) => {
+                write!(f, "frame length {n} exceeds cap {MAX_FRAME_LEN}")
+            }
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one `u32`-LE length-prefixed frame.
+pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> Result<(), FrameError> {
+    assert!(payload.len() <= MAX_FRAME_LEN, "frame payload exceeds cap");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF
+/// at a frame boundary (the peer closed between frames); EOF after a
+/// partial prefix or payload is [`FrameError::Truncated`]; a prefix
+/// beyond [`MAX_FRAME_LEN`] is rejected before allocating.
+pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < prefix.len() {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Some(payload))
+}
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    // FNV-1a 64-bit: deterministic across runs and platforms, which is
+    // what lets a warm-start cache key survive a server restart.
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Deterministic 64-bit fingerprint of a problem's shape and weights:
+/// `dims`, variable count, factor offsets, edge targets, and the ρ/α
+/// vectors bit-for-bit — the same identity [`crate::shard`]'s rebuild
+/// detection compares field-by-field, folded into one key. Two problems
+/// share a fingerprint iff a state vector shaped (and scaled) for one
+/// is exactly meaningful for the other, which is what makes this the
+/// warm-start cache key for repeated or drifting workloads.
+pub fn problem_fingerprint(graph: &FactorGraph, params: &EdgeParams) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+    for dim in [
+        graph.dims() as u64,
+        graph.num_vars() as u64,
+        graph.num_factors() as u64,
+        graph.num_edges() as u64,
+    ] {
+        fnv1a(&mut h, &dim.to_le_bytes());
+    }
+    for a in graph.factors() {
+        fnv1a(
+            &mut h,
+            &(graph.factor_edge_range(a).start as u32).to_le_bytes(),
+        );
+    }
+    for e in graph.edges() {
+        fnv1a(&mut h, &graph.edge_var(e).0.to_le_bytes());
+    }
+    for &r in &params.rho {
+        fnv1a(&mut h, &r.to_bits().to_le_bytes());
+    }
+    for &a in &params.alpha {
+        fnv1a(&mut h, &a.to_bits().to_le_bytes());
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +489,68 @@ mod tests {
             decode_partition(&buf, &g2),
             Err(IoError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn frame_roundtrip_multiple_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"first").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"third frame").unwrap();
+        let mut r: &[u8] = &wire;
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"third frame");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn frame_truncation_rejected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        // Cut inside the prefix and inside the payload: both must fail
+        // (not report clean EOF); a cut at zero is the clean EOF.
+        for cut in [1usize, 3, 4, wire.len() - 1] {
+            let mut r: &[u8] = &wire[..cut];
+            assert!(
+                matches!(read_frame(&mut r), Err(FrameError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_oversized_length_rejected_without_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_le_bytes());
+        let mut r: &[u8] = &wire;
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::Oversized(n)) if n == MAX_FRAME_LEN + 1
+        ));
+    }
+
+    #[test]
+    fn fingerprint_keys_shape_and_weights() {
+        let g = sample();
+        let p = EdgeParams::uniform(&g, 2.0, 0.7);
+        let base = problem_fingerprint(&g, &p);
+        assert_eq!(base, problem_fingerprint(&g, &p), "deterministic");
+
+        // Same shape, different weights → different key.
+        let mut p2 = EdgeParams::uniform(&g, 2.0, 0.7);
+        p2.rho[0] = 3.0;
+        assert_ne!(base, problem_fingerprint(&g, &p2));
+
+        // Different wiring, same counts → different key.
+        let mut b = GraphBuilder::new(3);
+        let vs = b.add_vars(4);
+        b.add_factor(&[vs[0], vs[1], vs[3]]); // vs[3] instead of vs[2]
+        b.add_factor(&[vs[1], vs[3]]);
+        b.add_factor(&[vs[3]]);
+        let g2 = b.build();
+        let p3 = EdgeParams::uniform(&g2, 2.0, 0.7);
+        assert_ne!(base, problem_fingerprint(&g2, &p3));
     }
 
     #[test]

@@ -35,6 +35,9 @@ impl ProxOp for ConsensusEqualityProx {
     fn name(&self) -> &'static str {
         "consensus"
     }
+    fn spec(&self) -> Option<crate::ProxSpec> {
+        Some(crate::ProxSpec::Consensus)
+    }
 }
 
 /// Indicator of the affine set `{s : M s = c}` over the factor's flattened
@@ -88,6 +91,14 @@ impl ProxOp for AffineEqualityProx {
     }
     fn name(&self) -> &'static str {
         "affine-eq"
+    }
+    fn spec(&self) -> Option<crate::ProxSpec> {
+        Some(crate::ProxSpec::AffineEquality {
+            rows: self.m.rows(),
+            cols: self.m.cols(),
+            data: self.m.as_slice().to_vec(),
+            c: self.c.clone(),
+        })
     }
 }
 

@@ -24,6 +24,7 @@ pub mod halfspace;
 pub mod numeric;
 pub mod projections;
 pub mod simple;
+pub mod spec;
 pub mod testing;
 
 pub use ctx::ProxCtx;
@@ -34,6 +35,7 @@ pub use projections::{
     max_assignment, project_simplex, NormBallProx, PermutationProx, SimplexProx,
 };
 pub use simple::{BoxProx, L1Prox, LinearProx, QuadraticProx, SemiLassoProx, ZeroProx};
+pub use spec::{specs_for, ProxSpec};
 
 /// A proximal operator: the serial kernel executed by one GPU thread / CPU
 /// core during the x-update.
@@ -60,6 +62,15 @@ pub trait ProxOp: Send + Sync {
     fn name(&self) -> &'static str {
         "prox"
     }
+
+    /// Serializable description of this operator, if its state is pure
+    /// data — what lets a solve request cross a process boundary (the
+    /// serving wire protocol). Operators holding closures or other
+    /// non-serializable state keep the default `None` and cannot be
+    /// sent over the wire. See [`spec::ProxSpec`].
+    fn spec(&self) -> Option<ProxSpec> {
+        None
+    }
 }
 
 impl<T: ProxOp + ?Sized> ProxOp for Box<T> {
@@ -71,5 +82,8 @@ impl<T: ProxOp + ?Sized> ProxOp for Box<T> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn spec(&self) -> Option<ProxSpec> {
+        (**self).spec()
     }
 }

@@ -12,6 +12,9 @@ impl ProxOp for ZeroProx {
     fn prox(&self, ctx: &mut ProxCtx<'_>) {
         ctx.copy_n_to_x();
     }
+    fn spec(&self) -> Option<crate::ProxSpec> {
+        Some(crate::ProxSpec::Zero)
+    }
     fn cost_estimate(&self, degree: usize, dims: usize) -> f64 {
         (degree * dims) as f64
     }
@@ -48,6 +51,9 @@ impl ProxOp for LinearProx {
     }
     fn name(&self) -> &'static str {
         "linear"
+    }
+    fn spec(&self) -> Option<crate::ProxSpec> {
+        Some(crate::ProxSpec::Linear { g: self.g.clone() })
     }
 }
 
@@ -102,6 +108,12 @@ impl ProxOp for QuadraticProx {
     fn name(&self) -> &'static str {
         "quadratic"
     }
+    fn spec(&self) -> Option<crate::ProxSpec> {
+        Some(crate::ProxSpec::Quadratic {
+            q: self.q.clone(),
+            g: self.g.clone(),
+        })
+    }
 }
 
 /// Indicator of the box `[lo, hi]` applied component-wise: `x = clamp(n)`.
@@ -132,6 +144,12 @@ impl ProxOp for BoxProx {
     }
     fn name(&self) -> &'static str {
         "box"
+    }
+    fn spec(&self) -> Option<crate::ProxSpec> {
+        Some(crate::ProxSpec::Box {
+            lo: self.lo,
+            hi: self.hi,
+        })
     }
 }
 
@@ -166,6 +184,11 @@ impl ProxOp for L1Prox {
     fn name(&self) -> &'static str {
         "l1"
     }
+    fn spec(&self) -> Option<crate::ProxSpec> {
+        Some(crate::ProxSpec::L1 {
+            lambda: self.lambda,
+        })
+    }
 }
 
 /// The paper's *minimal-error* SVM operator (Appendix C-1, eq. 4–5):
@@ -197,6 +220,11 @@ impl ProxOp for SemiLassoProx {
     }
     fn name(&self) -> &'static str {
         "semi-lasso"
+    }
+    fn spec(&self) -> Option<crate::ProxSpec> {
+        Some(crate::ProxSpec::SemiLasso {
+            lambda: self.lambda,
+        })
     }
 }
 

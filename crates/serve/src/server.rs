@@ -1,0 +1,248 @@
+//! The TCP solve server: an accept loop, per-connection reader/writer
+//! threads, and one engine thread running the continuous-batching
+//! [`Engine`].
+//!
+//! Connection readers decode request frames in parallel and push them
+//! into a shared inbox; the engine thread drains the inbox *between
+//! every scheduling step*, which is what lets a request arriving
+//! mid-solve join the running batch at the next repack boundary.
+//! Responses are routed back through per-connection writer channels, so
+//! slow clients never block the engine.
+
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use paradmm_graph::io::{read_frame, write_frame, FrameError};
+
+use crate::engine::{Completion, Engine, EngineConfig, EngineRequest};
+use crate::protocol::{decode_request, encode_response, ServedOutcome};
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerConfig {
+    /// Engine tuning (mode, backend, batch size, cache).
+    pub engine: EngineConfig,
+}
+
+/// How long blocked connection reads wait before re-checking the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// A decoded request plus the channel its response goes back on.
+struct InboxItem {
+    wire_id: u64,
+    use_cache: bool,
+    request: paradmm_core::SolveRequest,
+    respond: Sender<Vec<u8>>,
+}
+
+struct Shared {
+    inbox: Mutex<Vec<InboxItem>>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A running solve server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] leaves the server threads running for
+/// the life of the process.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    engine: Option<JoinHandle<Engine>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// Binds `addr` (use port 0 for an ephemeral port) and spawns the
+    /// accept loop plus the engine thread.
+    pub fn spawn(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            inbox: Mutex::new(Vec::new()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let readers = Arc::new(Mutex::new(Vec::new()));
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let readers = Arc::clone(&readers);
+            std::thread::spawn(move || accept_loop(listener, shared, readers))
+        };
+        let engine = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || engine_loop(config.engine, shared))
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            engine: Some(engine),
+            readers,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the engine, joins every thread, and
+    /// returns the final [`Engine`] (its stats and cache are useful to
+    /// callers that want serving telemetry).
+    pub fn shutdown(mut self) -> Engine {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let engine = self
+            .engine
+            .take()
+            .expect("engine joined once")
+            .join()
+            .expect("engine thread does not panic");
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut self.readers.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        engine
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || connection_loop(stream, shared));
+        readers.lock().unwrap().push(handle);
+    }
+}
+
+/// Reads frames off one connection, decoding and enqueueing each
+/// request; a paired writer thread drains the response channel.
+fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = channel::<Vec<u8>>();
+    let writer = std::thread::spawn(move || {
+        let mut stream = write_half;
+        for frame in rx {
+            if write_frame(&mut stream, &frame).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut stream = stream;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match read_frame(&mut stream) {
+            Ok(Some(payload)) => match decode_request(&payload) {
+                Ok(decoded) => {
+                    let item = InboxItem {
+                        wire_id: decoded.id,
+                        use_cache: decoded.use_cache,
+                        request: decoded.request,
+                        respond: tx.clone(),
+                    };
+                    shared.inbox.lock().unwrap().push(item);
+                    shared.wake.notify_all();
+                }
+                Err(e) => {
+                    // The frame was well-delimited but undecodable:
+                    // report and keep the connection (the stream is
+                    // still frame-aligned).
+                    let frame = encode_response(u64::MAX, &Err(format!("bad request: {e}")));
+                    let _ = tx.send(frame);
+                }
+            },
+            Ok(None) => break, // clean disconnect
+            Err(FrameError::Io(e))
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                continue; // poll the shutdown flag
+            }
+            Err(_) => break, // torn frame or transport error
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// The engine thread: drain the inbox, step the engine, send
+/// completions — repeat. Draining *between* steps is the continuous
+/// part of continuous batching.
+fn engine_loop(config: EngineConfig, shared: Arc<Shared>) -> Engine {
+    let mut engine = Engine::new(config);
+    // Engine-scoped unique ids: wire ids are client-chosen and can
+    // collide across connections.
+    let mut next_internal: u64 = 0;
+    let mut routes: HashMap<u64, (u64, Sender<Vec<u8>>)> = HashMap::new();
+
+    loop {
+        let drained: Vec<InboxItem> = {
+            let mut inbox = shared.inbox.lock().unwrap();
+            while inbox.is_empty() && engine.is_idle() && !shared.shutdown.load(Ordering::SeqCst) {
+                inbox = shared.wake.wait(inbox).unwrap();
+            }
+            std::mem::take(&mut *inbox)
+        };
+        if drained.is_empty() && engine.is_idle() && shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        for item in drained {
+            next_internal += 1;
+            routes.insert(next_internal, (item.wire_id, item.respond));
+            engine.submit(EngineRequest {
+                id: next_internal,
+                request: item.request,
+                use_cache: item.use_cache,
+            });
+        }
+        for completion in engine.step() {
+            let Completion {
+                id,
+                outcome,
+                lane,
+                warm_started,
+            } = completion;
+            let Some((wire_id, respond)) = routes.remove(&id) else {
+                continue;
+            };
+            let served = ServedOutcome {
+                store: outcome.store,
+                iterations: outcome.iterations,
+                stop_reason: outcome.stop_reason,
+                final_residuals: outcome.final_residuals,
+                elapsed: outcome.elapsed,
+                lane,
+                warm_started,
+            };
+            // A send error just means the client went away.
+            let _ = respond.send(encode_response(wire_id, &Ok(served)));
+        }
+    }
+    engine
+}

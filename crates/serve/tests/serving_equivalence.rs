@@ -1,0 +1,207 @@
+//! End-to-end serving equivalence: requests served over TCP through the
+//! continuous-batching engine produce bit-identical results to solo
+//! [`paradmm_core::Solver`] runs — including requests that join the
+//! fused batch mid-flight and requests seeded from the warm-start
+//! cache.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use paradmm_core::{AdmmProblem, StopReason, StoppingCriteria};
+use paradmm_graph::io::{read_frame, write_frame};
+use paradmm_graph::GraphBuilder;
+use paradmm_prox::{ProxOp, QuadraticProx};
+use paradmm_serve::protocol::{decode_response, encode_request};
+use paradmm_serve::{Lane, ServeClient, ServerConfig, ServerHandle, SolveRequest};
+
+/// Consensus of `targets.len()` quadratics over one variable; the
+/// optimum is the mean of the targets.
+fn consensus_rho(dims: usize, targets: &[f64], rho: f64) -> AdmmProblem {
+    let mut b = GraphBuilder::new(dims);
+    let v = b.add_var();
+    let mut proxes: Vec<Box<dyn ProxOp>> = Vec::new();
+    for &t in targets {
+        b.add_factor(&[v]);
+        let target: Vec<f64> = (0..dims).map(|c| t + c as f64).collect();
+        proxes.push(Box::new(QuadraticProx::isotropic(dims, 2.0, &target)));
+    }
+    AdmmProblem::new(b.build(), proxes, rho, 1.0)
+}
+
+fn consensus(dims: usize, targets: &[f64]) -> AdmmProblem {
+    consensus_rho(dims, targets, 1.0)
+}
+
+fn request(dims: usize, targets: &[f64], stopping: StoppingCriteria) -> SolveRequest {
+    SolveRequest::new(consensus(dims, targets)).with_stopping(stopping)
+}
+
+/// A request that genuinely exhausts its whole iteration budget: a tiny
+/// ρ makes consensus averaging extremely slow, so zero tolerances are
+/// never met and the solve runs for `max_iters` wall-clock-visible
+/// iterations.
+fn slow_request(targets: &[f64], stopping: StoppingCriteria) -> SolveRequest {
+    SolveRequest::new(consensus_rho(1, targets, 0.001)).with_stopping(stopping)
+}
+
+fn tight() -> StoppingCriteria {
+    StoppingCriteria {
+        max_iters: 2000,
+        eps_abs: 1e-10,
+        eps_rel: 1e-9,
+        check_every: 10,
+    }
+}
+
+#[test]
+fn served_stream_matches_solo_over_tcp() {
+    let server = ServerHandle::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    // Pipeline every submission before reading a single response.
+    let workloads: Vec<&[f64]> = vec![
+        &[1.0, 5.0, 9.0],
+        &[2.0, 4.0],
+        &[-3.0, 0.0, 3.0, 6.0],
+        &[7.0],
+    ];
+    let ids: Vec<u64> = workloads
+        .iter()
+        .map(|t| client.submit(&request(2, t, tight()), false).unwrap())
+        .collect();
+    assert_eq!(client.in_flight(), workloads.len());
+
+    for (id, t) in ids.iter().zip(&workloads) {
+        let served = client.recv(*id).unwrap();
+        let reference = request(2, t, tight()).solve();
+        assert_eq!(served.iterations, reference.iterations, "id {id}");
+        assert_eq!(served.stop_reason, reference.stop_reason, "id {id}");
+        assert_eq!(served.store.x, reference.store.x, "id {id}");
+        assert_eq!(served.store.z, reference.store.z, "id {id}");
+        assert_eq!(served.store.u, reference.store.u, "id {id}");
+        assert_eq!(served.store.n, reference.store.n, "id {id}");
+        let (a, b) = (
+            served.final_residuals.unwrap(),
+            reference.final_residuals.unwrap(),
+        );
+        assert_eq!(a.primal, b.primal, "id {id}");
+        assert_eq!(a.dual, b.dual, "id {id}");
+    }
+    assert_eq!(client.in_flight(), 0);
+
+    let engine = server.shutdown();
+    assert_eq!(engine.stats().completed, workloads.len() as u64);
+    assert!(engine.stats().batch_served >= 1);
+}
+
+#[test]
+fn mid_flight_join_over_tcp_stays_bit_identical() {
+    let server = ServerHandle::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    // A long fixed-budget request with frequent repack boundaries: zero
+    // tolerances force the full budget, check_every bounds each fused
+    // block so the engine keeps draining its inbox while it runs.
+    let long = StoppingCriteria {
+        max_iters: 100_000,
+        eps_abs: 0.0,
+        eps_rel: 0.0,
+        check_every: 25,
+    };
+    let id1 = client
+        .submit(&slow_request(&[1.0, 5.0, 9.0], long), false)
+        .unwrap();
+    // Give the engine time to admit the first request and start
+    // stepping, so the second genuinely arrives mid-flight (the slow
+    // request runs for tens of milliseconds even in release builds).
+    std::thread::sleep(Duration::from_millis(10));
+    let id2 = client
+        .submit(&request(1, &[2.0, 4.0], tight()), false)
+        .unwrap();
+
+    let served2 = client.recv(id2).unwrap();
+    let served1 = client.recv(id1).unwrap();
+
+    let ref1 = slow_request(&[1.0, 5.0, 9.0], long).solve();
+    let ref2 = request(1, &[2.0, 4.0], tight()).solve();
+    assert_eq!(served1.iterations, ref1.iterations);
+    assert_eq!(served1.stop_reason, StopReason::MaxIterations);
+    assert_eq!(served1.store.z, ref1.store.z);
+    assert_eq!(served1.store.u, ref1.store.u);
+    assert_eq!(served2.iterations, ref2.iterations);
+    assert_eq!(served2.stop_reason, ref2.stop_reason);
+    assert_eq!(served2.store.z, ref2.store.z);
+    assert_eq!(served2.store.u, ref2.store.u);
+    // The short request retired long before the fixed-budget one.
+    assert_eq!(served2.lane, Lane::Batch);
+
+    let engine = server.shutdown();
+    assert!(
+        engine.stats().joins >= 1,
+        "second request joined the running pack (stats: {:?})",
+        engine.stats()
+    );
+}
+
+#[test]
+fn warm_start_cache_round_trip_over_tcp() {
+    let server = ServerHandle::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    let cold = client
+        .solve(&request(1, &[1.0, 5.0, 9.0], tight()), true)
+        .unwrap();
+    assert!(!cold.warm_started);
+    assert_eq!(cold.stop_reason, StopReason::Converged);
+
+    // The identical problem again: seeded from the server-side cache,
+    // same stop reason, and bit-identical to a solo solve given the
+    // same warm start.
+    let warm = client
+        .solve(&request(1, &[1.0, 5.0, 9.0], tight()), true)
+        .unwrap();
+    assert!(warm.warm_started, "resubmission hits the warm-start cache");
+    assert_eq!(warm.stop_reason, StopReason::Converged);
+
+    let reference = request(1, &[1.0, 5.0, 9.0], tight())
+        .with_warm_start(cold.store.clone())
+        .solve();
+    assert_eq!(warm.iterations, reference.iterations);
+    assert_eq!(warm.store.x, reference.store.x);
+    assert_eq!(warm.store.z, reference.store.z);
+    assert_eq!(warm.store.u, reference.store.u);
+
+    let engine = server.shutdown();
+    assert_eq!(engine.stats().cache_hits, 1);
+}
+
+#[test]
+fn undecodable_frame_reports_error_and_keeps_connection() {
+    let server = ServerHandle::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+
+    // A well-delimited frame whose payload is garbage: the server must
+    // report a request-level error, not kill the connection.
+    write_frame(&mut stream, b"this is not a solve request").unwrap();
+    let reply = read_frame(&mut stream).unwrap().expect("error response");
+    let (id, result) = decode_response(&reply, None).unwrap();
+    assert_eq!(id, u64::MAX, "bad-request reports carry the sentinel id");
+    assert!(result.is_err());
+
+    // The same connection still serves valid requests afterwards.
+    let req = request(1, &[3.0, -1.0], tight());
+    let graph = req.problem().graph().clone();
+    let payload = encode_request(42, &req, false).unwrap();
+    write_frame(&mut stream, &payload).unwrap();
+    let reply = read_frame(&mut stream).unwrap().expect("ok response");
+    let (id, result) = decode_response(&reply, Some(&graph)).unwrap();
+    assert_eq!(id, 42);
+    let served = result.unwrap();
+    let reference = request(1, &[3.0, -1.0], tight()).solve();
+    assert_eq!(served.iterations, reference.iterations);
+    assert_eq!(served.store.z, reference.store.z);
+
+    drop(stream);
+    let engine = server.shutdown();
+    assert_eq!(engine.stats().completed, 1);
+}

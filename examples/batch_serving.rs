@@ -11,7 +11,9 @@
 //! the hardware to themselves. Each instance's iterates are
 //! bit-identical to a solo serial solve.
 //!
-//! Run: `cargo run --release --example batch_serving [serial|rayon|barrier|worksteal|sharded|auto]`
+//! Run: `cargo run --release --example batch_serving [backend]` where
+//! `backend` is a `BackendSpec` string (`serial`, `rayon:2`,
+//! `worksteal:4`, `auto`, …); the default is `worksteal:2`.
 
 use std::time::Instant;
 
@@ -37,15 +39,13 @@ fn build_instances(n: usize) -> Vec<(MpcProblem, AdmmProblem)> {
 }
 
 fn main() {
-    let scheduler = match std::env::args().nth(1).as_deref() {
-        None | Some("worksteal") => Scheduler::WorkSteal { threads: 2 },
-        Some("serial") => Scheduler::Serial,
-        Some("rayon") => Scheduler::Rayon { threads: Some(2) },
-        Some("barrier") => Scheduler::Barrier { threads: 2 },
-        Some("sharded") => Scheduler::Sharded { parts: 2 },
-        Some("auto") => Scheduler::Auto { threads: 2 },
-        Some(other) => {
-            eprintln!("unknown backend {other}; try serial|rayon|barrier|worksteal|sharded|auto");
+    let spec = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "worksteal:2".into());
+    let scheduler = match spec.parse::<BackendSpec>() {
+        Ok(spec) => spec.to_scheduler(),
+        Err(e) => {
+            eprintln!("{e}");
             std::process::exit(2);
         }
     };

@@ -4,8 +4,10 @@
 //! Packs N disks into an equilateral triangle by ADMM, prints coverage
 //! and constraint violations, and renders the layout as ASCII art.
 //!
-//! Run: `cargo run --release --example circle_packing [N]
-//! [serial|rayon|barrier|worksteal|sharded|auto]`
+//! Run: `cargo run --release --example circle_packing [N] [backend]`
+//! where `backend` is a `BackendSpec` string: `serial`, `rayon[:N]`,
+//! `barrier[:N]`, `async[:N]`, `worksteal[:N]`, `sharded[:N]`,
+//! `fleet[:N]`, or `auto[:N]`.
 //!
 //! `worksteal` claims chunks of every sweep from a shared atomic work
 //! index; `sharded` splits the factor graph into partition-local stores
@@ -15,28 +17,16 @@
 //! synchronous backends on the actual problem for a few iterations and
 //! locks in the fastest.
 
-use paradmm::core::{
-    AutoBackend, BarrierBackend, RayonBackend, SerialBackend, ShardedBackend, SweepExecutor,
-    WorkStealingBackend,
-};
+use paradmm::core::{BackendSpec, SweepExecutor};
 use paradmm::packing::{PackingConfig, PackingProblem, Polygon};
 
-/// Picks an execution backend by name — any [`SweepExecutor`] drops in.
+/// Picks an execution backend from its [`BackendSpec`] text form
+/// (`serial`, `rayon:4`, `worksteal`, `auto`, …).
 fn backend_by_name(name: &str) -> Box<dyn SweepExecutor> {
-    let threads = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(1);
-    match name {
-        "serial" => Box::new(SerialBackend),
-        "rayon" => Box::new(RayonBackend::new(None)),
-        "barrier" => Box::new(BarrierBackend::new(threads)),
-        "worksteal" => Box::new(WorkStealingBackend::new(threads)),
-        "sharded" => Box::new(ShardedBackend::new(threads)),
-        "auto" => Box::new(AutoBackend::new(threads)),
-        other => {
-            eprintln!(
-                "unknown backend {other}; expected serial | rayon | barrier | worksteal | sharded | auto"
-            );
+    match name.parse::<BackendSpec>() {
+        Ok(spec) => spec.to_backend(),
+        Err(e) => {
+            eprintln!("{e}");
             std::process::exit(2);
         }
     }

@@ -47,17 +47,19 @@ pub use paradmm_linalg as linalg;
 pub use paradmm_mpc as mpc;
 pub use paradmm_packing as packing;
 pub use paradmm_prox as prox;
+pub use paradmm_serve as serve;
 pub use paradmm_sudoku as sudoku;
 pub use paradmm_svm as svm;
 
 /// Convenient glob-import of the most common types.
 pub mod prelude {
     pub use paradmm_core::{
-        kernel_dispatch, set_kernel_dispatch, AdmmProblem, AsyncBackend, AutoBackend,
-        BarrierBackend, BatchReport, BatchSolver, InstanceReport, KernelDispatch, Pass, PassKind,
-        Planner, ProxCtx, ProxOp, RayonBackend, Residuals, Scheduler, SerialBackend,
-        ShardedBackend, Solver, SolverOptions, SolverReport, StopReason, StoppingCriteria,
-        SweepCosts, SweepExecutor, SweepPlan, UpdateKind, UpdateTimings, WorkStealingBackend,
+        kernel_dispatch, set_kernel_dispatch, AdmmProblem, AsyncBackend, AutoBackend, BackendSpec,
+        BarrierBackend, BatchReport, BatchSolver, FleetSolver, InstanceReport, KernelDispatch,
+        Pass, PassKind, Planner, Priority, ProxCtx, ProxOp, RayonBackend, Residuals, Scheduler,
+        SerialBackend, ShardedBackend, SolveOutcome, SolveRequest, Solver, SolverOptions,
+        SolverReport, StopReason, StoppingCriteria, SweepCosts, SweepExecutor, SweepPlan,
+        UpdateKind, UpdateTimings, WorkStealingBackend,
     };
     pub use paradmm_gpusim::GpuSimBackend;
     pub use paradmm_graph::{
