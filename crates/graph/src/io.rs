@@ -260,7 +260,40 @@ pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> Result<(), Fr
 /// at a frame boundary (the peer closed between frames); EOF after a
 /// partial prefix or payload is [`FrameError::Truncated`]; a prefix
 /// beyond [`MAX_FRAME_LEN`] is rejected before allocating.
+///
+/// A `WouldBlock`/`TimedOut` read timeout is surfaced only *between*
+/// frames; once any byte of a frame has been consumed the read is
+/// retried (see [`read_frame_or_cancel`] — this is that function with a
+/// never-firing cancel hook).
 pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>, FrameError> {
+    read_frame_or_cancel(r, || false)
+}
+
+fn is_poll_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// [`read_frame`] for readers with a read timeout used as a poll
+/// interval (the serve loop's shutdown check).
+///
+/// `WouldBlock`/`TimedOut` before the first byte of a frame is returned
+/// to the caller — between frames, a timeout is a harmless poll point
+/// and the stream is still frame-aligned, so the caller may check its
+/// flag and call again. Once any byte of the prefix or payload has been
+/// consumed, the same error triggers a retry instead: aborting
+/// mid-frame would discard the consumed bytes and permanently
+/// desynchronize the stream (later payload bytes would be parsed as
+/// length prefixes). `cancelled` is consulted on each mid-frame
+/// timeout; when it returns `true` the timeout error is surfaced — the
+/// stream is no longer frame-aligned at that point, so the caller must
+/// drop the connection rather than read from it again.
+pub fn read_frame_or_cancel(
+    r: &mut impl std::io::Read,
+    mut cancelled: impl FnMut() -> bool,
+) -> Result<Option<Vec<u8>>, FrameError> {
     let mut prefix = [0u8; 4];
     let mut got = 0;
     while got < prefix.len() {
@@ -269,6 +302,11 @@ pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>, FrameEr
             Ok(0) => return Err(FrameError::Truncated),
             Ok(n) => got += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_poll_timeout(&e) => {
+                if got == 0 || cancelled() {
+                    return Err(e.into());
+                }
+            }
             Err(e) => return Err(e.into()),
         }
     }
@@ -283,6 +321,11 @@ pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>, FrameEr
             Ok(0) => return Err(FrameError::Truncated),
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_poll_timeout(&e) => {
+                if cancelled() {
+                    return Err(e.into());
+                }
+            }
             Err(e) => return Err(e.into()),
         }
     }
@@ -298,13 +341,27 @@ fn fnv1a(hash: &mut u64, bytes: &[u8]) {
     }
 }
 
+/// Folds `bytes` into an in-progress FNV-1a fingerprint — the
+/// extension point for callers that must mix additional identity into
+/// a [`problem_fingerprint`] base (e.g. the serve layer folds each
+/// factor's proximal-operator encoding in, because two problems with
+/// identical structure but different objectives must not share a
+/// warm-start cache key).
+pub fn fingerprint_fold(hash: &mut u64, bytes: &[u8]) {
+    fnv1a(hash, bytes);
+}
+
 /// Deterministic 64-bit fingerprint of a problem's shape and weights:
 /// `dims`, variable count, factor offsets, edge targets, and the ρ/α
 /// vectors bit-for-bit — the same identity [`crate::shard`]'s rebuild
-/// detection compares field-by-field, folded into one key. Two problems
-/// share a fingerprint iff a state vector shaped (and scaled) for one
-/// is exactly meaningful for the other, which is what makes this the
-/// warm-start cache key for repeated or drifting workloads.
+/// detection compares field-by-field, folded into one key.
+///
+/// This hashes *structure only*: the proximal operators (the
+/// objectives) live outside this crate and are not covered, so two
+/// problems sharing a fingerprint are guaranteed shape-compatible but
+/// not equal. Callers keying caches on problem identity must fold the
+/// operator encodings in via [`fingerprint_fold`] (the serve crate's
+/// `request_fingerprint` does exactly that).
 pub fn problem_fingerprint(graph: &FactorGraph, params: &EdgeParams) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
     for dim in [
@@ -517,6 +574,83 @@ mod tests {
                 "cut at {cut}"
             );
         }
+    }
+
+    /// Reader that yields `wire` one byte at a time, erroring with
+    /// `WouldBlock` before every byte — a worst-case slow peer whose
+    /// segments always straddle the poll timeout.
+    struct StallingReader {
+        wire: Vec<u8>,
+        pos: usize,
+        ready: bool,
+    }
+
+    impl std::io::Read for StallingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.ready = false;
+            if self.pos == self.wire.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.wire[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn mid_frame_timeouts_do_not_desync_the_stream() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"slow frame").unwrap();
+        write_frame(&mut wire, b"next").unwrap();
+        let mut r = StallingReader {
+            wire,
+            pos: 0,
+            ready: false,
+        };
+        // The first read of each frame hits WouldBlock with no bytes
+        // consumed: that is the between-frames poll point and must
+        // surface. Every later timeout lands mid-frame and must retry.
+        assert!(matches!(
+            read_frame_or_cancel(&mut r, || false),
+            Err(FrameError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock
+        ));
+        assert_eq!(
+            read_frame_or_cancel(&mut r, || false).unwrap().unwrap(),
+            b"slow frame"
+        );
+        assert!(matches!(
+            read_frame_or_cancel(&mut r, || false),
+            Err(FrameError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock
+        ));
+        assert_eq!(
+            read_frame_or_cancel(&mut r, || false).unwrap().unwrap(),
+            b"next"
+        );
+    }
+
+    #[test]
+    fn mid_frame_cancel_surfaces_the_timeout() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"never finishes").unwrap();
+        let mut r = StallingReader {
+            wire,
+            pos: 0,
+            ready: true, // first byte succeeds, so we are mid-frame
+        };
+        let mut polls = 0u32;
+        let result = read_frame_or_cancel(&mut r, || {
+            polls += 1;
+            polls > 3
+        });
+        assert!(matches!(
+            result,
+            Err(FrameError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock
+        ));
+        assert_eq!(polls, 4, "retried until the cancel hook fired");
     }
 
     #[test]

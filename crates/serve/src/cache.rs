@@ -3,11 +3,14 @@
 //! A serving workload re-submits near-identical problems constantly
 //! (receding-horizon MPC re-solves the same controller every tick). The
 //! cache keys final [`VarStore`]s by
-//! [`paradmm_graph::io::problem_fingerprint`] — a structural hash of
-//! topology plus ρ/α — so an exact re-submission starts from the
-//! previous solution instead of zeros. Warm-starting changes the
-//! *trajectory*, not the contract: a served warm-started run stays
-//! bit-identical to a solo run given the same warm start.
+//! [`crate::protocol::request_fingerprint`] — a hash of topology, ρ/α
+//! *and* each factor's prox-operator encoding — so an exact
+//! re-submission starts from the previous solution instead of zeros,
+//! while a same-shaped problem with a different objective gets its own
+//! key (requests whose operators have no stable encoding are never
+//! cache-keyed at all). Warm-starting changes the *trajectory*, not
+//! the contract: a served warm-started run stays bit-identical to a
+//! solo run given the same warm start.
 
 use std::collections::HashMap;
 

@@ -41,17 +41,17 @@
 //! the same warm start — regardless of who else was in the pack, when
 //! they joined, or which backend executed the fused blocks.
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use paradmm_core::{
     AdmmProblem, BackendSpec, FleetSolver, Priority, Residuals, SolveOutcome, SolveRequest,
     SolverOptions, StopReason, StoppingCriteria, SweepExecutor, SweepPlan, UpdateTimings,
 };
-use paradmm_graph::io::problem_fingerprint;
 use paradmm_graph::{BatchInstance, BatchLayout, BatchStore, EdgeParams, FactorGraph, VarStore};
 use paradmm_prox::ProxOp;
 
 use crate::cache::WarmStartCache;
+use crate::protocol::request_fingerprint;
 
 /// Which execution path served a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,10 +182,17 @@ struct Pending {
     proxes: Vec<Box<dyn ProxOp>>,
     stopping: StoppingCriteria,
     priority: Priority,
-    deadline: Option<Duration>,
+    /// Absolute deadline (admission time + requested budget) — EDF
+    /// ordering must compare these, not raw budgets, or a request that
+    /// has already burned most of its budget waiting sorts behind a
+    /// fresh one with a nominally tighter budget.
+    deadline_at: Option<Instant>,
     warm: Option<VarStore>,
     warm_started: bool,
-    fingerprint: u64,
+    /// Warm-start cache key covering topology, ρ/α *and* the prox
+    /// operators; `None` (closure-backed operator, no stable encoding)
+    /// bypasses the cache entirely.
+    fingerprint: Option<u64>,
     admitted: Instant,
 }
 
@@ -199,7 +206,7 @@ struct Member {
     done: usize,
     final_residuals: Option<Residuals>,
     warm_started: bool,
-    fingerprint: u64,
+    fingerprint: Option<u64>,
     admitted: Instant,
 }
 
@@ -288,12 +295,16 @@ impl Engine {
         } = req;
         let parts = request.into_parts();
         let (graph, proxes, params) = parts.problem.into_parts();
-        let fingerprint = problem_fingerprint(&graph, &params);
+        // Key the cache on the full problem — structure, ρ/α and prox
+        // operators — never on shape alone: two MPC ticks share a
+        // controller but not targets, and one client's solution must
+        // not seed another client's different problem.
+        let fingerprint = request_fingerprint(&graph, &params, &proxes);
         let mut warm = parts.warm_start;
         let mut warm_started = false;
         if warm.is_none() && use_cache {
-            if let Some(cached) = self.cache.get(fingerprint) {
-                // Fingerprints hash structure, they don't prove it;
+            if let Some(cached) = fingerprint.and_then(|fp| self.cache.get(fp)) {
+                // Fingerprints hash the problem, they don't prove it;
                 // verify the shape before seeding.
                 if cached.dims() == graph.dims()
                     && cached.num_edges() == graph.num_edges()
@@ -307,6 +318,7 @@ impl Engine {
         }
         self.seq += 1;
         self.stats.submitted += 1;
+        let admitted = Instant::now();
         self.queue.push(Pending {
             id,
             seq: self.seq,
@@ -315,11 +327,11 @@ impl Engine {
             proxes,
             stopping: parts.stopping,
             priority: parts.priority,
-            deadline: parts.deadline,
+            deadline_at: parts.deadline.and_then(|d| admitted.checked_add(d)),
             warm,
             warm_started,
             fingerprint,
-            admitted: Instant::now(),
+            admitted,
         });
     }
 
@@ -347,15 +359,19 @@ impl Engine {
     }
 
     /// Admission-queue ordering: priority descending, then earliest
-    /// deadline (requests without a deadline sort last), then arrival.
+    /// *absolute* deadline — admission time plus budget, so a request
+    /// that has already waited keeps its urgency (requests without a
+    /// deadline sort last) — then arrival.
     fn sort_queue(&mut self) {
+        use std::cmp::Ordering;
         self.queue.sort_by(|a, b| {
             b.priority
                 .cmp(&a.priority)
-                .then_with(|| {
-                    let da = a.deadline.unwrap_or(Duration::MAX);
-                    let db = b.deadline.unwrap_or(Duration::MAX);
-                    da.cmp(&db)
+                .then_with(|| match (a.deadline_at, b.deadline_at) {
+                    (Some(da), Some(db)) => da.cmp(&db),
+                    (Some(_), None) => Ordering::Less,
+                    (None, Some(_)) => Ordering::Greater,
+                    (None, None) => Ordering::Equal,
                 })
                 .then_with(|| a.seq.cmp(&b.seq))
         });
@@ -383,7 +399,9 @@ impl Engine {
             let report = solver.run_default();
             let store = solver.into_store();
             if report.stop_reason == StopReason::Converged {
-                self.cache.insert(p.fingerprint, store.clone());
+                if let Some(fp) = p.fingerprint {
+                    self.cache.insert(fp, store.clone());
+                }
             }
             self.stats.solo_served += 1;
             completions.push(Completion {
@@ -488,7 +506,7 @@ impl Engine {
                 id: u64,
                 warm: Option<VarStore>,
                 warm_started: bool,
-                fingerprint: u64,
+                fingerprint: Option<u64>,
                 admitted: Instant,
             }
             let mut problems = Vec::with_capacity(round.len());
@@ -515,7 +533,9 @@ impl Engine {
                 let r = &report.instances[i];
                 let store = fleet.store(i).clone();
                 if r.stop_reason == StopReason::Converged {
-                    self.cache.insert(m.fingerprint, store.clone());
+                    if let Some(fp) = m.fingerprint {
+                        self.cache.insert(fp, store.clone());
+                    }
                 }
                 self.stats.fleet_served += 1;
                 completions.push(Completion {
@@ -710,7 +730,9 @@ impl Engine {
             if retired_iter.peek().map(|(p, _)| *p) == Some(pos) {
                 let (_, stop_reason) = *retired_iter.next().expect("peeked");
                 if stop_reason == StopReason::Converged {
-                    self.cache.insert(member.fingerprint, state.clone());
+                    if let Some(fp) = member.fingerprint {
+                        self.cache.insert(fp, state.clone());
+                    }
                 }
                 self.stats.batch_served += 1;
                 completions.push(Completion {
@@ -753,6 +775,7 @@ mod tests {
     use paradmm_core::Solver;
     use paradmm_graph::GraphBuilder;
     use paradmm_prox::QuadraticProx;
+    use std::time::Duration;
 
     /// Consensus of `k` quadratics over one variable (dims
     /// configurable); the optimum is the mean of the targets.
@@ -1008,6 +1031,111 @@ mod tests {
         });
         let third = engine.run_until_idle();
         assert!(!third[0].warm_started);
+    }
+
+    #[test]
+    fn same_shape_different_objective_misses_the_cache() {
+        // The MPC trap: identical topology and ρ/α, different prox
+        // targets. Shape-only fingerprinting would collide here and
+        // leak one problem's solution into the other's trajectory.
+        let mut engine = Engine::new(EngineConfig::default());
+        engine.submit(EngineRequest {
+            id: 1,
+            request: request(1, &[1.0, 5.0], tight()),
+            use_cache: true,
+        });
+        let first = engine.run_until_idle();
+        assert_eq!(first[0].outcome.stop_reason, StopReason::Converged);
+
+        engine.submit(EngineRequest {
+            id: 2,
+            request: request(1, &[2.0, 4.0], tight()),
+            use_cache: true,
+        });
+        let second = engine.run_until_idle();
+        assert!(
+            !second[0].warm_started,
+            "same shape, different targets: no cache hit"
+        );
+        assert_eq!(engine.stats().cache_hits, 0);
+        // And the result is the cold solo reference, untouched by the
+        // cached solution of the other problem.
+        let reference = solo(1, &[2.0, 4.0], tight());
+        assert_eq!(second[0].outcome.iterations, reference.iterations);
+        assert_eq!(second[0].outcome.store.z, reference.store.z);
+
+        // The exact same problem still hits.
+        engine.submit(EngineRequest {
+            id: 3,
+            request: request(1, &[1.0, 5.0], tight()),
+            use_cache: true,
+        });
+        let third = engine.run_until_idle();
+        assert!(third[0].warm_started);
+        assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn closure_prox_requests_bypass_the_cache() {
+        // NumericProx has no ProxSpec, hence no stable identity: the
+        // request must solve fine but never seed or populate the cache.
+        fn numeric_request() -> SolveRequest {
+            let mut b = GraphBuilder::new(1);
+            let v = b.add_var();
+            b.add_factor(&[v]);
+            let proxes: Vec<Box<dyn ProxOp>> = vec![Box::new(
+                paradmm_prox::NumericProx::new(|s: &[f64]| (s[0] - 2.0) * (s[0] - 2.0)),
+            )];
+            SolveRequest::new(AdmmProblem::new(b.build(), proxes, 1.0, 1.0))
+                .with_stopping(tight())
+        }
+        let mut engine = Engine::new(EngineConfig::default());
+        engine.submit(EngineRequest {
+            id: 1,
+            request: numeric_request(),
+            use_cache: true,
+        });
+        let first = engine.run_until_idle();
+        assert_eq!(first.len(), 1);
+        assert!(engine.cache().is_empty(), "no key, nothing cached");
+
+        engine.submit(EngineRequest {
+            id: 2,
+            request: numeric_request(),
+            use_cache: true,
+        });
+        let second = engine.run_until_idle();
+        assert!(!second[0].warm_started);
+        assert_eq!(engine.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn edf_orders_by_absolute_deadline_not_raw_budget() {
+        let config = EngineConfig {
+            mode: ServeMode::Solo,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(config);
+        // Request 1 carries the nominally looser 900ms budget...
+        engine.submit(EngineRequest {
+            id: 1,
+            request: request(1, &[1.0, 5.0], tight()).with_deadline(Duration::from_millis(900)),
+            use_cache: false,
+        });
+        // ...but has been waiting so long that only 50ms of it remain
+        // (simulated by backdating its admission-time deadline).
+        engine.queue[0].deadline_at = Some(Instant::now() + Duration::from_millis(50));
+        engine.submit(EngineRequest {
+            id: 2,
+            request: request(1, &[2.0, 4.0], tight()).with_deadline(Duration::from_millis(100)),
+            use_cache: false,
+        });
+        let order: Vec<u64> = engine.run_until_idle().iter().map(|c| c.id).collect();
+        assert_eq!(
+            order,
+            vec![1, 2],
+            "the nearer absolute deadline wins, regardless of raw budget"
+        );
     }
 
     #[test]

@@ -25,8 +25,11 @@
 //!   [`paradmm_core::FleetSolver`] round instead of waiting for batch
 //!   coalescing.
 //! * **Warm-start cache** — completed solutions are cached keyed by
-//!   [`paradmm_graph::io::problem_fingerprint`]; a re-submitted problem
-//!   starts from the cached state instead of zeros.
+//!   [`protocol::request_fingerprint`], which covers topology, ρ/α
+//!   *and* every factor's prox-operator encoding; an exactly
+//!   re-submitted problem starts from the cached state instead of
+//!   zeros, while a same-shaped problem with different objectives gets
+//!   a distinct key.
 //!
 //! **Bit-identity contract.** Joins, retires, priorities and deadlines
 //! only change *when* work runs, never *what* runs: every request's

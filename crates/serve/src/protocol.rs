@@ -21,7 +21,7 @@
 use std::time::Duration;
 
 use paradmm_core::{AdmmProblem, Priority, Residuals, SolveRequest, StopReason, StoppingCriteria};
-use paradmm_graph::{io, FactorGraph, VarStore};
+use paradmm_graph::{io, EdgeParams, FactorGraph, VarStore};
 use paradmm_prox::{specs_for, ProxOp, ProxSpec};
 
 use crate::engine::Lane;
@@ -228,6 +228,30 @@ fn spec_span(spec: &ProxSpec) -> Option<usize> {
         ProxSpec::AffineEquality { cols, .. } => Some(*cols),
         _ => None,
     }
+}
+
+/// Deterministic 64-bit fingerprint of a *full* problem: the
+/// [`io::problem_fingerprint`] structural base (topology + ρ/α) with
+/// each factor's [`ProxSpec`] wire encoding folded in, so two problems
+/// with identical structure but different objectives — the common MPC
+/// pattern of one controller re-solved against new targets — get
+/// distinct keys. This is the warm-start cache key; returns `None`
+/// when any operator has no [`ProxSpec`] (a closure-backed operator
+/// has no stable identity, so such requests are never cache-keyed).
+pub fn request_fingerprint(
+    graph: &FactorGraph,
+    params: &EdgeParams,
+    proxes: &[Box<dyn ProxOp>],
+) -> Option<u64> {
+    let specs = specs_for(proxes)?;
+    let mut h = io::problem_fingerprint(graph, params);
+    let mut buf = Vec::new();
+    for spec in &specs {
+        buf.clear();
+        put_spec(&mut buf, spec);
+        io::fingerprint_fold(&mut h, &buf);
+    }
+    Some(h)
 }
 
 /// Encodes `request` into a request-frame payload. Fails if any

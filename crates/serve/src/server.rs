@@ -18,7 +18,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use paradmm_graph::io::{read_frame, write_frame, FrameError};
+use paradmm_graph::io::{read_frame_or_cancel, write_frame, FrameError};
 
 use crate::engine::{Completion, Engine, EngineConfig, EngineRequest};
 use crate::protocol::{decode_request, encode_response, ServedOutcome};
@@ -31,7 +31,10 @@ pub struct ServerConfig {
 }
 
 /// How long blocked connection reads wait before re-checking the
-/// shutdown flag.
+/// shutdown flag. The timeout is only allowed to interrupt the stream
+/// *between* frames — mid-frame it triggers a retry (or, during
+/// shutdown, drops the connection) so a slow peer whose frame bytes
+/// straddle the poll interval never desynchronizes the framing.
 const READ_POLL: Duration = Duration::from_millis(50);
 
 /// A decoded request plus the channel its response goes back on.
@@ -132,7 +135,19 @@ fn accept_loop(
         let Ok(stream) = stream else { continue };
         let shared = Arc::clone(&shared);
         let handle = std::thread::spawn(move || connection_loop(stream, shared));
-        readers.lock().unwrap().push(handle);
+        // Reap connections that already closed, so a long-running
+        // server does not accumulate dead-thread handles unboundedly.
+        let mut readers = readers.lock().unwrap();
+        let mut live = Vec::with_capacity(readers.len() + 1);
+        for h in readers.drain(..) {
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                live.push(h);
+            }
+        }
+        live.push(handle);
+        *readers = live;
     }
 }
 
@@ -158,7 +173,11 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        match read_frame(&mut stream) {
+        // Mid-frame poll timeouts retry inside read_frame_or_cancel
+        // (aborting there would desync the stream); only a timeout at a
+        // frame boundary — or one hit after shutdown began — comes back
+        // as an error.
+        match read_frame_or_cancel(&mut stream, || shared.shutdown.load(Ordering::SeqCst)) {
             Ok(Some(payload)) => match decode_request(&payload) {
                 Ok(decoded) => {
                     let item = InboxItem {
