@@ -13,7 +13,10 @@
 //! `gpusim::MultiDevice` prediction computed from the same
 //! `HaloExchangePlan` on the same partition.
 //!
-//! Flags: `--smoke` (tiny sizes, CI), `--paper-scale` (larger sweeps).
+//! Flags: `--smoke` (tiny sizes, CI), `--paper-scale` (larger sweeps),
+//! `--trace <file>` (structured per-run telemetry JSON — residual
+//! trajectory + per-pass timings — of a representative 4-shard chain
+//! run).
 //!
 //! Emits `BENCH_sharded.json` (rows + partition-quality meta) and prints
 //! PASS/FAIL for the two acceptance checks: sharded throughput ≥ barrier
@@ -29,6 +32,7 @@ struct Args {
     smoke: bool,
     paper_scale: bool,
     out: Option<std::path::PathBuf>,
+    trace: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -36,6 +40,7 @@ fn parse_args() -> Args {
         smoke: false,
         paper_scale: false,
         out: None,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -43,9 +48,12 @@ fn parse_args() -> Args {
             "--smoke" => args.smoke = true,
             "--paper-scale" => args.paper_scale = true,
             "--out" => args.out = Some(parse_out_value(&mut it)),
+            "--trace" => args.trace = Some(parse_out_value(&mut it)),
             "--help" | "-h" => {
                 println!(
-                    "flags: --smoke (tiny sizes for CI), --paper-scale (larger sweeps), --out <path> (BENCH json destination)"
+                    "flags: --smoke (tiny sizes for CI), --paper-scale (larger sweeps), \
+                     --out <path> (BENCH json destination), --trace <file> (structured \
+                     run-telemetry JSON destination)"
                 );
                 std::process::exit(0);
             }
@@ -145,6 +153,32 @@ fn main() {
     match write_bench_json_with_meta_to(args.out.as_deref(), "sharded", &json_rows, &meta) {
         Ok(path) => println!("# machine-readable series written to {}", path.display()),
         Err(e) => eprintln!("# failed to write BENCH json: {e}"),
+    }
+
+    if let Some(trace_path) = &args.trace {
+        use paradmm_core::{run_trace_json, ShardedBackend, SweepExecutor, Trace, UpdateTimings};
+        use paradmm_graph::VarStore;
+        let (label, _, problem) = &problems[0];
+        let mut backend = ShardedBackend::new(4);
+        let mut store = VarStore::zeros(problem.graph());
+        let mut timings = UpdateTimings::new();
+        let mut trace = Trace::new();
+        let total = if args.smoke { 60 } else { 400 };
+        let mut done = 0usize;
+        while done < total {
+            let block = 20.min(total - done);
+            backend.run_block(problem, &mut store, block, &mut timings);
+            done += block;
+            trace.record(done, problem, &store);
+        }
+        let doc = run_trace_json(&format!("{label}/sharded[4]"), &trace, &timings);
+        match std::fs::write(trace_path, doc) {
+            Ok(()) => println!(
+                "# structured run telemetry written to {}",
+                trace_path.display()
+            ),
+            Err(e) => eprintln!("# failed to write trace: {e}"),
+        }
     }
     if !all_pass && !args.smoke {
         // Smoke sizes are too tiny for stable throughput comparisons;

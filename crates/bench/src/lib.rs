@@ -1004,6 +1004,383 @@ pub fn sharded_ablation(
     ShardedAblation { rows, meta, points }
 }
 
+/// One staleness point of [`async_ablation`].
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncPoint {
+    /// Staleness bound `k` (0 = synchronous-equivalent).
+    pub k: usize,
+    /// Measured seconds per iteration at this bound.
+    pub stale_s: f64,
+    /// Iterations to reach the tolerance (== `max_iters` if it never
+    /// converged within the budget).
+    pub iters_to_tol: usize,
+    /// `stale_s * iters_to_tol`: the number the staleness trade-off is
+    /// judged on — stale iterates are cheaper but may need more of them.
+    pub time_to_tol: f64,
+    /// Largest halo-read staleness the run actually observed (≤ `k`).
+    pub max_skew: usize,
+}
+
+/// Result of one [`async_ablation`] problem.
+#[derive(Debug, Clone)]
+pub struct AsyncAblation {
+    /// One row per staleness bound plus the barrier/sharded floors.
+    pub rows: Vec<BenchJsonRow>,
+    /// Per-k convergence/skew metadata for the BENCH json.
+    pub meta: Vec<(String, f64)>,
+    /// One point per requested `k`.
+    pub points: Vec<AsyncPoint>,
+    /// Barrier backend floor at the same thread count (s/iter).
+    pub barrier_s: f64,
+    /// Sharded (barrier-free but synchronous) floor (s/iter).
+    pub sharded_s: f64,
+}
+
+/// Iterations `backend` needs to reach `stopping`'s tolerance from
+/// zeros, checking residuals on the stopping schedule. Returns
+/// `stopping.max_iters` when the budget runs out first.
+pub fn iterations_to_tolerance(
+    problem: &AdmmProblem,
+    backend: &mut dyn SweepExecutor,
+    stopping: &StoppingCriteria,
+) -> usize {
+    use paradmm_core::Residuals;
+    let mut store = VarStore::zeros(problem.graph());
+    let mut t = UpdateTimings::new();
+    let n_components = problem.graph().num_edges() * problem.graph().dims();
+    let ce = stopping.check_every.max(1);
+    let mut done = 0usize;
+    while done < stopping.max_iters {
+        let block = ce.min(stopping.max_iters - done);
+        backend.run_block(problem, &mut store, block, &mut t);
+        done += block;
+        let r = Residuals::compute(problem.graph(), problem.params(), &store);
+        if r.converged(n_components, stopping.eps_abs, stopping.eps_rel) {
+            return done;
+        }
+    }
+    stopping.max_iters
+}
+
+/// Convergence-vs-staleness sweep: measures the bounded-staleness
+/// backend at each `k` against the barrier and sharded synchronous
+/// floors at the same worker count, and counts the iterations each
+/// bound needs to hit `stopping`'s tolerance. `k = 0` is the
+/// bit-identical sanity anchor; `k ≥ 1` trades iterate freshness for
+/// never waiting at the halo exchange, which pays exactly on problems
+/// whose shards straggle (e.g. [`imbalanced_problem`]).
+pub fn async_ablation(
+    problem: &AdmmProblem,
+    label: &str,
+    size: usize,
+    parts: usize,
+    ks: &[usize],
+    min_seconds: f64,
+    stopping: &StoppingCriteria,
+) -> AsyncAblation {
+    use paradmm_core::StaleBoundedBackend;
+    const REPEATS: usize = 3;
+    let min_of_repeats = |b: &mut dyn SweepExecutor| {
+        (0..REPEATS)
+            .map(|_| measure_backend_s_per_iter(problem, b, min_seconds))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let edges = problem.graph().num_edges();
+    let mut rows = Vec::new();
+    let mut meta = Vec::new();
+    let mut points = Vec::new();
+
+    let barrier_s = min_of_repeats(&mut BarrierBackend::new(parts));
+    let sharded_s = min_of_repeats(&mut ShardedBackend::new(parts));
+    rows.push(BenchJsonRow {
+        size,
+        edges,
+        backend: format!("{label}/barrier[{parts}]"),
+        seconds_per_iteration: barrier_s,
+    });
+    rows.push(BenchJsonRow {
+        size,
+        edges,
+        backend: format!("{label}/sharded[{parts}]"),
+        seconds_per_iteration: sharded_s,
+    });
+
+    for &k in ks {
+        let mut backend = StaleBoundedBackend::new(parts, k);
+        let stale_s = min_of_repeats(&mut backend);
+        let iters_to_tol = iterations_to_tolerance(problem, &mut backend, stopping);
+        let max_skew = backend.max_observed_skew();
+        assert!(
+            max_skew <= k,
+            "{label}: observed skew {max_skew} above bound k={k}"
+        );
+        rows.push(BenchJsonRow {
+            size,
+            edges,
+            backend: format!("{label}/stale[k={k},{parts}]"),
+            seconds_per_iteration: stale_s,
+        });
+        let key = |metric: &str| format!("{label}/k={k}/{metric}");
+        meta.push((key("iters_to_tol"), iters_to_tol as f64));
+        meta.push((key("time_to_tol"), stale_s * iters_to_tol as f64));
+        meta.push((key("max_skew"), max_skew as f64));
+        points.push(AsyncPoint {
+            k,
+            stale_s,
+            iters_to_tol,
+            time_to_tol: stale_s * iters_to_tol as f64,
+            max_skew,
+        });
+    }
+    AsyncAblation {
+        rows,
+        meta,
+        points,
+        barrier_s,
+        sharded_s,
+    }
+}
+
+/// A proximal operator whose cost is controlled by a shared phase knob:
+/// heavy when the knob's parity matches `heavy_phase`, near-free
+/// otherwise. Flipping the knob mid-run moves the expensive half of the
+/// x-sweep from one end of the factor order to the other — the drifting
+/// workload an online [`ReplanPolicy`](paradmm_core::ReplanPolicy) must
+/// chase and a frozen measured plan cannot.
+pub struct DriftingProx {
+    dims: usize,
+    heavy_phase: usize,
+    heavy_spins: usize,
+    phase: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl DriftingProx {
+    /// Operator heavy when `phase % 2 == heavy_phase`, spinning
+    /// `heavy_spins` dependent `sin` evaluations per activation.
+    pub fn new(
+        dims: usize,
+        heavy_phase: usize,
+        heavy_spins: usize,
+        phase: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    ) -> Self {
+        DriftingProx {
+            dims,
+            heavy_phase,
+            heavy_spins,
+            phase,
+        }
+    }
+}
+
+impl paradmm_prox::ProxOp for DriftingProx {
+    fn prox(&self, ctx: &mut paradmm_prox::ProxCtx<'_>) {
+        let heavy = self.phase.load(std::sync::atomic::Ordering::Relaxed) % 2 == self.heavy_phase;
+        let spins = if heavy { self.heavy_spins } else { 4 };
+        // Dependent chain of opaque libm calls: real, unskippable work.
+        let mut acc = 0.1f64;
+        for _ in 0..spins {
+            acc = (acc + 0.7).sin();
+        }
+        std::hint::black_box(acc);
+        // The actual operator is the identity (consensus average drives
+        // convergence); cost, not math, is what this operator varies.
+        ctx.copy_n_to_x();
+        let _ = self.dims;
+    }
+
+    fn name(&self) -> &'static str {
+        "drifting"
+    }
+}
+
+/// Consensus problem of `factors` unary [`DriftingProx`] operators on a
+/// shared variable chain: the first half is heavy in phase 0, the
+/// second half in phase 1, so flipping `phase` migrates the entire
+/// expensive region across the factor order.
+pub fn drifting_problem(
+    factors: usize,
+    heavy_spins: usize,
+    phase: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+) -> AdmmProblem {
+    use paradmm_graph::GraphBuilder;
+    use paradmm_prox::ProxOp;
+    let mut b = GraphBuilder::new(1);
+    let vars = b.add_vars(factors);
+    let mut proxes: Vec<Box<dyn ProxOp>> = Vec::new();
+    for (i, &v) in vars.iter().enumerate() {
+        b.add_factor(&[v]);
+        let heavy_phase = usize::from(i >= factors / 2);
+        proxes.push(Box::new(DriftingProx::new(
+            1,
+            heavy_phase,
+            heavy_spins,
+            phase.clone(),
+        )));
+    }
+    AdmmProblem::new(b.build(), proxes, 1.0, 1.0)
+}
+
+/// Modeled per-iteration critical path of `plan` on `threads`
+/// barrier-synchronized workers under the measured `costs`: for each
+/// pass, the busiest worker's share (everyone waits for it at the
+/// barrier), summed over passes.
+///
+/// This is the same device-model idiom the GPU ablations use
+/// (`SimtDevice::kernel_time`): per-item costs are *measured* on the
+/// real machine, only the parallel composition is modeled — so the
+/// number reflects the schedule's balance even when the host cannot run
+/// the workers truly concurrently (CI containers are often 1-core,
+/// where every split has identical wall-clock).
+pub fn modeled_makespan(
+    problem: &AdmmProblem,
+    plan: &SweepPlan,
+    costs: &paradmm_core::SweepCosts,
+    threads: usize,
+) -> f64 {
+    use paradmm_core::PassKind;
+    use paradmm_graph::FactorId;
+    let g = problem.graph();
+    let mut total = 0.0f64;
+    for pass in plan.passes() {
+        let mut worst = 0.0f64;
+        for tid in 0..threads {
+            let (lo, hi) = pass.split(tid, threads);
+            let span = (hi - lo) as f64;
+            let share = match pass.kind() {
+                PassKind::X => costs.factor_seconds[lo..hi].iter().sum(),
+                PassKind::Xm => (lo..hi)
+                    .map(|a| {
+                        costs.factor_seconds[a]
+                            + g.factor_degree(FactorId::from_usize(a)) as f64 * costs.m_per_edge
+                    })
+                    .sum(),
+                PassKind::M => span * costs.m_per_edge,
+                PassKind::Z => span * costs.z_per_var,
+                PassKind::U => span * costs.u_per_edge,
+                PassKind::N => span * costs.n_per_edge,
+                PassKind::Un => span * (costs.u_per_edge + costs.n_per_edge),
+            };
+            worst = worst.max(share);
+        }
+        total += worst;
+    }
+    total
+}
+
+/// Result of [`replan_drift_ablation`]: frozen-plan vs online-replan
+/// cost on the drifting-cost scenario.
+#[derive(Debug, Clone)]
+pub struct ReplanDriftAblation {
+    /// Modeled parallel seconds (per-block critical path × iterations)
+    /// for the post-drift run under the frozen (stale) plan.
+    pub frozen_s: f64,
+    /// Same model with the [`ReplanPolicy`](paradmm_core::ReplanPolicy)
+    /// active, **plus** the online run's real re-measurement overhead —
+    /// the replans must pay for themselves.
+    pub online_s: f64,
+    /// `frozen_s / online_s` — the acceptance number (≥ 1.1 expected).
+    pub speedup: f64,
+    /// Replans the online run actually installed after its baseline.
+    pub replans: usize,
+    /// JSON rows (`drift/frozen`, `drift/online`).
+    pub rows: Vec<BenchJsonRow>,
+}
+
+/// The drifting-cost replan scenario: compile a measured (weighted)
+/// plan, then flip the cost knob so the expensive half of the x-sweep
+/// migrates. The frozen run keeps executing the now-wrong static split
+/// (one worker owns nearly every heavy operator); the online run
+/// re-measures on the [`ReplanPolicy`](paradmm_core::ReplanPolicy)
+/// cadence, detects the drift, and re-splits. Both runs execute the
+/// same `iters` post-drift iterations on a [`BarrierBackend`] with
+/// `threads` workers; the reported seconds are the
+/// [`modeled_makespan`] of whichever plan was live in each block
+/// (measured per-factor costs, modeled parallel composition), plus —
+/// for the online run — the real wall-clock cost of its re-measures.
+pub fn replan_drift_ablation(
+    factors: usize,
+    heavy_spins: usize,
+    threads: usize,
+    iters: usize,
+) -> ReplanDriftAblation {
+    use paradmm_core::{ReplanPolicy, ReplanState};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let blocks = 8usize;
+    let per_block = (iters / blocks).max(1);
+    let run = |online: bool| -> (f64, usize) {
+        let phase = Arc::new(AtomicUsize::new(0));
+        let mut problem = drifting_problem(factors, heavy_spins, phase.clone());
+        let planner = Planner::new();
+        // Cadence 2, threshold 0.5: the flip registers ≈ 2.0 drift (the
+        // entire heavy mass migrates), while repeat measures of an
+        // unchanged phase jitter well below 0.5 — no churn.
+        let policy = ReplanPolicy::new(2, 0.5);
+        let mut state = ReplanState::default();
+        // Compile the pre-drift measured plan — for the online run via
+        // the policy itself (installing its cost baseline), for the
+        // frozen run directly.
+        if online {
+            state.blocks_seen = policy.every_blocks - 1;
+            let installed = policy.maybe_replan(&mut state, &mut problem);
+            assert!(installed.is_some(), "first measurement must install");
+        } else {
+            let costs = planner.measure(&problem);
+            problem.set_plan(planner.plan_from_costs(&problem, &costs));
+        }
+        let mut backend = BarrierBackend::new(threads);
+        let mut store = VarStore::zeros(problem.graph());
+        let mut t = UpdateTimings::new();
+        backend.run_block(&problem, &mut store, 2, &mut t); // warm-up
+                                                            // The ramp: operator costs flip mid-run.
+        phase.store(1, Ordering::SeqCst);
+        // Ground-truth post-flip costs for the makespan model, measured
+        // once up front (outside either run's accounted time).
+        let truth = planner.measure(&problem);
+        let mut modeled = 0.0f64;
+        let mut overhead = 0.0f64;
+        for _ in 0..blocks {
+            let plan = problem.plan().expect("measured plan installed").clone();
+            modeled += per_block as f64 * modeled_makespan(&problem, &plan, &truth, threads);
+            backend.run_block(&problem, &mut store, per_block, &mut t);
+            if online {
+                let s = Instant::now();
+                if let Some(costs) = policy.maybe_replan(&mut state, &mut problem) {
+                    backend.repartition(&problem, &costs);
+                }
+                overhead += s.elapsed().as_secs_f64();
+            }
+        }
+        (modeled + overhead, state.replans)
+    };
+
+    let (frozen_s, _) = run(false);
+    let (online_s, replans) = run(true);
+    let total = (blocks * per_block) as f64;
+    let rows = vec![
+        BenchJsonRow {
+            size: factors,
+            edges: factors,
+            backend: "drift/frozen".into(),
+            seconds_per_iteration: frozen_s / total,
+        },
+        BenchJsonRow {
+            size: factors,
+            edges: factors,
+            backend: "drift/online".into(),
+            seconds_per_iteration: online_s / total,
+        },
+    ];
+    ReplanDriftAblation {
+        frozen_s,
+        online_s,
+        speedup: frozen_s / online_s.max(1e-12),
+        replans,
+        rows,
+    }
+}
+
 /// `n` small independent MPC instances (dims = 5): horizons cycle
 /// through `base_horizon .. base_horizon+4` (mixed sizes, so batched
 /// early-exit freezing has stragglers) and each instance gets its own
@@ -1615,6 +1992,81 @@ mod tests {
         assert!(doc.contains("\"mpc_chain/sharded[2]\""));
         assert!(doc.contains("\"meta\""));
         assert!(doc.contains("mpc_chain/parts=2/halo_vars"));
+    }
+
+    /// Tiny-size smoke of the staleness sweep — the same code path the
+    /// `ablation_async` bin runs at full size. CI runs this under
+    /// `cargo test --release`.
+    #[test]
+    fn async_ablation_smoke() {
+        let p = imbalanced_problem(4, 7);
+        let stopping = StoppingCriteria {
+            max_iters: 400,
+            eps_abs: 1e-6,
+            eps_rel: 1e-4,
+            check_every: 20,
+        };
+        let r = async_ablation(&p, "hub", 4, 2, &[0, 1, 2], 0.002, &stopping);
+        assert_eq!(r.rows.len(), 5, "barrier + sharded + three k points");
+        assert!(r.rows.iter().all(|x| x.seconds_per_iteration > 0.0));
+        assert_eq!(r.points.len(), 3);
+        assert!(r.barrier_s > 0.0 && r.sharded_s > 0.0);
+        for pt in &r.points {
+            assert!(pt.stale_s > 0.0);
+            assert!(pt.max_skew <= pt.k, "skew {} above k={}", pt.max_skew, pt.k);
+            // Every bound must actually converge within the budget —
+            // the staleness trade-off is time, never correctness.
+            assert!(
+                pt.iters_to_tol < stopping.max_iters,
+                "k={} never converged",
+                pt.k
+            );
+            assert!(pt.time_to_tol > 0.0);
+        }
+        let doc = bench_json_string_with_meta("async_smoke", &r.rows, &r.meta);
+        assert!(doc.contains("\"hub/stale[k=1,2]\""));
+        assert!(doc.contains("hub/k=1/iters_to_tol"));
+    }
+
+    /// Smoke of the drifting-cost replan scenario: both runs finish and
+    /// the online run detects the drift. (The ≥1.1× speedup bound is
+    /// enforced by the full-size bin run, not at smoke sizes.)
+    #[test]
+    fn replan_drift_smoke() {
+        let r = replan_drift_ablation(16, 400, 2, 64);
+        assert!(r.frozen_s > 0.0 && r.online_s > 0.0);
+        assert!(r.speedup.is_finite() && r.speedup > 0.0);
+        assert!(
+            r.replans >= 1,
+            "online run must detect the mid-run cost flip"
+        );
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    /// The drifting operator's cost really moves with the knob: the
+    /// measured x-pass cost profile shifts its heavy half when the
+    /// phase flips, which is what the drift detector keys on.
+    #[test]
+    fn drifting_problem_costs_follow_the_knob() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let phase = Arc::new(AtomicUsize::new(0));
+        let problem = drifting_problem(8, 3000, phase.clone());
+        let planner = Planner::new();
+        let before = planner.measure(&problem);
+        phase.store(1, Ordering::SeqCst);
+        let after = planner.measure(&problem);
+        let half: f64 = before.factor_seconds[..4].iter().sum();
+        let other: f64 = before.factor_seconds[4..].iter().sum();
+        assert!(half > other, "phase 0 must weight the first half");
+        let half_after: f64 = after.factor_seconds[..4].iter().sum();
+        let other_after: f64 = after.factor_seconds[4..].iter().sum();
+        assert!(other_after > half_after, "phase 1 must weight the second");
+        assert!(
+            after.drift(&before) > 0.25,
+            "the flip must register as drift: {}",
+            after.drift(&before)
+        );
     }
 
     /// Tiny-size smoke of the fused-plan ablation — the same code path

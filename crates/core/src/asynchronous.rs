@@ -1,4 +1,13 @@
-//! Asynchronous ADMM (the paper's future-work item 1).
+//! The seed asynchronous activation engine — kept as the documented
+//! scalar *reference* for asynchronous ADMM (the paper's future-work
+//! item 1). Production asynchronous execution lives in
+//! [`crate::StaleBoundedBackend`] (which [`crate::AsyncBackend`] routes
+//! to): per-shard workers over the sharded halo machinery, a *bounded*
+//! staleness window enforced by progress watermarks, and a `k = 0` mode
+//! that is bit-identical to the synchronous backends. This module's
+//! [`run_async`] remains the simplest possible expression of the idea —
+//! lock-free incremental consensus with *unbounded* (racy-fresh)
+//! staleness — and the yardstick its tests compare against.
 //!
 //! "Use asynchronous implementations of the ADMM so that not all cores
 //! need to wait for the busiest core." Instead of five barrier-separated

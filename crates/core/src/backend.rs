@@ -21,11 +21,11 @@
 //! — exists exactly once, in [`crate::kernels`].
 //!
 //! The synchronous backends (serial, rayon, barrier, work-stealing,
-//! sharded, fleet, and auto, which locks in one of them) are
-//! *bit-identical* to each other by
-//! construction (the z-average is deterministic per variable regardless of
-//! scheduling); [`AsyncBackend`] is not, and converges instead — see its
-//! docs.
+//! sharded, fleet, stale at `k = 0`, and auto, which locks in one of
+//! them) are *bit-identical* to each other by construction (the
+//! z-average is deterministic per variable regardless of scheduling);
+//! [`AsyncBackend`] — the bounded-staleness executor at `k ≥ 1` — is
+//! not, and converges instead — see its docs.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
@@ -35,11 +35,11 @@ use rayon::prelude::*;
 
 use paradmm_graph::{EdgeStream, FactorId, VarStore};
 
-use crate::asynchronous::run_async;
-use crate::kernels::{self, split_factor_blocks, x_update_factor, UpdateKind};
+use crate::kernels::{self, split_factor_blocks, x_update_factor};
 use crate::plan::{Pass, PassKind, SweepPlan};
 use crate::problem::AdmmProblem;
-use crate::timing::UpdateTimings;
+use crate::stale::StaleBoundedBackend;
+use crate::timing::{SweepCosts, UpdateTimings};
 
 /// A way to execute blocks of ADMM iterations (the five x/m/z/u/n sweeps)
 /// and report how long each update kind took.
@@ -116,6 +116,20 @@ pub trait SweepExecutor: Send {
     ) {
         self.execute(problem, store, iters, timings);
         timings.iterations += iters;
+    }
+
+    /// Asks the backend to re-balance its internal work split for
+    /// freshly measured per-pass `costs` (an online replan — see
+    /// [`crate::ReplanPolicy`]). Returns `true` if the backend changed
+    /// anything. The default is a no-op: most backends split work from
+    /// the (already cost-aware) [`SweepPlan`] each block, so a replan
+    /// that installs a new plan on the problem reaches them with no
+    /// backend-side state to rebuild. Partition-holding backends
+    /// ([`crate::ShardedBackend`], [`crate::StaleBoundedBackend`])
+    /// override this to re-grow their factor partition under the new
+    /// weights.
+    fn repartition(&mut self, _problem: &AdmmProblem, _costs: &SweepCosts) -> bool {
+        false
     }
 }
 
@@ -962,7 +976,8 @@ pub const DEFAULT_STEAL_CHUNK: usize = 64;
 /// which chunk (see the trait-level scheduling contract).
 ///
 /// Fused passes are accounted under their first constituent in the
-/// timings (x+m under [`UpdateKind::X`], u+n under [`UpdateKind::U`])
+/// timings (x+m under [`crate::UpdateKind::X`], u+n under
+/// [`crate::UpdateKind::U`])
 /// since the constituents are no longer separable.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkStealingBackend {
@@ -1137,42 +1152,66 @@ fn run_worksteal(
     t.merge(&collected);
 }
 
-/// Asynchronous activation engine as a backend — the paper's future-work
-/// item 1, adapted from [`run_async`].
+/// Asynchronous execution as a backend — the paper's future-work item 1,
+/// run on the bounded-staleness sharded executor
+/// ([`StaleBoundedBackend`]) with a default staleness of
+/// [`AsyncBackend::DEFAULT_STALENESS`] iteration.
 ///
-/// One "iteration" of this backend is one activation pass over all
-/// factors on every worker. Iterates are *not* bit-identical to the
-/// synchronous backends (workers see bounded-stale `z`); on convex
-/// problems it converges to the same fixed point, which is what the
-/// equivalence suite asserts.
+/// Historically this backend ran the seed-era activation engine
+/// ([`crate::run_async`], which survives as the documented scalar
+/// reference); it now routes through the watermark protocol: one worker
+/// per shard, no global barriers, halo reads up to `k` iterations
+/// stale. Iterates are *not* bit-identical to the synchronous backends
+/// for `k ≥ 1` (neighbors see bounded-stale `z`); on convex problems it
+/// converges to the same fixed point, which is what the equivalence
+/// suite asserts. Unlike the retired activation loop — which snapshotted
+/// no parity at all and recomputed `z` incrementally — the stale
+/// executor inherits the PR 5 `swap_z` buffer-parity scheme from the
+/// sharded path, so `z_prev` is maintained without full copies and the
+/// solver's `z`-based residuals are meaningful.
 ///
-/// The activation loop fuses all five updates into one pass, so there is
-/// no per-kind split; wall time is recorded under [`UpdateKind::X`]
-/// (the proximal work dominates every activation).
-///
-/// The incremental z-update maintains the invariant `z_b = Σρm/Σρ`.
-/// [`SweepExecutor::execute`] re-establishes it from the current `m`
-/// before activating (a single z-sweep, idempotent when the state is
-/// already consistent), so hand-seeded or warm-started stores are safe
-/// — the iterates depend only on the `m`/`u`/`x` the caller provides.
-#[derive(Debug, Clone, Copy)]
+/// Per-kind timing follows the sharded convention (x/m split where the
+/// plan is unfused; z covers the interior update + staging + waits).
 pub struct AsyncBackend {
-    threads: usize,
+    inner: StaleBoundedBackend,
 }
 
 impl AsyncBackend {
-    /// Backend with `threads` asynchronous workers.
+    /// Staleness bound used by [`AsyncBackend::new`]: one iteration of
+    /// drift buys zero phase-waits while staying close to the
+    /// synchronous trajectory.
+    pub const DEFAULT_STALENESS: usize = 1;
+
+    /// Backend with `threads` asynchronous workers (one shard each) and
+    /// the default staleness bound.
     ///
     /// # Panics
     /// If `threads == 0`.
     pub fn new(threads: usize) -> Self {
+        Self::with_staleness(threads, Self::DEFAULT_STALENESS)
+    }
+
+    /// Backend with `threads` workers and an explicit staleness bound
+    /// `k` (`k = 0` is the synchronous sharded schedule, bit-identical
+    /// to [`SerialBackend`]).
+    ///
+    /// # Panics
+    /// If `threads == 0`.
+    pub fn with_staleness(threads: usize, staleness: usize) -> Self {
         assert!(threads >= 1, "async backend needs at least one thread");
-        AsyncBackend { threads }
+        AsyncBackend {
+            inner: StaleBoundedBackend::new(threads, staleness),
+        }
     }
 
     /// The worker count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.inner.parts()
+    }
+
+    /// The staleness bound `k`.
+    pub fn staleness(&self) -> usize {
+        self.inner.staleness()
     }
 }
 
@@ -1188,15 +1227,11 @@ impl SweepExecutor for AsyncBackend {
         iters: usize,
         t: &mut UpdateTimings,
     ) {
-        let t0 = Instant::now();
-        // Re-establish the invariant the incremental z-update folds onto
-        // (z = ρ-weighted average of m). Idempotent for already-consistent
-        // states; removes the silent-wrong-answer trap for hand-seeded
-        // warm starts (degree-0 variables keep their z).
-        let g = problem.graph();
-        kernels::z_update_range(g, problem.params(), &store.m, &mut store.z, 0, g.num_vars());
-        run_async(problem, store, iters, self.threads);
-        t.add(UpdateKind::X, t0.elapsed());
+        self.inner.execute(problem, store, iters, t);
+    }
+
+    fn repartition(&mut self, problem: &AdmmProblem, costs: &SweepCosts) -> bool {
+        self.inner.repartition(problem, costs)
     }
 }
 
@@ -1219,14 +1254,15 @@ impl SweepExecutor for AsyncBackend {
 /// problem, the probe falls through to [`SerialBackend`], which supports
 /// everything.
 ///
-/// The default candidate set ([`AutoBackend::new`]) is the six
+/// The default candidate set ([`AutoBackend::new`]) is the seven
 /// synchronous CPU backends — Serial, Rayon, Barrier, WorkStealing,
-/// Sharded, and Fleet (whose single-instance degenerate form is a
-/// barrier-free chunk-claiming executor) — all bit-identical by
-/// construction, so whichever one wins, the iterates match
-/// [`SerialBackend`] exactly. Custom candidate sets
-/// ([`AutoBackend::with_candidates`]) carry whatever equivalence their
-/// members guarantee.
+/// Sharded, Fleet (whose single-instance degenerate form is a
+/// barrier-free chunk-claiming executor), and the bounded-staleness
+/// executor at `k = 0` (watermark waits instead of barriers, still the
+/// synchronous schedule) — all bit-identical by construction, so
+/// whichever one wins, the iterates match [`SerialBackend`] exactly.
+/// Custom candidate sets ([`AutoBackend::with_candidates`]) carry
+/// whatever equivalence their members guarantee.
 pub struct AutoBackend {
     probe_iters: usize,
     candidates: Vec<Box<dyn SweepExecutor>>,
@@ -1235,9 +1271,10 @@ pub struct AutoBackend {
 }
 
 impl AutoBackend {
-    /// Auto-selection over the six synchronous CPU backends, each
-    /// configured for `threads` workers (the sharded candidate runs one
-    /// shard per worker).
+    /// Auto-selection over the seven synchronous CPU backends, each
+    /// configured for `threads` workers (the sharded and stale
+    /// candidates run one shard per worker; stale probes at `k = 0`, its
+    /// bit-identical configuration).
     ///
     /// # Panics
     /// If `threads == 0`.
@@ -1249,6 +1286,7 @@ impl AutoBackend {
             Box::new(WorkStealingBackend::new(threads)),
             Box::new(crate::sharded::ShardedBackend::new(threads)),
             Box::new(crate::fleet::FleetBackend::new(threads)),
+            Box::new(StaleBoundedBackend::new(threads, 0)),
         ])
     }
 
@@ -1335,6 +1373,13 @@ impl SweepExecutor for AutoBackend {
             .as_mut()
             .expect("probe always locks in a backend")
             .execute(problem, store, iters, t);
+    }
+
+    fn repartition(&mut self, problem: &AdmmProblem, costs: &SweepCosts) -> bool {
+        match self.chosen.as_mut() {
+            Some(b) => b.repartition(problem, costs),
+            None => false, // nothing locked in yet; nothing to rebuild
+        }
     }
 }
 

@@ -308,6 +308,61 @@ impl Trace {
         }
         out
     }
+
+    /// Renders the trace as a JSON array of samples (hand-rolled — the
+    /// repo carries no serde), one object per recorded point.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let r = &p.residuals;
+            out.push_str(&format!(
+                "{{\"iteration\":{},\"primal\":{:e},\"dual\":{:e},\"x_norm\":{:e},\"z_norm\":{:e},\"u_norm\":{:e}}}",
+                p.iteration, r.primal, r.dual, r.x_norm, r.z_norm, r.u_norm
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Structured per-run telemetry as one JSON document: the residual
+/// trajectory ([`Trace::to_json`]) plus the per-pass wall-clock
+/// breakdown from [`crate::UpdateTimings`] — what the ablation bins
+/// write when given `--trace <file>`, and what the StandardRunbook-style
+/// observability docs in ROADMAP ask every long run to leave behind.
+pub fn run_trace_json(
+    label: &str,
+    trace: &Trace,
+    timings: &crate::timing::UpdateTimings,
+) -> String {
+    use crate::kernels::UpdateKind;
+    let kinds = [
+        ("x", UpdateKind::X),
+        ("m", UpdateKind::M),
+        ("z", UpdateKind::Z),
+        ("u", UpdateKind::U),
+        ("n", UpdateKind::N),
+    ];
+    let mut passes = String::from("{");
+    for (i, (name, kind)) in kinds.iter().enumerate() {
+        if i > 0 {
+            passes.push(',');
+        }
+        passes.push_str(&format!("\"{}\":{:e}", name, timings.seconds(*kind)));
+    }
+    passes.push('}');
+    format!(
+        "{{\"label\":{:?},\"iterations\":{},\"total_seconds\":{:e},\"seconds_per_iteration\":{:e},\"pass_seconds\":{},\"residual_trace\":{}}}",
+        label,
+        timings.iterations,
+        timings.total_seconds(),
+        timings.seconds_per_iteration(),
+        passes,
+        trace.to_json(),
+    )
 }
 
 #[cfg(test)]
@@ -362,6 +417,52 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("iteration,primal"));
         assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn json_trace_round_trips_fields() {
+        let p = problem();
+        let mut store = paradmm_graph::VarStore::zeros(p.graph());
+        let mut trace = Trace::new();
+        let mut t = UpdateTimings::new();
+        SerialBackend.run_block(&p, &mut store, 5, &mut t);
+        trace.record(5, &p, &store);
+        SerialBackend.run_block(&p, &mut store, 5, &mut t);
+        trace.record(10, &p, &store);
+        let json = trace.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+        assert_eq!(json.matches("\"iteration\":").count(), 2);
+        assert!(json.contains("\"iteration\":5,"), "{json}");
+        assert!(json.contains("\"iteration\":10,"), "{json}");
+        for field in ["primal", "dual", "x_norm", "z_norm", "u_norm"] {
+            assert_eq!(json.matches(&format!("\"{field}\":")).count(), 2, "{json}");
+        }
+    }
+
+    #[test]
+    fn run_trace_json_embeds_timings_and_trajectory() {
+        let p = problem();
+        let mut store = paradmm_graph::VarStore::zeros(p.graph());
+        let mut trace = Trace::new();
+        let mut t = UpdateTimings::new();
+        SerialBackend.run_block(&p, &mut store, 8, &mut t);
+        trace.record(8, &p, &store);
+        let doc = run_trace_json("consensus-pair", &trace, &t);
+        assert!(doc.starts_with('{') && doc.ends_with('}'), "{doc}");
+        assert!(doc.contains("\"label\":\"consensus-pair\""), "{doc}");
+        assert!(doc.contains("\"iterations\":8"), "{doc}");
+        for pass in ["\"x\":", "\"m\":", "\"z\":", "\"u\":", "\"n\":"] {
+            assert!(doc.contains(pass), "{doc}");
+        }
+        assert!(doc.contains("\"residual_trace\":[{"), "{doc}");
+        assert!(doc.contains("\"total_seconds\":"), "{doc}");
+        assert!(doc.contains("\"seconds_per_iteration\":"), "{doc}");
+    }
+
+    #[test]
+    fn empty_trace_serializes_to_empty_array() {
+        let trace = Trace::new();
+        assert_eq!(trace.to_json(), "[]");
     }
 
     #[test]

@@ -26,14 +26,18 @@
 //! * [`BarrierBackend`] — persistent workers with barrier
 //!   synchronization between passes (OpenMP approach #2,
 //!   implemented to reproduce the paper's finding that it is slower),
-//! * [`AsyncBackend`] — asynchronous activation workers (the paper's
-//!   future-work item 1; converges rather than matching bit-for-bit),
+//! * [`AsyncBackend`] — bounded-staleness asynchronous execution (the
+//!   paper's future-work item 1; converges rather than matching
+//!   bit-for-bit at `k ≥ 1`),
 //! * [`WorkStealingBackend`] — persistent workers claiming each pass's
 //!   chunks from a shared atomic work index (fixes approach #2's
 //!   static-range straggler problem),
 //! * [`ShardedBackend`] — partition-local stores with one worker per
 //!   shard and a real per-iteration halo exchange (the paper's
 //!   multi-device future-work item 3, executed instead of priced),
+//! * [`StaleBoundedBackend`] — the sharded executor with progress
+//!   watermarks instead of barriers; halo reads may be up to `k`
+//!   iterations stale (`k = 0` stays bit-identical),
 //! * [`FleetBackend`] — barrier-free work-assisting workers claiming
 //!   chunks from a per-instance watermarked counter; the same scheduler
 //!   runs whole heterogeneous fleets through [`FleetSolver`],
@@ -76,6 +80,7 @@ pub mod scheduler;
 pub mod sharded;
 pub mod solver;
 pub mod spec;
+pub mod stale;
 pub mod timing;
 pub mod twa;
 
@@ -87,12 +92,15 @@ pub use backend::{
 };
 pub use batch::{BatchReport, BatchSolver, InstanceReport};
 pub use diagnostics::{
-    fleet_report, plan_report, FleetDiagnostics, FleetWorkerStats, Trace, TracePoint,
+    fleet_report, plan_report, run_trace_json, FleetDiagnostics, FleetWorkerStats, Trace,
+    TracePoint,
 };
 pub use fleet::{FleetBackend, FleetSolver};
 pub use kernels::{kernel_dispatch, set_kernel_dispatch, KernelDispatch, UpdateKind};
 pub use paradmm_prox::{ProxCtx, ProxOp};
-pub use plan::{Pass, PassKind, PassSpace, PlanError, Planner, SweepPlan};
+pub use plan::{
+    Pass, PassKind, PassSpace, PlanError, Planner, ReplanPolicy, ReplanState, SweepPlan,
+};
 pub use problem::AdmmProblem;
 pub use request::{Priority, SolveOutcome, SolveRequest, SolveRequestParts};
 pub use residuals::{Residuals, StoppingCriteria};
@@ -100,5 +108,6 @@ pub use scheduler::Scheduler;
 pub use sharded::ShardedBackend;
 pub use solver::{Solver, SolverOptions, SolverReport, StopReason};
 pub use spec::{BackendSpec, ParseBackendSpecError, BACKEND_FAMILIES};
+pub use stale::{watermark, StaleBoundedBackend};
 pub use timing::{SweepCosts, UpdateTimings};
 pub use twa::{TwaWeights, WeightClass};

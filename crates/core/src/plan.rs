@@ -612,6 +612,115 @@ impl Planner {
     }
 }
 
+/// Online re-planning: re-measure sweep costs at block boundaries and
+/// recompile the plan when they drift — the paper's "automatic tuning"
+/// future-work item kept *live* instead of frozen at startup.
+///
+/// A [`Planner`] measures once and compiles one plan; if operator costs
+/// then drift mid-run (data-dependent proximal solves, thermal
+/// throttling, a noisy co-tenant), the frozen chunk sizes and weighted
+/// splits describe a machine that no longer exists. A `ReplanPolicy`
+/// closes the loop: every [`ReplanPolicy::every_blocks`]-th call to
+/// [`ReplanPolicy::maybe_replan`] it re-measures the problem (scratch
+/// buffers, a few microseconds per factor), compares against the costs
+/// the current plan was compiled from
+/// ([`SweepCosts::drift`]), and when drift exceeds
+/// [`ReplanPolicy::drift_threshold`] installs a freshly compiled plan.
+/// The first measuring call always installs (it is the baseline). The
+/// returned costs let the caller also re-balance backend-held state —
+/// [`crate::SweepExecutor::repartition`] re-grows a sharded backend's
+/// factor partition under the new weights.
+///
+/// Replans happen only between blocks, so they never perturb in-flight
+/// iterations, and an installed plan changes scheduling only — any legal
+/// plan yields bit-identical iterates (module docs), so re-planning
+/// never changes the trajectory of a synchronous backend.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplanPolicy {
+    /// Re-measure every this many calls (≈ blocks). Measurement costs a
+    /// few prox evaluations per factor, so small values are affordable;
+    /// the default re-measures every 8 blocks.
+    pub every_blocks: usize,
+    /// Relative drift ([`SweepCosts::drift`]) above which the plan is
+    /// recompiled. The default 0.25 ignores timing noise but catches a
+    /// sweep or operator whose cost moved by a quarter.
+    pub drift_threshold: f64,
+    /// The planner that measures and compiles.
+    pub planner: Planner,
+}
+
+impl Default for ReplanPolicy {
+    fn default() -> Self {
+        ReplanPolicy {
+            every_blocks: 8,
+            drift_threshold: 0.25,
+            planner: Planner::new(),
+        }
+    }
+}
+
+/// Mutable companion of [`ReplanPolicy`]: per-solve counters and the
+/// cost baseline the current plan was compiled from. One per driven
+/// problem (the fleet solver keeps one per slot).
+#[derive(Debug, Clone, Default)]
+pub struct ReplanState {
+    /// Costs the currently installed plan was compiled from (`None`
+    /// until the first measuring call).
+    pub baseline: Option<SweepCosts>,
+    /// Calls to `maybe_replan` so far.
+    pub blocks_seen: usize,
+    /// Replans actually installed (excluding the baseline install).
+    pub replans: usize,
+}
+
+impl ReplanPolicy {
+    /// Policy with an explicit cadence and threshold.
+    ///
+    /// # Panics
+    /// If `every_blocks == 0` or the threshold is not positive.
+    pub fn new(every_blocks: usize, drift_threshold: f64) -> Self {
+        assert!(every_blocks >= 1, "replan cadence must be at least 1");
+        assert!(drift_threshold > 0.0, "drift threshold must be positive");
+        ReplanPolicy {
+            every_blocks,
+            drift_threshold,
+            ..Default::default()
+        }
+    }
+
+    /// Called once per block: counts the block, and on the cadence
+    /// re-measures `problem`. Installs a recompiled plan (and returns
+    /// the fresh costs, for [`crate::SweepExecutor::repartition`]) when
+    /// this is the first measurement or the drift against the baseline
+    /// exceeds the threshold; otherwise keeps the current plan *and*
+    /// baseline, so slow creep accumulates across measurements instead
+    /// of being forgiven each time.
+    pub fn maybe_replan(
+        &self,
+        state: &mut ReplanState,
+        problem: &mut AdmmProblem,
+    ) -> Option<SweepCosts> {
+        state.blocks_seen += 1;
+        if !state.blocks_seen.is_multiple_of(self.every_blocks) {
+            return None;
+        }
+        let costs = self.planner.measure(problem);
+        let install = match &state.baseline {
+            None => true,
+            Some(base) => costs.drift(base) > self.drift_threshold,
+        };
+        if !install {
+            return None;
+        }
+        if state.baseline.is_some() {
+            state.replans += 1;
+        }
+        problem.set_plan(self.planner.plan_from_costs(problem, &costs));
+        state.baseline = Some(costs.clone());
+        Some(costs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,11 +41,14 @@ pub enum Scheduler {
         /// Number of persistent workers.
         threads: usize,
     },
-    /// Asynchronous activation workers (the paper's future-work item 1)
-    /// — [`AsyncBackend`]. Iterates are not bit-identical to the
-    /// synchronous backends; convergence is the contract instead.
+    /// Bounded-staleness asynchronous execution (the paper's future-work
+    /// item 1) — [`AsyncBackend`], which routes to
+    /// [`crate::StaleBoundedBackend`] at its default staleness bound.
+    /// Iterates are not bit-identical to the synchronous backends;
+    /// convergence is the contract instead. (The retired scalar
+    /// activation engine survives as [`crate::run_async`].)
     Async {
-        /// Number of asynchronous workers.
+        /// Number of asynchronous workers (= shards).
         threads: usize,
     },
     /// Persistent workers claiming chunks from a shared atomic work index,
@@ -72,7 +75,7 @@ pub enum Scheduler {
         /// Number of work-assisting workers.
         threads: usize,
     },
-    /// Probe-and-lock auto-selection over the six synchronous CPU
+    /// Probe-and-lock auto-selection over the seven synchronous CPU
     /// backends — [`AutoBackend`]. Bit-identical to [`SerialBackend`]
     /// (every default candidate is).
     Auto {

@@ -286,6 +286,33 @@ impl SweepExecutor for ShardedBackend {
         self.measured_halo_bytes += bytes;
         self.iterations += iters;
     }
+
+    fn repartition(&mut self, problem: &AdmmProblem, costs: &crate::timing::SweepCosts) -> bool {
+        if self.parts <= 1 {
+            return false;
+        }
+        let g = problem.graph();
+        if costs.factor_seconds.len() != g.num_factors() {
+            return false;
+        }
+        // Same per-factor weight the planner's cost-balanced x+m split
+        // uses: measured prox seconds + the factor's streaming m share.
+        let weights: Vec<f64> = g
+            .factors()
+            .map(|a| costs.factor_seconds[a.idx()] + g.factor_degree(a) as f64 * costs.m_per_edge)
+            .collect();
+        let fresh = Partition::grow_weighted(g, self.parts, &weights);
+        let changed = match (&self.explicit_partition, &self.state) {
+            (Some(p), _) => p.assignment != fresh.assignment,
+            (None, Some(s)) => s.partition.assignment != fresh.assignment,
+            (None, None) => true,
+        };
+        if changed {
+            self.explicit_partition = Some(fresh);
+            self.state = None; // rebuild on the next block
+        }
+        changed
+    }
 }
 
 /// Runs `iters` sharded iterations; returns the bytes the halo exchange

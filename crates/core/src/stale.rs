@@ -1,0 +1,1009 @@
+//! Bounded-staleness sharded execution: per-shard workers with progress
+//! watermarks instead of global barriers (the paper's future-work item 1
+//! executed on the PR 3 sharded machinery).
+//!
+//! [`ShardedBackend`](crate::ShardedBackend) runs one worker per
+//! partition part with two `Barrier::wait` rendezvous per iteration —
+//! every shard stalls until the slowest shard finishes each phase.
+//! [`StaleBoundedBackend`] removes the barriers: each shard publishes a
+//! per-iteration progress **watermark** (a single release-stored
+//! `AtomicU64` using the same ABA-free `(iter << 32) | phase` encoding as
+//! `fleet.rs`), and cross-shard reads are allowed to consume neighbor
+//! state up to `k` iterations stale. Each shard only ever *waits* when a
+//! neighbor has fallen more than `k` iterations behind — at `k ≥ 1` a
+//! shard that finishes its phase early keeps going instead of idling at
+//! a barrier.
+//!
+//! # Protocol
+//!
+//! Iterations are 1-based in the watermark. Shard `i` publishes, in
+//! order, for every iteration `t`:
+//!
+//! ```text
+//! (t << 32) | 1   — staged:   local x/m/z done, ρ·m messages staged
+//! (t << 32) | 2   — reduced:  combined z of its OWNED halo vars written
+//! (t << 32) | 3   — done:     broadcast + u/n finished
+//! ```
+//!
+//! The value is strictly monotone (lexicographic in `(iter, phase)`), so
+//! a plain `u64` comparison implements every wait condition and the
+//! counter can never be confused by wrap-around reuse (ABA) — the same
+//! argument `fleet.rs` makes for its chunk-claim words.
+//!
+//! Every halo variable has one **owner** — the minimum part holding a
+//! replica — and only the owner reduces it. Cross-shard traffic flows
+//! through *versioned* buffers with `S = 2k + 2` slots (slot `t % S`):
+//! staged `ρ·m` messages per shard, and the combined halo `z` per halo
+//! variable. An owner reducing at iteration `t` waits until each
+//! contributing shard has staged iteration `max(1, t − k)`, then folds
+//! whatever *newer* version that shard has already published (never
+//! newer than `t`); a shard broadcasting at `t` symmetrically waits for
+//! each owner's reduce of `max(1, t − k)`. Two shards that communicate
+//! therefore never drift more than `k` iterations apart, which bounds
+//! every concurrently-live slot pair's distance by `2k < S` — no slot is
+//! overwritten while a reader may still need it, and the watermark
+//! acquire/release pairs carry the happens-before edges for both the
+//! data reads and the slot reuse (the TSan suite runs this executor).
+//!
+//! # `k = 0` is the correctness anchor
+//!
+//! With `k = 0` every wait degenerates to "neighbor reached iteration
+//! `t`", every versioned read selects version `t`, and the arithmetic is
+//! exactly [`ShardedBackend`](crate::ShardedBackend)'s — same per-shard
+//! kernels, same global-edge-order halo fold — so iterates are
+//! **bit-identical** to the synchronous sharded (and hence serial)
+//! schedule; `tests/staleness_equivalence.rs` pins this on all four
+//! problem families. Only the *scheduling* differs (watermark waits
+//! instead of barriers; reduces run on the owner instead of an
+//! `assign_range` tile — a thread-assignment change that cannot alter
+//! values).
+//!
+//! # Staleness-aware residuals
+//!
+//! On the **last iteration of every block** the staleness bound is
+//! forced to `k_eff = 0`, so when [`SweepExecutor::execute`] returns,
+//! all halo replicas are coherent at the final version — the gathered
+//! global store is a watermark-consistent snapshot, and the solver's
+//! between-block residual check (and its convergence decision) never
+//! sees a torn state. Mid-block, shards run ahead/behind within `k`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use paradmm_graph::{EdgeParams, FactorId, Partition, Shard, ShardedStore, VarStore};
+
+use crate::backend::SweepExecutor;
+use crate::kernels::{self, x_update_factor, UpdateKind};
+use crate::plan::{PassKind, SweepPlan};
+use crate::problem::AdmmProblem;
+use crate::timing::{SweepCosts, UpdateTimings};
+
+/// The watermark word: `(iteration << 32) | phase`, iterations 1-based,
+/// phases [`PHASE_STAGED`](watermark::PHASE_STAGED) →
+/// [`PHASE_REDUCED`](watermark::PHASE_REDUCED) →
+/// [`PHASE_DONE`](watermark::PHASE_DONE) within
+/// an iteration. `0` is the initial "nothing published" state. Exposed
+/// (with the extractors) so the property tests can check the protocol
+/// invariants directly.
+pub mod watermark {
+    /// Phase bits of a published word (low 32 bits).
+    pub const PHASE_MASK: u64 = 0xffff_ffff;
+    /// Local x/m/z finished, halo messages staged.
+    pub const PHASE_STAGED: u64 = 1;
+    /// Combined z of the shard's owned halo variables written.
+    pub const PHASE_REDUCED: u64 = 2;
+    /// Broadcast + u/n finished; the iteration is complete.
+    pub const PHASE_DONE: u64 = 3;
+
+    /// Encodes a `(iteration, phase)` pair. Strictly monotone in
+    /// publication order, so waits are plain `u64` comparisons.
+    #[inline]
+    pub fn encode(iter: u64, phase: u64) -> u64 {
+        (iter << 32) | phase
+    }
+
+    /// Latest iteration whose *staging* is complete under `w` (0 when
+    /// nothing was published: every published phase implies staging).
+    #[inline]
+    pub fn staged_iter(w: u64) -> u64 {
+        w >> 32
+    }
+
+    /// Latest iteration whose *reduce* is complete under `w`.
+    #[inline]
+    pub fn reduced_iter(w: u64) -> u64 {
+        if w & PHASE_MASK >= PHASE_REDUCED {
+            w >> 32
+        } else {
+            (w >> 32).saturating_sub(1)
+        }
+    }
+
+    /// Latest fully-finished iteration under `w`.
+    #[inline]
+    pub fn done_iter(w: u64) -> u64 {
+        if w & PHASE_MASK >= PHASE_DONE {
+            w >> 32
+        } else {
+            (w >> 32).saturating_sub(1)
+        }
+    }
+}
+
+/// One cache line per shard watermark — neighbors spin on these, so
+/// false sharing between adjacent shards' progress words would put the
+/// hot publish store and the hot spin load on the same line.
+#[repr(align(64))]
+struct Watermark(AtomicU64);
+
+/// Spins (briefly) then yields until `w ≥ floor`; returns the observed
+/// word. Same spin/yield ladder as the fleet workers.
+#[inline]
+fn wait_floor(w: &AtomicU64, floor: u64) -> u64 {
+    let mut spins = 0u32;
+    loop {
+        let v = w.load(Ordering::Acquire);
+        if v >= floor {
+            return v;
+        }
+        spins += 1;
+        if spins < 16 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Cached decomposition + ownership precompute for the last problem this
+/// backend executed. The fingerprint mirrors `ShardedBackend`'s: a
+/// same-shaped but differently wired or weighted problem must rebuild.
+struct StaleState {
+    store: ShardedStore,
+    partition: Partition,
+    dims: usize,
+    num_vars: usize,
+    edge_targets: Vec<u32>,
+    factor_starts: Vec<u32>,
+    params: EdgeParams,
+    /// Halo index → owning shard (minimum part holding a replica).
+    owner: Vec<u32>,
+    /// Per shard: the halo indices it owns (ascending).
+    owned: Vec<Vec<u32>>,
+    /// Per shard: shards whose staged messages its owned vars fold
+    /// (sorted, deduped; may include the shard itself).
+    reduce_deps: Vec<Vec<u32>>,
+    /// Per shard: owners of the halo vars it holds replicas of (sorted,
+    /// deduped; may include the shard itself).
+    bcast_deps: Vec<Vec<u32>>,
+}
+
+impl StaleState {
+    fn matches(&self, problem: &AdmmProblem) -> bool {
+        let g = problem.graph();
+        let p = problem.params();
+        self.dims == g.dims()
+            && self.num_vars == g.num_vars()
+            && self.factor_starts.len() == g.num_factors()
+            && self.edge_targets.len() == g.num_edges()
+            && self
+                .factor_starts
+                .iter()
+                .enumerate()
+                .all(|(a, &s)| g.factor_edge_range(FactorId::from_usize(a)).start == s as usize)
+            && self
+                .edge_targets
+                .iter()
+                .enumerate()
+                .all(|(e, &v)| g.edge_var(paradmm_graph::EdgeId::from_usize(e)).0 == v)
+            && self.params.rho == p.rho
+            && self.params.alpha == p.alpha
+    }
+
+    fn build(problem: &AdmmProblem, partition: Partition) -> Self {
+        let g = problem.graph();
+        let store = ShardedStore::new(g, problem.params(), &partition);
+        let parts = store.parts();
+        let owner: Vec<u32> = store.plan.vars.iter().map(|hv| hv.parts[0]).collect();
+        let mut owned: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        let mut reduce_deps: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        for (h, task) in store.reduce.iter().enumerate() {
+            let o = owner[h] as usize;
+            owned[o].push(h as u32);
+            for &(s, _) in &task.contribs {
+                reduce_deps[o].push(s);
+            }
+        }
+        let mut bcast_deps: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        for (i, shard) in store.shards.iter().enumerate() {
+            for &(_, h) in &shard.halo_in {
+                bcast_deps[i].push(owner[h as usize]);
+            }
+        }
+        for deps in reduce_deps.iter_mut().chain(bcast_deps.iter_mut()) {
+            deps.sort_unstable();
+            deps.dedup();
+        }
+        StaleState {
+            store,
+            partition,
+            dims: g.dims(),
+            num_vars: g.num_vars(),
+            edge_targets: g.edges().map(|e| g.edge_var(e).0).collect(),
+            factor_starts: g
+                .factors()
+                .map(|a| g.factor_edge_range(a).start as u32)
+                .collect(),
+            params: problem.params().clone(),
+            owner,
+            owned,
+            reduce_deps,
+            bcast_deps,
+        }
+    }
+}
+
+/// Barrier-free sharded execution with a bounded staleness window.
+///
+/// `k = 0` is bit-identical to [`ShardedBackend`](crate::ShardedBackend)
+/// (and hence to [`SerialBackend`](crate::SerialBackend)); `k ≥ 1`
+/// trades halo freshness for zero phase-wait — iterates then differ from
+/// the synchronous schedule but converge to the same fixed point on
+/// convex problems. See the module docs for the watermark protocol.
+pub struct StaleBoundedBackend {
+    parts: usize,
+    staleness: usize,
+    explicit_partition: Option<Partition>,
+    state: Option<StaleState>,
+    iterations: usize,
+    max_observed_skew: usize,
+}
+
+impl StaleBoundedBackend {
+    /// Backend with `parts` shards (one worker each) and a staleness
+    /// bound of `staleness` iterations. The partition comes from
+    /// [`Partition::grow`] on the first problem executed.
+    ///
+    /// # Panics
+    /// If `parts == 0`.
+    pub fn new(parts: usize, staleness: usize) -> Self {
+        assert!(parts >= 1, "stale backend needs at least one shard");
+        StaleBoundedBackend {
+            parts,
+            staleness,
+            explicit_partition: None,
+            state: None,
+            iterations: 0,
+            max_observed_skew: 0,
+        }
+    }
+
+    /// Backend over an explicit factor partition.
+    ///
+    /// # Panics
+    /// If the partition has zero parts.
+    pub fn with_partition(partition: Partition, staleness: usize) -> Self {
+        assert!(partition.parts >= 1, "partition needs at least one part");
+        StaleBoundedBackend {
+            parts: partition.parts,
+            explicit_partition: Some(partition),
+            staleness,
+            state: None,
+            iterations: 0,
+            max_observed_skew: 0,
+        }
+    }
+
+    /// Number of shards (= worker threads).
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// The staleness bound `k`.
+    pub fn staleness(&self) -> usize {
+        self.staleness
+    }
+
+    /// The partition in use, once the first block has built the shards.
+    pub fn partition(&self) -> Option<&Partition> {
+        self.state.as_ref().map(|s| &s.partition)
+    }
+
+    /// Iterations executed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// The largest `t − version` any cross-shard read actually consumed
+    /// so far — a runtime check of the staleness bound (always `≤ k`;
+    /// the equivalence tests assert it, and it is 0 for `k = 0`).
+    pub fn max_observed_skew(&self) -> usize {
+        self.max_observed_skew
+    }
+
+    fn ensure_state(&mut self, problem: &AdmmProblem) {
+        if self.state.as_ref().is_some_and(|s| s.matches(problem)) {
+            return;
+        }
+        let g = problem.graph();
+        let partition = match &self.explicit_partition {
+            Some(p) => {
+                assert_eq!(
+                    p.assignment.len(),
+                    g.num_factors(),
+                    "explicit partition does not cover this problem"
+                );
+                p.clone()
+            }
+            None => Partition::grow(g, self.parts),
+        };
+        self.state = Some(StaleState::build(problem, partition));
+    }
+}
+
+impl SweepExecutor for StaleBoundedBackend {
+    fn name(&self) -> &'static str {
+        "stale"
+    }
+
+    fn execute(
+        &mut self,
+        problem: &AdmmProblem,
+        store: &mut VarStore,
+        iters: usize,
+        t: &mut UpdateTimings,
+    ) {
+        if iters == 0 {
+            return;
+        }
+        self.ensure_state(problem);
+        let state = self.state.as_mut().expect("ensure_state builds the shards");
+        state.store.scatter(store);
+        let skew = run_stale(problem, state, iters, self.staleness, t);
+        state.store.gather(store);
+        self.max_observed_skew = self.max_observed_skew.max(skew);
+        self.iterations += iters;
+    }
+
+    fn repartition(&mut self, problem: &AdmmProblem, costs: &SweepCosts) -> bool {
+        if self.parts <= 1 {
+            return false;
+        }
+        let g = problem.graph();
+        if costs.factor_seconds.len() != g.num_factors() {
+            return false;
+        }
+        // Weight = measured prox seconds + the factor's share of the
+        // streaming m work — the same per-factor cost the planner's
+        // weighted x+m split balances.
+        let weights: Vec<f64> = g
+            .factors()
+            .map(|a| costs.factor_seconds[a.idx()] + g.factor_degree(a) as f64 * costs.m_per_edge)
+            .collect();
+        let fresh = Partition::grow_weighted(g, self.parts, &weights);
+        let changed = match (&self.explicit_partition, &self.state) {
+            (Some(p), _) => p.assignment != fresh.assignment,
+            (None, Some(s)) => s.partition.assignment != fresh.assignment,
+            (None, None) => true,
+        };
+        if changed {
+            self.explicit_partition = Some(fresh);
+            self.state = None; // rebuild on the next block
+        }
+        changed
+    }
+}
+
+/// Shared raw view handed to the per-shard workers.
+///
+/// # Safety contract
+/// * worker `i` holds `&mut` to shard `i` for the whole run and never
+///   touches another shard — shards are pairwise disjoint and all
+///   cross-shard data flows through the versioned buffers below;
+/// * `stage` slot `(s, v % slots)` is written only by worker `s` during
+///   its staging of iteration `v`, and read by owners only at versions
+///   their sampled watermark covers (acquire on the watermark pairs with
+///   the writer's release publish). Slot reuse distance is `slots =
+///   2k + 2 > 2k ≥` the maximum live version spread (see module docs);
+/// * `halo` slot region `(v % slots, h)` is written only by `owner[h]`
+///   during its reduce of iteration `v` (owners write disjoint `h`
+///   regions), and read by replica holders under the same watermark
+///   discipline.
+#[derive(Clone, Copy)]
+struct RawStale {
+    shards: *mut Shard,
+    n_shards: usize,
+    /// Per shard: pointer to its `slots · stage_len` staging buffer and
+    /// the per-slot length.
+    stage: *const (*mut f64, usize),
+    /// `slots · n_halo · d` versioned combined-z buffer.
+    halo: *mut f64,
+    halo_slot_len: usize,
+    slots: usize,
+}
+
+unsafe impl Send for RawStale {}
+unsafe impl Sync for RawStale {}
+
+impl RawStale {
+    /// # Safety
+    /// Only worker `i` may call this, per the struct-level contract.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn shard_mut(&self, i: usize) -> &mut Shard {
+        debug_assert!(i < self.n_shards);
+        &mut *self.shards.add(i)
+    }
+
+    /// # Safety
+    /// Only worker `s` may write its own slot, and only for the
+    /// iteration it is currently staging.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn stage_slot_mut(&self, s: usize, slot: usize) -> &mut [f64] {
+        debug_assert!(s < self.n_shards && slot < self.slots);
+        let (ptr, len) = *self.stage.add(s);
+        std::slice::from_raw_parts_mut(ptr.add(slot * len), len)
+    }
+
+    /// # Safety
+    /// The caller must have acquire-observed shard `s`'s watermark
+    /// covering the version stored in `slot`.
+    unsafe fn stage_slot(&self, s: usize, slot: usize) -> &[f64] {
+        debug_assert!(s < self.n_shards && slot < self.slots);
+        let (ptr, len) = *self.stage.add(s);
+        std::slice::from_raw_parts(ptr.add(slot * len), len)
+    }
+
+    /// # Safety
+    /// Only `owner[h]` may write halo var `h`, and only in the slot of
+    /// the iteration it is currently reducing.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn halo_var_mut(&self, slot: usize, h: usize, d: usize) -> &mut [f64] {
+        debug_assert!(slot < self.slots && (h + 1) * d <= self.halo_slot_len);
+        std::slice::from_raw_parts_mut(self.halo.add(slot * self.halo_slot_len + h * d), d)
+    }
+
+    /// # Safety
+    /// The caller must have acquire-observed the owner's watermark
+    /// covering the version stored in `slot`.
+    unsafe fn halo_var(&self, slot: usize, h: usize, d: usize) -> &[f64] {
+        debug_assert!(slot < self.slots && (h + 1) * d <= self.halo_slot_len);
+        std::slice::from_raw_parts(self.halo.add(slot * self.halo_slot_len + h * d), d)
+    }
+}
+
+/// Runs `iters` bounded-staleness iterations over the decomposed state;
+/// returns the largest staleness any cross-shard read actually consumed.
+fn run_stale(
+    problem: &AdmmProblem,
+    state: &mut StaleState,
+    iters: usize,
+    staleness: usize,
+    t: &mut UpdateTimings,
+) -> usize {
+    assert!(
+        iters <= u32::MAX as usize,
+        "block too large for the 32-bit watermark iteration field"
+    );
+    let plan = SweepPlan::resolve(problem);
+    let xm_fused = plan.passes().iter().any(|p| p.kind() == PassKind::Xm);
+    let un_fused = plan.passes().iter().any(|p| p.kind() == PassKind::Un);
+
+    // A skew larger than the block is unobservable; clamping keeps the
+    // versioned buffers proportional to min(k, iters).
+    let k = staleness.min(iters);
+    let slots = 2 * k + 2;
+    let d = state.store.dims();
+    let n_halo = state.store.plan.halo_var_count();
+    let parts = state.store.parts();
+
+    let owner = &state.owner;
+    let owned = &state.owned;
+    let reduce_deps = &state.reduce_deps;
+    let bcast_deps = &state.bcast_deps;
+
+    let (shards, _halo_z, reduce) = state.store.exec_parts_mut();
+    let mut stage_bufs: Vec<Vec<f64>> = shards
+        .iter()
+        .map(|sh| vec![0.0f64; slots * sh.stage_edges.len() * d])
+        .collect();
+    let stage_ptrs: Vec<(*mut f64, usize)> = stage_bufs
+        .iter_mut()
+        .zip(shards.iter())
+        .map(|(buf, sh)| (buf.as_mut_ptr(), sh.stage_edges.len() * d))
+        .collect();
+    let mut halo_bufs = vec![0.0f64; slots * n_halo * d];
+    let raw = RawStale {
+        shards: shards.as_mut_ptr(),
+        n_shards: shards.len(),
+        stage: stage_ptrs.as_ptr(),
+        halo: halo_bufs.as_mut_ptr(),
+        halo_slot_len: n_halo * d,
+        slots,
+    };
+    let marks: Vec<Watermark> = (0..parts).map(|_| Watermark(AtomicU64::new(0))).collect();
+    let max_skew = AtomicUsize::new(0);
+    let mut collected = UpdateTimings::new();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for tid in 0..parts {
+            let marks = &marks;
+            let reduce = &*reduce;
+            let max_skew = &max_skew;
+            handles.push(scope.spawn(move || {
+                let mut local = UpdateTimings::new();
+                // SAFETY: worker `tid` exclusively owns shard `tid` for
+                // the whole run; cross-shard data flows only through the
+                // versioned buffers under the watermark protocol.
+                let shard = unsafe { raw.shard_mut(tid) };
+                let my_mark = &marks[tid].0;
+                // Sampled neighbor versions for the current iteration,
+                // indexed by shard id.
+                let mut ver = vec![0u64; parts];
+                let mut skew = 0usize;
+                for it in 1..=iters as u64 {
+                    // The final iteration of every block runs fully
+                    // fresh: replicas are coherent at the gather, so the
+                    // solver's residual check reads a watermark-
+                    // consistent snapshot.
+                    let k_eff = if it == iters as u64 { 0 } else { k as u64 };
+
+                    // ---- staging: local x/m, z swap, interior z, ρ·m ----
+                    let t0 = Instant::now();
+                    let g = &shard.graph;
+                    let params = &shard.params;
+                    let (t1, t2) = if xm_fused {
+                        for (lf, &ga) in shard.factor_global.iter().enumerate() {
+                            let fa = FactorId::from_usize(lf);
+                            let er = g.factor_edge_range(fa);
+                            let (flo, fhi) = (er.start * d, er.end * d);
+                            x_update_factor(
+                                g,
+                                problem.prox(ga),
+                                params,
+                                &shard.store.n,
+                                &mut shard.store.x[flo..fhi],
+                                fa,
+                            );
+                            for j in flo..fhi {
+                                shard.store.m[j] = shard.store.x[j] + shard.store.u[j];
+                            }
+                        }
+                        let t1 = Instant::now();
+                        (t1, t1)
+                    } else {
+                        for (lf, &ga) in shard.factor_global.iter().enumerate() {
+                            let fa = FactorId::from_usize(lf);
+                            let er = g.factor_edge_range(fa);
+                            x_update_factor(
+                                g,
+                                problem.prox(ga),
+                                params,
+                                &shard.store.n,
+                                &mut shard.store.x[er.start * d..er.end * d],
+                                fa,
+                            );
+                        }
+                        let t1 = Instant::now();
+                        let flat = g.num_edges() * d;
+                        kernels::m_update_range(
+                            &shard.store.x,
+                            &shard.store.u,
+                            &mut shard.store.m,
+                            0,
+                            flat,
+                        );
+                        (t1, Instant::now())
+                    };
+
+                    // Buffer swap in place of the z_prev snapshot copy:
+                    // every shard-local variable is rewritten below
+                    // (interior here, halo replicas at the broadcast).
+                    shard.store.swap_z();
+                    for &lv in &shard.interior_vars {
+                        let lo = lv as usize * d;
+                        kernels::z_update_var(
+                            g,
+                            params,
+                            &shard.store.m,
+                            &mut shard.store.z[lo..lo + d],
+                            paradmm_graph::VarId(lv),
+                        );
+                    }
+                    {
+                        // SAFETY: only this worker writes its own slot,
+                        // and slot (it % slots) cannot still be read:
+                        // readers of version it − slots would violate
+                        // the staleness bound (see module docs).
+                        let stage =
+                            unsafe { raw.stage_slot_mut(tid, (it % slots as u64) as usize) };
+                        for (slot_i, &le) in shard.stage_edges.iter().enumerate() {
+                            let rho = shard.params.rho[le as usize];
+                            let lo = le as usize * d;
+                            for c in 0..d {
+                                stage[slot_i * d + c] = rho * shard.store.m[lo + c];
+                            }
+                        }
+                    }
+                    my_mark.store(
+                        watermark::encode(it, watermark::PHASE_STAGED),
+                        Ordering::Release,
+                    );
+
+                    // ---- reduce: combined z of OWNED halo vars ----
+                    if !owned[tid].is_empty() {
+                        let floor_iter = it.saturating_sub(k_eff).max(1);
+                        for &s in &reduce_deps[tid] {
+                            let w = wait_floor(
+                                &marks[s as usize].0,
+                                watermark::encode(floor_iter, watermark::PHASE_STAGED),
+                            );
+                            let v = watermark::staged_iter(w).min(it);
+                            ver[s as usize] = v;
+                            skew = skew.max((it - v) as usize);
+                        }
+                        for &h in &owned[tid] {
+                            let task = &reduce[h as usize];
+                            // SAFETY: owners write disjoint h regions;
+                            // this shard owns h.
+                            let zb = unsafe {
+                                raw.halo_var_mut((it % slots as u64) as usize, h as usize, d)
+                            };
+                            zb.fill(0.0);
+                            for &(s, slot) in &task.contribs {
+                                let v = ver[s as usize];
+                                // SAFETY: v was acquire-observed staged
+                                // on shard s; its slot is stable until s
+                                // advances past v + slots, which the
+                                // staleness bound forbids while this
+                                // read is live.
+                                let stage = unsafe {
+                                    raw.stage_slot(s as usize, (v % slots as u64) as usize)
+                                };
+                                let lo = slot as usize * d;
+                                for c in 0..d {
+                                    zb[c] += stage[lo + c];
+                                }
+                            }
+                            let inv = 1.0 / task.rho_sum;
+                            for v in zb.iter_mut() {
+                                *v *= inv;
+                            }
+                        }
+                    }
+                    my_mark.store(
+                        watermark::encode(it, watermark::PHASE_REDUCED),
+                        Ordering::Release,
+                    );
+
+                    // ---- broadcast + u/n ----
+                    {
+                        let floor_iter = it.saturating_sub(k_eff).max(1);
+                        for &o in &bcast_deps[tid] {
+                            let w = wait_floor(
+                                &marks[o as usize].0,
+                                watermark::encode(floor_iter, watermark::PHASE_REDUCED),
+                            );
+                            let v = watermark::reduced_iter(w).min(it);
+                            ver[o as usize] = v;
+                            skew = skew.max((it - v) as usize);
+                        }
+                        let g = &shard.graph;
+                        for &(lv, h) in &shard.halo_in {
+                            let v = ver[owner[h as usize] as usize];
+                            // SAFETY: v was acquire-observed reduced on
+                            // the owner; slot stability as above.
+                            let src =
+                                unsafe { raw.halo_var((v % slots as u64) as usize, h as usize, d) };
+                            let lo = lv as usize * d;
+                            shard.store.z[lo..lo + d].copy_from_slice(src);
+                        }
+                        let t3 = Instant::now();
+                        let t4 = if un_fused {
+                            kernels::un_update_range(
+                                g,
+                                &shard.params,
+                                &shard.store.x,
+                                &shard.store.z,
+                                &mut shard.store.u,
+                                &mut shard.store.n,
+                                0,
+                                g.num_edges(),
+                            );
+                            Instant::now()
+                        } else {
+                            kernels::u_update_range(
+                                g,
+                                &shard.params,
+                                &shard.store.x,
+                                &shard.store.z,
+                                &mut shard.store.u,
+                                0,
+                                g.num_edges(),
+                            );
+                            let t4 = Instant::now();
+                            kernels::n_update_range(
+                                g,
+                                &shard.store.z,
+                                &shard.store.u,
+                                &mut shard.store.n,
+                                0,
+                                g.num_edges(),
+                            );
+                            t4
+                        };
+                        if tid == 0 {
+                            local.add(UpdateKind::X, t1 - t0);
+                            local.add(UpdateKind::M, t2 - t1);
+                            // Interior z + staging + reduce + waits.
+                            local.add(UpdateKind::Z, t3 - t2);
+                            local.add(UpdateKind::U, t4 - t3);
+                            if !un_fused {
+                                local.add(UpdateKind::N, t4.elapsed());
+                            }
+                        }
+                    }
+                    my_mark.store(
+                        watermark::encode(it, watermark::PHASE_DONE),
+                        Ordering::Release,
+                    );
+                }
+                max_skew.fetch_max(skew, Ordering::Relaxed);
+                local
+            }));
+        }
+        for h in handles {
+            let local = h.join().expect("stale worker panicked");
+            collected.merge(&local);
+        }
+    });
+    collected.iterations = 0; // accounted centrally by run_block
+    t.merge(&collected);
+    max_skew.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SerialBackend;
+    use crate::sharded::ShardedBackend;
+    use paradmm_graph::GraphBuilder;
+    use paradmm_prox::{ProxOp, QuadraticProx};
+
+    fn chain_problem(n: usize) -> AdmmProblem {
+        let mut b = GraphBuilder::new(2);
+        let vs = b.add_vars(n + 1);
+        let mut proxes: Vec<Box<dyn ProxOp>> = Vec::new();
+        for i in 0..n {
+            b.add_factor(&[vs[i], vs[i + 1]]);
+            let t = (i as f64 * 0.23).sin();
+            proxes.push(Box::new(QuadraticProx::isotropic(4, 1.0, &[t, -t, t, -t])));
+        }
+        AdmmProblem::new(b.build(), proxes, 1.2, 0.9)
+    }
+
+    fn dense_problem(n: usize) -> AdmmProblem {
+        let mut b = GraphBuilder::new(1);
+        let vs = b.add_vars(n);
+        let mut proxes: Vec<Box<dyn ProxOp>> = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                b.add_factor(&[vs[i], vs[j]]);
+                proxes.push(Box::new(QuadraticProx::isotropic(
+                    2,
+                    1.0,
+                    &[i as f64 * 0.1, j as f64 * 0.1],
+                )));
+            }
+        }
+        AdmmProblem::new(b.build(), proxes, 1.0, 1.0)
+    }
+
+    fn run(problem: &AdmmProblem, backend: &mut dyn SweepExecutor, iters: usize) -> VarStore {
+        let mut store = VarStore::zeros(problem.graph());
+        for (i, v) in store.n.iter_mut().enumerate() {
+            *v = (i as f64 * 0.37).sin();
+        }
+        for (i, v) in store.z.iter_mut().enumerate() {
+            *v = (i as f64 * 0.11).cos();
+        }
+        store.snapshot_z();
+        let mut t = UpdateTimings::new();
+        backend.run_block(problem, &mut store, iters, &mut t);
+        store
+    }
+
+    #[test]
+    fn k0_bit_identical_to_sharded_and_serial_on_chain() {
+        let problem = chain_problem(23);
+        let serial = run(&problem, &mut SerialBackend, 40);
+        for parts in [1usize, 2, 3, 4] {
+            let mut sb = StaleBoundedBackend::new(parts, 0);
+            let got = run(&problem, &mut sb, 40);
+            assert_eq!(serial.z, got.z, "parts={parts} z diverged");
+            assert_eq!(serial.x, got.x, "parts={parts} x diverged");
+            assert_eq!(serial.u, got.u, "parts={parts} u diverged");
+            assert_eq!(serial.n, got.n, "parts={parts} n diverged");
+            assert_eq!(serial.z_prev, got.z_prev, "parts={parts} z_prev diverged");
+            assert_eq!(sb.max_observed_skew(), 0, "k=0 must never read stale");
+        }
+    }
+
+    #[test]
+    fn k0_bit_identical_on_dense_contiguous_partition() {
+        let problem = dense_problem(9);
+        let serial = run(&problem, &mut SerialBackend, 30);
+        for parts in [2usize, 4] {
+            let partition = Partition::contiguous(problem.graph(), parts);
+            let mut sb = StaleBoundedBackend::with_partition(partition, 0);
+            let got = run(&problem, &mut sb, 30);
+            assert_eq!(serial.z, got.z, "parts={parts}");
+            assert_eq!(serial.u, got.u, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn stale_k_converges_to_serial_optimum() {
+        // k ≥ 1 iterates differ from the synchronous schedule but must
+        // land on the same fixed point.
+        let problem = chain_problem(16);
+        let mut serial = Solverless::new();
+        let z_ref = serial.solve(&problem, &mut SerialBackend, 4000);
+        for k in [1usize, 4] {
+            let mut sb = StaleBoundedBackend::new(3, k);
+            let z = Solverless::new().solve(&problem, &mut sb, 4000);
+            for (a, b) in z.iter().zip(&z_ref) {
+                assert!((a - b).abs() < 1e-6, "k={k}: {a} vs {b}");
+            }
+            assert!(
+                sb.max_observed_skew() <= k,
+                "observed skew {} exceeds bound {k}",
+                sb.max_observed_skew()
+            );
+        }
+    }
+
+    /// Minimal fixed-iteration driver (avoids pulling Solver in here).
+    struct Solverless;
+    impl Solverless {
+        fn new() -> Self {
+            Solverless
+        }
+        fn solve(
+            &mut self,
+            problem: &AdmmProblem,
+            backend: &mut dyn SweepExecutor,
+            iters: usize,
+        ) -> Vec<f64> {
+            let mut store = VarStore::zeros(problem.graph());
+            let mut t = UpdateTimings::new();
+            // Blocked like the solver (k_eff = 0 at each block edge).
+            let mut done = 0;
+            while done < iters {
+                let block = 50.min(iters - done);
+                backend.run_block(problem, &mut store, block, &mut t);
+                done += block;
+            }
+            store.z.to_vec()
+        }
+    }
+
+    #[test]
+    fn blocks_resume_bit_identically_at_k0() {
+        let problem = chain_problem(12);
+        let mut sb = StaleBoundedBackend::new(3, 0);
+        let mut stale_store = VarStore::zeros(problem.graph());
+        let mut serial_store = VarStore::zeros(problem.graph());
+        let mut t = UpdateTimings::new();
+        for block in [1usize, 4, 2, 7] {
+            sb.run_block(&problem, &mut stale_store, block, &mut t);
+            SerialBackend.run_block(&problem, &mut serial_store, block, &mut t);
+            assert_eq!(serial_store.z, stale_store.z, "after block {block}");
+            assert_eq!(serial_store.n, stale_store.n, "after block {block}");
+        }
+    }
+
+    #[test]
+    fn rebuilds_when_params_change() {
+        let mut a = chain_problem(10);
+        let mut sb = StaleBoundedBackend::new(2, 0);
+        let before = run(&a, &mut sb, 15);
+        a.params_mut().scale_rho(3.0);
+        let serial = run(&a, &mut SerialBackend, 15);
+        let after = run(&a, &mut sb, 15);
+        assert_eq!(after.z, serial.z, "stale rho must not survive a rebuild");
+        assert_ne!(before.z, after.z, "rho change must alter iterates");
+    }
+
+    #[test]
+    fn repartition_rebuilds_on_cost_drift() {
+        let problem = chain_problem(24);
+        let mut sb = StaleBoundedBackend::new(3, 1);
+        let _ = run(&problem, &mut sb, 5);
+        let before = sb.partition().unwrap().assignment.clone();
+        // Lopsided costs: all the weight on the last factor forces a
+        // different grown partition.
+        let mut costs = SweepCosts {
+            factor_seconds: vec![1e-7; 24],
+            m_per_edge: 1e-9,
+            z_per_var: 1e-9,
+            u_per_edge: 1e-9,
+            n_per_edge: 1e-9,
+        };
+        costs.factor_seconds[23] = 1e-3;
+        let changed = sb.repartition(&problem, &costs);
+        assert!(changed, "lopsided costs must change the partition");
+        // Next run rebuilds and still matches serial at k = 0 semantics
+        // of its final block iteration (k=1 here: check convergence
+        // plumbing by running and comparing against serial loosely).
+        let got = run(&problem, &mut sb, 5);
+        let after = sb.partition().unwrap().assignment.clone();
+        assert_ne!(before, after);
+        assert_eq!(got.z.len(), problem.graph().num_vars() * 2);
+    }
+
+    #[test]
+    fn watermark_encoding_is_monotone_and_extractable() {
+        use watermark::*;
+        let mut prev = 0u64;
+        for it in 1..5u64 {
+            for phase in [PHASE_STAGED, PHASE_REDUCED, PHASE_DONE] {
+                let w = encode(it, phase);
+                assert!(w > prev, "watermark must be strictly monotone");
+                prev = w;
+                assert_eq!(staged_iter(w), it);
+                assert_eq!(
+                    reduced_iter(w),
+                    if phase >= PHASE_REDUCED { it } else { it - 1 }
+                );
+                assert_eq!(done_iter(w), if phase >= PHASE_DONE { it } else { it - 1 });
+            }
+        }
+        assert_eq!(staged_iter(0), 0);
+        assert_eq!(reduced_iter(0), 0);
+        assert_eq!(done_iter(0), 0);
+    }
+
+    #[test]
+    fn zero_iterations_is_a_no_op() {
+        let problem = chain_problem(5);
+        let mut sb = StaleBoundedBackend::new(2, 2);
+        let mut store = VarStore::zeros(problem.graph());
+        store.z.fill(2.5);
+        let before = store.clone();
+        let mut t = UpdateTimings::new();
+        sb.run_block(&problem, &mut store, 0, &mut t);
+        assert_eq!(store.z, before.z);
+        assert!(sb.partition().is_none(), "no build without iterations");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_parts_rejected() {
+        let _ = StaleBoundedBackend::new(0, 1);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(StaleBoundedBackend::new(2, 1).name(), "stale");
+    }
+
+    #[test]
+    fn matches_sharded_backend_exactly_at_k0() {
+        // The headline contract, backend-to-backend (not just via
+        // serial): same partition, same iterates, bit for bit.
+        let problem = dense_problem(8);
+        for parts in [2usize, 3] {
+            let partition = Partition::grow(problem.graph(), parts);
+            let mut sharded = ShardedBackend::with_partition(partition.clone());
+            let mut stale = StaleBoundedBackend::with_partition(partition, 0);
+            let a = run(&problem, &mut sharded, 35);
+            let b = run(&problem, &mut stale, 35);
+            assert_eq!(a.z, b.z, "parts={parts}");
+            assert_eq!(a.x, b.x, "parts={parts}");
+            assert_eq!(a.u, b.u, "parts={parts}");
+            assert_eq!(a.n, b.n, "parts={parts}");
+            assert_eq!(a.z_prev, b.z_prev, "parts={parts}");
+        }
+    }
+}
